@@ -1,0 +1,169 @@
+package bmmc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	bmmc "repro"
+)
+
+var apiConfig = bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+
+func TestPermuterLifecycle(t *testing.T) {
+	p, err := bmmc.NewPermuter(apiConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rev := bmmc.BitReversal(apiConfig.LgN())
+	rep, err := p.Permute(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(rev); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParallelIOs <= 0 || rep.ParallelIOs > rep.UpperBound {
+		t.Errorf("I/Os %d outside (0, UB=%d]", rep.ParallelIOs, rep.UpperBound)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestPermuterComposesAcrossCalls(t *testing.T) {
+	p, err := bmmc.NewPermuter(apiConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := apiConfig.LgN()
+	g := bmmc.GrayCode(n)
+	r := bmmc.RotateBits(n, 3)
+	if _, err := p.Permute(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Permute(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(r.Compose(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuterGrayCodeOnePass(t *testing.T) {
+	p, err := bmmc.NewPermuter(apiConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rep, err := p.Permute(bmmc.GrayCode(apiConfig.LgN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != bmmc.ClassMRC || rep.Passes != 1 {
+		t.Errorf("Gray code dispatched as %v in %d passes", rep.Class, rep.Passes)
+	}
+	if rep.ParallelIOs != apiConfig.PassIOs() {
+		t.Errorf("Gray code cost %d, want %d", rep.ParallelIOs, apiConfig.PassIOs())
+	}
+}
+
+func TestFilePermuter(t *testing.T) {
+	p, err := bmmc.NewFilePermuter(apiConfig, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr := bmmc.Transpose(6, 6)
+	if _, err := p.Permute(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteGeneral(t *testing.T) {
+	p, err := bmmc.NewPermuter(apiConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(7))
+	target := rng.Perm(apiConfig.N)
+	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
+	if _, err := p.PermuteGeneral(targetOf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyMapping(targetOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectTargetsAPI(t *testing.T) {
+	want := bmmc.Transpose(5, 7)
+	res, err := bmmc.DetectTargets(apiConfig, want.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsBMMC || !res.Perm.Equal(want) {
+		t.Fatal("transpose not detected")
+	}
+	if res.ParallelReads() > bmmc.DetectionBoundReads(apiConfig) {
+		t.Errorf("detection cost %d exceeds bound %d", res.ParallelReads(), bmmc.DetectionBoundReads(apiConfig))
+	}
+}
+
+func TestRandomWithRankGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, b := apiConfig.LgN(), apiConfig.LgB()
+	for g := 0; g <= b; g++ {
+		p := bmmc.RandomWithRankGamma(rng, n, b, g)
+		if p.RankGamma(b) != g {
+			t.Fatalf("rank gamma %d, want %d", p.RankGamma(b), g)
+		}
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if bmmc.LowerBoundIOs(apiConfig, 0) <= 0 {
+		t.Error("lower bound not positive")
+	}
+	if bmmc.UpperBoundIOs(apiConfig, 3) <= 0 {
+		t.Error("upper bound not positive")
+	}
+	if bmmc.RefinedLowerBoundIOs(apiConfig, 3) <= 0 {
+		t.Error("refined bound not positive")
+	}
+	if bmmc.SortBoundIOs(apiConfig) <= 0 {
+		t.Error("sort bound not positive")
+	}
+	// Identity is free via the auto path.
+	p, _ := bmmc.NewPermuter(apiConfig)
+	defer p.Close()
+	rep, err := p.Permute(bmmc.Identity(apiConfig.LgN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParallelIOs != 0 {
+		t.Errorf("identity cost %d I/Os", rep.ParallelIOs)
+	}
+}
+
+func TestPermuteFactoredForcesFullAlgorithm(t *testing.T) {
+	p, _ := bmmc.NewPermuter(apiConfig)
+	defer p.Close()
+	g := bmmc.GrayCode(apiConfig.LgN())
+	rep, err := p.PermuteFactored(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passes != 1 { // Gray code is MRC: even the factored path is 1 pass
+		t.Errorf("factored Gray code used %d passes", rep.Passes)
+	}
+}

@@ -1,0 +1,87 @@
+package bmmc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	bmmc "repro"
+)
+
+// TestCLIEndToEnd builds each command-line tool once and exercises its
+// main paths against small geometries.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"bmmcbench", "bmmcperm", "bmmcplan", "bmmcdetect"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(tool string, wantOK bool, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if wantOK && err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		if !wantOK && err == nil {
+			t.Fatalf("%s %v unexpectedly succeeded:\n%s", tool, args, out)
+		}
+		return string(out)
+	}
+
+	small := []string{"-N", "4096", "-D", "4", "-B", "8", "-M", "256"}
+
+	// bmmcbench: one experiment, all PASS.
+	out := run("bmmcbench", true, append([]string{"-experiment", "mld"}, small...)...)
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "PASS") {
+		t.Errorf("bmmcbench output unexpected:\n%s", out)
+	}
+	// Unknown experiment rejected.
+	run("bmmcbench", false, "-experiment", "bogus")
+
+	// bmmcperm: run and verify a transpose on file-backed disks.
+	dir := t.TempDir()
+	out = run("bmmcperm", true, append([]string{"-perm", "transpose", "-dir", dir}, small...)...)
+	if !strings.Contains(out, "verified: all records in place") {
+		t.Errorf("bmmcperm did not verify:\n%s", out)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 4 {
+		t.Errorf("expected 4 disk files, found %d", len(entries))
+	}
+
+	// bmmcplan: explain a factorization; also accept a marshalled file.
+	out = run("bmmcplan", true, append([]string{"-perm", "bitrev"}, small...)...)
+	if !strings.Contains(out, "Theorem 21 upper bound") {
+		t.Errorf("bmmcplan output unexpected:\n%s", out)
+	}
+	pf := filepath.Join(t.TempDir(), "perm.txt")
+	if err := os.WriteFile(pf, bmmc.MarshalPermutation(bmmc.GrayCode(12)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run("bmmcplan", true, append([]string{"-file", pf}, small...)...)
+	if !strings.Contains(out, "class:     MRC") {
+		t.Errorf("bmmcplan -file did not classify Gray code as MRC:\n%s", out)
+	}
+	// Wrong width file rejected.
+	run("bmmcplan", false, "-file", pf, "-N", "8192", "-D", "4", "-B", "8", "-M", "256")
+
+	// bmmcdetect: accept a BMMC vector, reject a corrupted one.
+	out = run("bmmcdetect", true, append([]string{"-perm", "gray"}, small...)...)
+	if !strings.Contains(out, "BMMC detected:   true") {
+		t.Errorf("bmmcdetect missed a Gray code:\n%s", out)
+	}
+	out = run("bmmcdetect", true, append([]string{"-perm", "gray", "-corrupt", "3"}, small...)...)
+	if !strings.Contains(out, "BMMC detected:   false") {
+		t.Errorf("bmmcdetect accepted a corrupted vector:\n%s", out)
+	}
+
+	// Invalid geometry rejected by all tools.
+	run("bmmcperm", false, "-N", "100")
+}

@@ -1,0 +1,77 @@
+// Command bmmcbench regenerates the paper's evaluation tables on the
+// simulated parallel disk system. With no flags it runs every experiment in
+// DESIGN.md's index on the default geometry and prints the tables that
+// EXPERIMENTS.md archives.
+//
+// Usage:
+//
+//	bmmcbench [-experiment name] [-N n] [-D d] [-B b] [-M m] [-seed s]
+//
+// Experiment names: table1, tightbounds, crossover, mld, detect, potential,
+// transpose, scaling, lemma9, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/pdm"
+)
+
+func main() {
+	var (
+		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse)")
+		n    = flag.Int("N", experiments.DefaultConfig.N, "total records (power of 2)")
+		d    = flag.Int("D", experiments.DefaultConfig.D, "disks (power of 2)")
+		b    = flag.Int("B", experiments.DefaultConfig.B, "records per block (power of 2)")
+		m    = flag.Int("M", experiments.DefaultConfig.M, "records of memory (power of 2)")
+		seed = flag.Int64("seed", 1, "random seed for workload generation")
+	)
+	flag.Parse()
+
+	cfg := pdm.Config{N: *n, D: *d, B: *b, M: *m}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("BMMC permutation experiments on %v (seed %d)\n\n", cfg, *seed)
+
+	var tables []*experiments.Table
+	if *name == "all" {
+		all, err := experiments.All(cfg, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tables = all
+	} else {
+		gen := experiments.ByName(*name)
+		if gen == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *name)
+			os.Exit(2)
+		}
+		tbl, err := gen(cfg, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tables = append(tables, tbl)
+	}
+	failed := false
+	for _, tbl := range tables {
+		tbl.Fprint(os.Stdout)
+		for _, row := range tbl.Rows {
+			for _, cell := range row {
+				if cell == "FAIL" {
+					failed = true
+				}
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "one or more bound checks FAILED")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command bmmcplan explains how the Section 5 algorithm would perform a
+// permutation on a given machine geometry without moving any data: it
+// prints the characteristic matrix, the class dispatch, the factoring into
+// one-pass permutations, and the resulting I/O cost next to the paper's
+// bounds.
+//
+// Usage:
+//
+//	bmmcplan [-N n] [-D d] [-B b] [-M m] -perm kind [-arg k] [-matrices]
+//
+// Permutation kinds match cmd/bmmcperm: bitrev, transpose, gray, grayinv,
+// vecrev, rotate, hypercube, random, rank.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	bmmc "repro"
+	"repro/internal/bounds"
+	"repro/internal/factor"
+)
+
+func main() {
+	var (
+		n        = flag.Int("N", 1<<16, "total records (power of 2)")
+		d        = flag.Int("D", 8, "disks (power of 2)")
+		b        = flag.Int("B", 16, "records per block (power of 2)")
+		m        = flag.Int("M", 1<<11, "records of memory (power of 2)")
+		kind     = flag.String("perm", "bitrev", "permutation kind")
+		file     = flag.String("file", "", "read the permutation from a marshal-format file instead of -perm")
+		arg      = flag.Int64("arg", 0, "permutation argument")
+		matrices = flag.Bool("matrices", false, "print each pass's characteristic matrix")
+	)
+	flag.Parse()
+
+	cfg := bmmc.Config{N: *n, D: *d, B: *b, M: *m}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	p, err := buildPerm(cfg, *kind, *arg)
+	if *file != "" {
+		p, err = loadPermFile(*file, cfg.LgN())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	lgB, lgM := cfg.LgB(), cfg.LgM()
+
+	fmt.Printf("machine:   %v\n", cfg)
+	fmt.Printf("perm:      %s\n", *kind)
+	fmt.Printf("class:     %v", p.Classify(lgB, lgM))
+	if p.IsBPC() {
+		fmt.Printf(" (also BPC; cross-rank kappa = %d)", p.MaxCrossRank(lgB, lgM))
+	}
+	fmt.Println()
+	fmt.Printf("rank gamma: %d  (gamma = A[%d..%d, 0..%d])\n", p.RankGamma(lgB), lgB, cfg.LgN()-1, lgB-1)
+	fmt.Printf("matrix A (complement %b):\n%v\n\n", uint64(p.C), p.A)
+
+	plan, err := factor.Factorize(p, lgB, lgM)
+	if err != nil {
+		fatal(err)
+	}
+	if *matrices {
+		fmt.Println(plan.Describe())
+	} else {
+		fmt.Println(plan)
+	}
+
+	ios := plan.PassCount() * cfg.PassIOs()
+	if p.IsIdentity() {
+		ios = 0
+	}
+	fmt.Printf("\nprojected cost: %d parallel I/Os (%d passes x %d)\n", ios, plan.PassCount(), cfg.PassIOs())
+	fmt.Printf("Theorem 3 lower bound:  %.0f\n", bounds.LowerBound(cfg, plan.RankGamma))
+	fmt.Printf("Section 7 refined LB:   %.0f\n", bounds.RefinedLowerBound(cfg, plan.RankGamma))
+	fmt.Printf("Theorem 21 upper bound: %d\n", bounds.UpperBound(cfg, plan.RankGamma))
+	fmt.Printf("merge-sort baseline:    %d\n", bounds.MergeSortIOs(cfg))
+}
+
+func buildPerm(cfg bmmc.Config, kind string, arg int64) (bmmc.Permutation, error) {
+	n := cfg.LgN()
+	switch kind {
+	case "bitrev":
+		return bmmc.BitReversal(n), nil
+	case "transpose":
+		lgR := int(arg)
+		if lgR <= 0 || lgR >= n {
+			lgR = n / 2
+		}
+		return bmmc.Transpose(lgR, n-lgR), nil
+	case "gray":
+		return bmmc.GrayCode(n), nil
+	case "grayinv":
+		return bmmc.GrayCodeInverse(n), nil
+	case "vecrev":
+		return bmmc.VectorReversal(n), nil
+	case "rotate":
+		return bmmc.RotateBits(n, int(arg)), nil
+	case "hypercube":
+		return bmmc.Hypercube(n, uint64(arg)), nil
+	case "random":
+		return bmmc.RandomPermutation(rand.New(rand.NewSource(arg)), n), nil
+	case "rank":
+		g := int(arg)
+		if g < 0 || g > cfg.LgB() || g > n-cfg.LgB() {
+			return bmmc.Permutation{}, fmt.Errorf("rank gamma %d out of range [0, %d]", g, cfg.LgB())
+		}
+		return bmmc.RandomWithRankGamma(rand.New(rand.NewSource(1)), n, cfg.LgB(), g), nil
+	default:
+		return bmmc.Permutation{}, fmt.Errorf("unknown permutation kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// loadPermFile parses a permutation from a Marshal-format file and checks
+// it matches the machine's address width.
+func loadPermFile(path string, n int) (bmmc.Permutation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bmmc.Permutation{}, err
+	}
+	p, err := bmmc.ParsePermutation(data)
+	if err != nil {
+		return bmmc.Permutation{}, err
+	}
+	if p.Bits() != n {
+		return bmmc.Permutation{}, fmt.Errorf("permutation is on %d-bit addresses, machine has n=%d", p.Bits(), n)
+	}
+	return p, nil
+}

@@ -1,0 +1,38 @@
+// Package bmmc reproduces "Asymptotically Tight Bounds for Performing BMMC
+// Permutations on Parallel Disk Systems" (Cormen, Sundquist, Wisniewski;
+// SPAA 1993 / Dartmouth PCS-TR94-223) as a complete Go library.
+//
+// A BMMC (bit-matrix-multiply/complement) permutation on N = 2^n records
+// maps each n-bit source address x to the target address y = Ax XOR c over
+// GF(2), for a nonsingular n x n characteristic matrix A and complement
+// vector c. The class covers matrix transposition, bit-reversal, Gray
+// codes, hypercube exchanges and vector reversal. On the Vitter-Shriver
+// parallel disk model (D disks, B records per block, M records of memory),
+// the paper proves a universal lower bound of
+//
+//	Omega((N/BD) (1 + rank(gamma)/lg(M/B)))
+//
+// parallel I/Os, where gamma is the lg(N/B) x lg(B) lower-left submatrix of
+// A, and gives a matching algorithm using at most
+//
+//	(2N/BD) (ceil(rank(gamma)/lg(M/B)) + 2)
+//
+// parallel I/Os. This package implements the model (RAM- and file-backed),
+// the algorithm, the one-pass MRC and MLD special cases, run-time BMMC
+// detection, the baselines the paper compares against, and every closed-form
+// bound in the paper.
+//
+// # Quick start
+//
+//	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 11}
+//	p, err := bmmc.NewPermuter(cfg)       // N records on 8 simulated disks
+//	defer p.Close()
+//	rep, err := p.Permute(bmmc.BitReversal(cfg.LgN()))
+//	fmt.Println(rep)                      // passes, parallel I/Os, bounds
+//	err = p.Verify(bmmc.BitReversal(cfg.LgN()))
+//
+// See the examples directory for out-of-core matrix transposition, FFT
+// input reordering, Gray-code reordering, and run-time detection, and
+// cmd/bmmcbench for the harness that regenerates every table in the paper's
+// evaluation (archived in EXPERIMENTS.md).
+package bmmc

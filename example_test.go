@@ -1,0 +1,100 @@
+package bmmc_test
+
+import (
+	"fmt"
+	"log"
+
+	bmmc "repro"
+)
+
+// Example demonstrates the basic workflow: create a simulated parallel
+// disk system, permute, and inspect the cost.
+func Example() {
+	cfg := bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	p, err := bmmc.NewPermuter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	rep, err := p.Permute(bmmc.BitReversal(cfg.LgN()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passes=%d ios=%d rank=%d\n", rep.Passes, rep.ParallelIOs, rep.RankGamma)
+	fmt.Println(p.Verify(bmmc.BitReversal(cfg.LgN())) == nil)
+	// Output:
+	// passes=2 ios=512 rank=3
+	// true
+}
+
+// ExampleGrayCode shows that MRC permutations cost exactly one pass.
+func ExampleGrayCode() {
+	cfg := bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	p, _ := bmmc.NewPermuter(cfg)
+	defer p.Close()
+
+	rep, _ := p.Permute(bmmc.GrayCode(cfg.LgN()))
+	fmt.Printf("class=%v passes=%d ios=%d (one pass = %d)\n",
+		rep.Class, rep.Passes, rep.ParallelIOs, cfg.PassIOs())
+	// Output:
+	// class=MRC passes=1 ios=256 (one pass = 256)
+}
+
+// ExampleDetectTargets recovers a hidden BMMC permutation from its raw
+// target-address vector (Section 6 of the paper).
+func ExampleDetectTargets() {
+	cfg := bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	hidden := bmmc.Transpose(5, 7)
+
+	det, _ := bmmc.DetectTargets(cfg, hidden.Apply)
+	fmt.Printf("detected=%v exact=%v reads=%d (bound %d)\n",
+		det.IsBMMC, det.Perm.Equal(hidden), det.ParallelReads(), bmmc.DetectionBoundReads(cfg))
+	// Output:
+	// detected=true exact=true reads=131 (bound 131)
+}
+
+// ExampleMarshalPermutation shows the text interchange format used by the
+// command-line tools.
+func ExampleMarshalPermutation() {
+	p := bmmc.GrayCode(3)
+	data := bmmc.MarshalPermutation(p)
+	fmt.Print(string(data))
+
+	back, _ := bmmc.ParsePermutation(data)
+	fmt.Println(back.Equal(p))
+	// Output:
+	// bmmc n=3
+	// c=000
+	// 110
+	// 011
+	// 001
+	// true
+}
+
+// ExamplePermutation_Compose chains two permutations; the matrix product
+// characterizes the composition (Lemma 1).
+func ExamplePermutation_Compose() {
+	n := 8
+	g := bmmc.GrayCode(n)
+	r := bmmc.BitReversal(n)
+	both := r.Compose(g) // apply g first, then r
+
+	x := uint64(0b10110001)
+	fmt.Println(both.Apply(x) == r.Apply(g.Apply(x)))
+	// Output:
+	// true
+}
+
+// ExampleUpperBoundIOs evaluates the paper's bound expressions directly.
+func ExampleUpperBoundIOs() {
+	cfg := bmmc.Config{N: 1 << 20, D: 16, B: 64, M: 1 << 14}
+	for _, rank := range []int{0, 3, 6} {
+		fmt.Printf("rank %d: LB %.0f, UB %d\n", rank,
+			bmmc.LowerBoundIOs(cfg, rank), bmmc.UpperBoundIOs(cfg, rank))
+	}
+	// Output:
+	// rank 0: LB 1024, UB 4096
+	// rank 3: LB 1408, UB 6144
+	// rank 6: LB 1792, UB 6144
+}

@@ -1,0 +1,91 @@
+// Out-of-core FFT input reordering: the bit-reversal permutation named in
+// the paper as a core BPC workload. Complex samples live on the simulated
+// parallel disk system (real part in Key, imaginary part in Tag as float
+// bits); the bit-reversal reorder — the out-of-core step of a
+// decimation-in-time FFT — runs as a BMMC permutation, and the subsequent
+// in-order butterfly stages produce a spectrum verified against a direct
+// DFT.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+
+	bmmc "repro"
+)
+
+func main() {
+	cfg := bmmc.Config{N: 1 << 12, D: 8, B: 8, M: 1 << 9}
+	n := cfg.LgN()
+
+	// Synthesize a signal with two tones plus a DC offset.
+	samples := make([]complex128, cfg.N)
+	for i := range samples {
+		t := float64(i) / float64(cfg.N)
+		samples[i] = complex(0.5+math.Sin(2*math.Pi*37*t)+0.25*math.Cos(2*math.Pi*301*t), 0)
+	}
+
+	p, err := bmmc.NewPermuter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	// Store the samples as records: Key/Tag carry the float bits.
+	recs := make([]bmmc.Record, cfg.N)
+	for i, s := range samples {
+		recs[i] = bmmc.Record{Key: math.Float64bits(real(s)), Tag: math.Float64bits(imag(s))}
+	}
+	if err := p.LoadRecords(recs); err != nil {
+		log.Fatal(err)
+	}
+
+	// The out-of-core step: bit-reverse the sample order on disk. The
+	// record at source address i lands at rev(i), so address j then holds
+	// sample rev(j) — exactly the input order an in-place DIT FFT wants.
+	rep, err := p.Permute(bmmc.BitReversal(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine:      %v\n", cfg)
+	fmt.Printf("bit reversal: %v\n", rep)
+
+	// Butterfly stages on the reordered data (done in host memory here;
+	// each stage touches addresses that differ in one bit, so a production
+	// out-of-core FFT would run them as further one-pass permuted scans).
+	out, err := p.Records()
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]complex128, cfg.N)
+	for i, r := range out {
+		buf[i] = complex(math.Float64frombits(r.Key), math.Float64frombits(r.Tag))
+	}
+	for size := 2; size <= cfg.N; size <<= 1 {
+		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < cfg.N; start += size {
+			tw := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				a, b := buf[start+k], buf[start+k+size/2]*tw
+				buf[start+k], buf[start+k+size/2] = a+b, a-b
+				tw *= w
+			}
+		}
+	}
+
+	// Verify the spectrum against a direct DFT at the planted tones.
+	for _, bin := range []int{0, 37, 301} {
+		var want complex128
+		for i, s := range samples {
+			angle := -2 * math.Pi * float64(bin) * float64(i) / float64(cfg.N)
+			want += s * cmplx.Exp(complex(0, angle))
+		}
+		if cmplx.Abs(buf[bin]-want) > 1e-6*float64(cfg.N) {
+			log.Fatalf("bin %d: FFT %v, DFT %v", bin, buf[bin], want)
+		}
+		fmt.Printf("bin %4d: |X| = %10.2f  (matches direct DFT)\n", bin, cmplx.Abs(buf[bin]))
+	}
+	fmt.Println("FFT spectrum verified against direct DFT")
+}

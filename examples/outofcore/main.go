@@ -1,0 +1,132 @@
+// Out-of-core applications built on BMMC permutations: a four-step FFT
+// whose data movement is three BMMC bit rotations, and a tiled matrix
+// multiply whose row-major -> tile-major layout conversion is a BPC
+// permutation. Both report how their I/O splits between permutation passes
+// and compute streaming, and both verify their numerics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/oocfft"
+	"repro/internal/oocmatrix"
+	"repro/internal/pdm"
+)
+
+func main() {
+	demoFFT()
+	fmt.Println()
+	demoMatmul()
+}
+
+func demoFFT() {
+	cfg := pdm.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 10}
+	fmt.Printf("== out-of-core FFT on %v ==\n", cfg)
+	sys, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Two tones; N = 65536 samples exceed the 1024-record memory 64-fold.
+	x := make([]complex128, cfg.N)
+	for i := range x {
+		t := float64(i) / float64(cfg.N)
+		x[i] = complex(math.Sin(2*math.Pi*1234*t)+0.5*math.Cos(2*math.Pi*9876*t), 0)
+	}
+	if err := oocfft.LoadSamples(sys, x); err != nil {
+		log.Fatal(err)
+	}
+	res, err := oocfft.FFT(sys, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total %d parallel I/Os: %d in 3 BMMC transposes, %d in 2 compute passes\n",
+		res.ParallelIOs, res.TransposeIOs, res.ComputePassIOs)
+
+	spec, err := oocfft.DumpSamples(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bin := range []int{1234, 9876} {
+		mag := cmplx.Abs(spec[cfg.N-bin]) // real input: energy at N-bin under e^{-i...}
+		fmt.Printf("tone at bin %5d: |X[N-%d]| = %9.1f\n", bin, bin, mag)
+		if mag < float64(cfg.N)/8 {
+			log.Fatalf("expected a spectral peak for bin %d", bin)
+		}
+	}
+
+	// Inverse transform restores the signal.
+	if _, err := oocfft.FFT(sys, true); err != nil {
+		log.Fatal(err)
+	}
+	back, _ := oocfft.DumpSamples(sys)
+	var worst float64
+	for i := range x {
+		if d := cmplx.Abs(back[i] - x[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("inverse FFT roundtrip max error: %.2e\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("roundtrip error too large")
+	}
+}
+
+func demoMatmul() {
+	cfg := pdm.Config{N: 1 << 14, D: 4, B: 16, M: 1 << 10}
+	fmt.Printf("== out-of-core matrix multiply, 128x128 on %v ==\n", cfg)
+	rng := rand.New(rand.NewSource(42))
+
+	a, err := oocmatrix.New(cfg, 7, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	b, err := oocmatrix.New(cfg, 7, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+
+	av := make([]float64, cfg.N)
+	bv := make([]float64, cfg.N)
+	for i := range av {
+		av[i] = rng.NormFloat64()
+		bv[i] = rng.NormFloat64()
+	}
+	if err := a.Load(av); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.Load(bv); err != nil {
+		log.Fatal(err)
+	}
+
+	c, res, err := oocmatrix.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("total %d parallel I/Os: %d in BPC layout conversions, %d streaming tiles\n",
+		res.ParallelIOs(), res.LayoutIOs, res.StreamIOs)
+
+	// Spot-check against the direct definition.
+	got, _ := c.Dump()
+	const S = 128
+	for _, probe := range [][2]int{{0, 0}, {17, 93}, {127, 127}} {
+		i, j := probe[0], probe[1]
+		var want float64
+		for k := 0; k < S; k++ {
+			want += av[i*S+k] * bv[k*S+j]
+		}
+		if math.Abs(got[i*S+j]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			log.Fatalf("C(%d,%d) = %v, want %v", i, j, got[i*S+j], want)
+		}
+		fmt.Printf("C(%3d,%3d) = %10.4f  verified\n", i, j, got[i*S+j])
+	}
+	fmt.Println("matrix product verified against the direct definition")
+}

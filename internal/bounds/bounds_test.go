@@ -1,0 +1,206 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+func cfgOf(n, d, b, m int) pdm.Config {
+	return pdm.Config{N: 1 << n, D: 1 << d, B: 1 << b, M: 1 << m}
+}
+
+func TestHRegimes(t *testing.T) {
+	// M <= sqrt(N): n=16, m=7 -> 4*ceil(b/w)+9.
+	cfg := cfgOf(16, 2, 3, 7)
+	if got, want := H(cfg), 4*1+9; got != want {
+		t.Errorf("H small-M = %d, want %d", got, want)
+	}
+	// sqrt(N) < M < sqrt(NB): n=12, b=3, m=7: 2m=14, n=12, n+b=15.
+	cfg = cfgOf(12, 2, 3, 7)
+	if got, want := H(cfg), 4*ceil(12-3, 4)+1; got != want {
+		t.Errorf("H mid-M = %d, want %d", got, want)
+	}
+	// sqrt(NB) <= M: n=10, b=3, m=7: 2m=14 >= 13.
+	cfg = cfgOf(10, 2, 3, 7)
+	if got := H(cfg); got != 5 {
+		t.Errorf("H big-M = %d, want 5", got)
+	}
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }
+
+func TestBoundOrdering(t *testing.T) {
+	// For every rank, lower bound <= upper bound, and the refined lower
+	// bound stays below the exact upper bound (Section 7 remarks they are
+	// within a small constant).
+	cfg := cfgOf(20, 3, 4, 10)
+	for g := 0; g <= cfg.LgB(); g++ {
+		lb := LowerBound(cfg, g)
+		ub := float64(UpperBound(cfg, g))
+		rlb := RefinedLowerBound(cfg, g)
+		if lb > ub {
+			t.Errorf("rank %d: lower bound %.0f > upper bound %.0f", g, lb, ub)
+		}
+		if rlb > ub {
+			t.Errorf("rank %d: refined lower bound %.0f > upper bound %.0f", g, rlb, ub)
+		}
+	}
+}
+
+func TestNewBeatsOldBounds(t *testing.T) {
+	// The paper's headline: the new pass count never exceeds the old BMMC
+	// pass count, and improves the BPC inner constant. Check across
+	// geometries and achievable ranks.
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 200; trial++ {
+		n := 8 + rng.Intn(16)
+		b := 1 + rng.Intn(5)
+		m := b + 1 + rng.Intn(n-b-2)
+		if m >= n {
+			continue
+		}
+		cfg := cfgOf(n, 0, b, m)
+		a := gf2.RandomNonsingular(rng, n)
+		p := perm.BMMC{A: a}
+		rg := p.RankGamma(b)
+		rLead := a.Submatrix(0, m, 0, m).Rank()
+		if NewBMMCPasses(cfg, rg) > OldBMMCPasses(cfg, rLead) {
+			t.Fatalf("new passes %d > old passes %d (n=%d b=%d m=%d rank=%d rLead=%d)",
+				NewBMMCPasses(cfg, rg), OldBMMCPasses(cfg, rLead), n, b, m, rg, rLead)
+		}
+	}
+	// BPC: new bound ceil(kappa/w)+2 vs old 2ceil(kappa/w)+1; new wins for
+	// kappa > w.
+	cfg := cfgOf(20, 3, 4, 10)
+	for kappa := 0; kappa <= 16; kappa++ {
+		oldP := OldBPCPasses(cfg, kappa)
+		newP := NewBMMCPasses(cfg, kappa) // gamma rank <= kappa for BPC
+		if kappa > LgMB(cfg) && newP >= oldP {
+			t.Errorf("kappa=%d: new %d not better than old %d", kappa, newP, oldP)
+		}
+	}
+}
+
+func TestSortAndGeneralBounds(t *testing.T) {
+	cfg := cfgOf(20, 3, 4, 10)
+	if got := SortBound(cfg); math.Abs(got-float64(cfg.Stripes())*16.0/6.0) > 1e-9 {
+		t.Errorf("sort bound = %f", got)
+	}
+	// With B=16 the N/D term loses; with B=1 it wins.
+	if GeneralPermBound(cfg) != SortBound(cfg) {
+		t.Errorf("general bound should be the sort term for large B")
+	}
+	small := pdm.Config{N: 1 << 20, D: 8, B: 1, M: 1 << 10}
+	if GeneralPermBound(small) != float64(small.N)/float64(small.D) {
+		t.Errorf("general bound should be N/D for B=1")
+	}
+}
+
+func TestMergeSortIOs(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	// fanIn = 256/32-1 = 7; runs: N/M = 16 memoryloads; stripes/ml = 8;
+	// total stripes 128. 8 -> 56 -> 392 >= 128: 2 merge passes + formation.
+	if got, want := MergeSortIOs(cfg), 3*cfg.PassIOs(); got != want {
+		t.Errorf("MergeSortIOs = %d, want %d", got, want)
+	}
+	tiny := pdm.Config{N: 1 << 8, D: 4, B: 8, M: 1 << 6}
+	if MergeSortIOs(tiny) != 0 {
+		t.Error("undersized memory should report 0 (unsupported)")
+	}
+}
+
+func TestTransposeBound(t *testing.T) {
+	cfg := cfgOf(12, 2, 3, 8)
+	// Square 64x64: min(B=8, R=64, S=64, N/B=512) = 8 -> lgMin = 3.
+	want := float64(cfg.Stripes()) * (1 + 3.0/5.0)
+	if got := TransposeBound(cfg, 6, 6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("transpose bound = %f, want %f", got, want)
+	}
+	// Skinny 4xS: lg min = 2.
+	want = float64(cfg.Stripes()) * (1 + 2.0/5.0)
+	if got := TransposeBound(cfg, 2, 10); math.Abs(got-want) > 1e-9 {
+		t.Errorf("skinny transpose bound = %f, want %f", got, want)
+	}
+}
+
+func TestDetectionBound(t *testing.T) {
+	cfg := cfgOf(12, 3, 2, 8)
+	want := cfg.Stripes() + ceil(12-2+1, 8)
+	if got := DetectionBound(cfg); got != want {
+		t.Errorf("detection bound = %d, want %d", got, want)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(0) != 0 || F(1) != 0 {
+		t.Error("f(0) or f(1) nonzero")
+	}
+	if F(2) != 2 || F(4) != 8 {
+		t.Errorf("f(2)=%f f(4)=%f", F(2), F(4))
+	}
+}
+
+// TestEquation9 verifies Phi(0) = N (lg B - rank gamma) by enumeration for
+// random BMMC permutations.
+func TestEquation9(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	n := cfg.LgN()
+	for trial := 0; trial < 20; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		direct := InitialPotential(cfg, p)
+		closed := InitialPotentialClosedForm(cfg, p)
+		if math.Abs(direct-closed) > 1e-6 {
+			t.Fatalf("Phi(0) enumerated %.3f, closed form %.3f (rank=%d)", direct, closed, p.RankGamma(cfg.LgB()))
+		}
+	}
+}
+
+// TestLemma10 verifies the exact spread structure of every source block:
+// 2^r target blocks, B/2^r records each.
+func TestLemma10(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	n, b := cfg.LgN(), cfg.LgB()
+	for trial := 0; trial < 10; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		r := p.RankGamma(b)
+		for k := 0; k < cfg.Blocks(); k++ {
+			sp := SpreadOf(cfg, p, k)
+			if sp.TargetBlocks != 1<<uint(r) {
+				t.Fatalf("block %d spreads to %d targets, want 2^%d", k, sp.TargetBlocks, r)
+			}
+			if sp.RecordsPerTarget != cfg.B>>uint(r) {
+				t.Fatalf("block %d sends %d records per target, want %d", k, sp.RecordsPerTarget, cfg.B>>uint(r))
+			}
+		}
+	}
+}
+
+// TestPotentialLowerBoundConsistency: the potential-based bound evaluates
+// close to the Section 7 closed form (they differ only in Phi bookkeeping).
+func TestPotentialLowerBoundConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	n := cfg.LgN()
+	for trial := 0; trial < 10; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		fromPhi := PotentialLowerBound(cfg, p)
+		closed := RefinedLowerBound(cfg, p.RankGamma(cfg.LgB()))
+		if math.Abs(fromPhi-closed) > 1e-6 {
+			t.Fatalf("potential bound %.3f != closed form %.3f", fromPhi, closed)
+		}
+	}
+}
+
+func TestTrivialLowerBound(t *testing.T) {
+	cfg := cfgOf(10, 2, 3, 7)
+	if got := TrivialLowerBound(cfg); got != float64(cfg.N)/float64(2*cfg.B*cfg.D) {
+		t.Errorf("trivial bound = %f", got)
+	}
+}

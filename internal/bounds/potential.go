@@ -1,0 +1,103 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// This file implements the potential-function machinery of the Section 2
+// lower-bound proof: the togetherness functions over target groups, the
+// initial potential of equation (9), and the Lemma 10 structure of source
+// blocks under a BMMC permutation.
+
+// F is the paper's continuous weight f(x) = x lg x (0 at x = 0), applied to
+// togetherness counts.
+func F(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}
+
+// BlockPotential returns G_block for one disk block: the sum of
+// f(g_block(i)) over target groups i, where g_block(i) counts the block's
+// records whose target address (per targetOf applied to the record's key)
+// falls in target block i.
+func BlockPotential(cfg pdm.Config, block []pdm.Record, targetOf func(uint64) uint64) float64 {
+	counts := make(map[int]int)
+	for _, r := range block {
+		counts[cfg.BlockIndex(targetOf(r.Key))]++
+	}
+	var phi float64
+	for _, c := range counts {
+		phi += F(float64(c))
+	}
+	return phi
+}
+
+// InitialPotential computes Phi(0) for the canonical initial layout
+// (record x stored at address x) under the BMMC permutation p, by summing
+// block potentials over all N/B source blocks. Equation (9) proves this
+// equals N (lg B - rank gamma); tests assert the agreement.
+func InitialPotential(cfg pdm.Config, p perm.BMMC) float64 {
+	var phi float64
+	block := make([]pdm.Record, cfg.B)
+	for k := 0; k < cfg.Blocks(); k++ {
+		for off := range block {
+			block[off] = pdm.Record{Key: uint64(k*cfg.B + off)}
+		}
+		phi += BlockPotential(cfg, block, p.Apply)
+	}
+	return phi
+}
+
+// InitialPotentialClosedForm returns equation (9): N (lg B - rank gamma).
+func InitialPotentialClosedForm(cfg pdm.Config, p perm.BMMC) float64 {
+	return float64(cfg.N) * float64(cfg.LgB()-p.RankGamma(cfg.LgB()))
+}
+
+// FinalPotential returns Phi(t) = N lg B, the potential when every record
+// sits in its target block (Lemma 6).
+func FinalPotential(cfg pdm.Config) float64 {
+	return float64(cfg.N) * float64(cfg.LgB())
+}
+
+// PotentialLowerBound evaluates the Lemma 5/6 argument with the Section 7
+// constant: parallel I/Os >= 2 (Phi(t) - Phi(0)) / (D * DeltaMax), using the
+// read-only potential-increase refinement.
+func PotentialLowerBound(cfg pdm.Config, p perm.BMMC) float64 {
+	gain := FinalPotential(cfg) - InitialPotential(cfg, p)
+	return 2 * gain / (float64(cfg.D) * DeltaMax(cfg))
+}
+
+// SourceBlockSpread describes the Lemma 10 structure of one source block:
+// the number of distinct target blocks its records map to and the records
+// sent to each.
+type SourceBlockSpread struct {
+	TargetBlocks     int // 2^r distinct target blocks
+	RecordsPerTarget int // B / 2^r records to each
+}
+
+// SpreadOf computes the Lemma 10 spread of source block k under p by direct
+// enumeration. The lemma asserts TargetBlocks = 2^rank(gamma) and
+// RecordsPerTarget = B/2^rank(gamma) for every source block; tests verify
+// the enumeration matches.
+func SpreadOf(cfg pdm.Config, p perm.BMMC, k int) SourceBlockSpread {
+	counts := make(map[int]int)
+	for off := 0; off < cfg.B; off++ {
+		counts[cfg.BlockIndex(p.Apply(uint64(k*cfg.B+off)))]++
+	}
+	spread := SourceBlockSpread{TargetBlocks: len(counts)}
+	first := true
+	for _, c := range counts {
+		if first {
+			spread.RecordsPerTarget = c
+			first = false
+		} else if c != spread.RecordsPerTarget {
+			spread.RecordsPerTarget = -1 // uneven: violates Lemma 10
+		}
+	}
+	return spread
+}

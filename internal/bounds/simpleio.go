@@ -1,0 +1,140 @@
+package bounds
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// This file replays a one-pass (MLD) permutation under the *simple-I/O*
+// semantics of the lower-bound proof (Lemma 4): a read removes records from
+// disk into memory, a write removes them from memory onto disk, so exactly
+// one copy of each record exists at all times. The replay tracks the
+// potential Phi after every parallel I/O, giving an empirical check of the
+// Lemma 6 / Section 7 facts the proof rests on:
+//
+//   - Phi(0) = N (lg B - rank gamma)            (equation 9)
+//   - Phi(t) = N lg B                           (Lemma 6)
+//   - each read increases Phi by at most D * B (2/(e ln 2) + lg(M/B))
+//   - writes never increase Phi                 (Section 7)
+
+// Replay reports the potential trajectory of one simple-I/O pass.
+type Replay struct {
+	InitialPhi    float64 // Phi before any I/O
+	FinalPhi      float64 // Phi after the last write
+	MaxReadDelta  float64 // largest potential increase of any parallel read
+	MaxWriteDelta float64 // largest potential change of any parallel write
+	ReadOps       int
+	WriteOps      int
+	PaperDeltaMax float64 // D * DeltaMax(cfg): Section 7's constant
+	SafeDeltaMax  float64 // D * SafeDeltaMax(cfg): the provable cap
+}
+
+// ReplayMLDPass simulates the one-pass MLD algorithm for p under simple-I/O
+// semantics and returns the potential trajectory. p must be MLD for the
+// geometry (MRC permutations qualify, being a subclass).
+func ReplayMLDPass(cfg pdm.Config, p perm.BMMC) (*Replay, error) {
+	b, m := cfg.LgB(), cfg.LgM()
+	if !p.IsMLD(b, m) {
+		return nil, fmt.Errorf("bounds: replay requires an MLD permutation")
+	}
+	applier := p.Compile()
+
+	// Per-source-block potential (fixed until the block is consumed).
+	gSrc := make([]float64, cfg.Blocks())
+	var sumUnconsumed float64
+	counts := make(map[int]int) // scratch: target-group counts within a block
+	for k := 0; k < cfg.Blocks(); k++ {
+		clearMap(counts)
+		for off := 0; off < cfg.B; off++ {
+			counts[cfg.BlockIndex(applier.Apply(uint64(k*cfg.B+off)))]++
+		}
+		for _, c := range counts {
+			gSrc[k] += F(float64(c))
+		}
+		sumUnconsumed += gSrc[k]
+	}
+
+	// Memory togetherness, maintained incrementally.
+	memCounts := make(map[int]int)
+	var gMem float64
+	addMem := func(group, delta int) {
+		old := memCounts[group]
+		gMem += F(float64(old+delta)) - F(float64(old))
+		memCounts[group] = old + delta
+		if memCounts[group] == 0 {
+			delete(memCounts, group)
+		}
+	}
+
+	written := 0
+	fB := F(float64(cfg.B))
+	phi := func() float64 { return sumUnconsumed + gMem + float64(written)*fB }
+
+	rep := &Replay{
+		InitialPhi:    phi(),
+		PaperDeltaMax: float64(cfg.D) * DeltaMax(cfg),
+		SafeDeltaMax:  float64(cfg.D) * SafeDeltaMax(cfg),
+	}
+	prev := rep.InitialPhi
+	spm := cfg.StripesPerMemoryload()
+
+	for ml := 0; ml < cfg.Memoryloads(); ml++ {
+		// Striped reads: one parallel I/O per stripe, moving D blocks from
+		// disk into memory.
+		for sw := 0; sw < spm; sw++ {
+			stripe := ml*spm + sw
+			for disk := 0; disk < cfg.D; disk++ {
+				k := stripe*cfg.D + disk // global block index of (disk, stripe)
+				sumUnconsumed -= gSrc[k]
+				for off := 0; off < cfg.B; off++ {
+					addMem(cfg.BlockIndex(applier.Apply(uint64(k*cfg.B+off))), 1)
+				}
+			}
+			cur := phi()
+			if d := cur - prev; d > rep.MaxReadDelta {
+				rep.MaxReadDelta = d
+			}
+			prev = cur
+			rep.ReadOps++
+		}
+		// Independent writes: the memoryload's records form M/B full target
+		// blocks (MLD property 1); emit them D at a time.
+		base := uint64(ml) * uint64(cfg.M)
+		groupOf := make([]int, cfg.Frames())
+		fill := make([]int, cfg.Frames())
+		for i := 0; i < cfg.M; i++ {
+			y := applier.Apply(base | uint64(i))
+			r := cfg.RelBlock(y)
+			groupOf[r] = cfg.BlockIndex(y)
+			fill[r]++
+		}
+		for r, c := range fill {
+			if c != cfg.B {
+				return nil, fmt.Errorf("bounds: relative block %d holds %d records; not MLD", r, c)
+			}
+		}
+		for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
+			for disk := 0; disk < cfg.D; disk++ {
+				r := wave*cfg.D + disk
+				addMem(groupOf[r], -cfg.B)
+				written++
+			}
+			cur := phi()
+			if d := cur - prev; d > rep.MaxWriteDelta {
+				rep.MaxWriteDelta = d
+			}
+			prev = cur
+			rep.WriteOps++
+		}
+	}
+	rep.FinalPhi = phi()
+	return rep, nil
+}
+
+func clearMap(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,112 @@
+package bounds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+func randomMLDPerm(rng *rand.Rand, n, b, m int) perm.BMMC {
+	e := gf2.Identity(n)
+	e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
+	return perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+}
+
+// TestReplayPotentialTrajectory verifies the four facts the lower-bound
+// proof rests on, over random MLD permutations and several geometries.
+func TestReplayPotentialTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	configs := []pdm.Config{
+		{N: 1 << 10, D: 4, B: 8, M: 1 << 7},
+		{N: 1 << 12, D: 8, B: 4, M: 1 << 8},
+		{N: 1 << 11, D: 2, B: 16, M: 1 << 8},
+		{N: 1 << 9, D: 1, B: 8, M: 1 << 6},
+	}
+	for _, cfg := range configs {
+		n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+		for trial := 0; trial < 5; trial++ {
+			p := randomMLDPerm(rng, n, b, m)
+			rep, err := ReplayMLDPass(cfg, p)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg, err)
+			}
+			// Equation (9).
+			if want := InitialPotentialClosedForm(cfg, p); math.Abs(rep.InitialPhi-want) > 1e-6 {
+				t.Errorf("%v: Phi(0) = %.3f, want %.3f", cfg, rep.InitialPhi, want)
+			}
+			// Lemma 6 final potential.
+			if want := FinalPotential(cfg); math.Abs(rep.FinalPhi-want) > 1e-6 {
+				t.Errorf("%v: Phi(t) = %.3f, want %.3f", cfg, rep.FinalPhi, want)
+			}
+			// Section 7 per-read cap.
+			if rep.MaxReadDelta > rep.SafeDeltaMax+1e-9 {
+				t.Errorf("%v: read delta %.3f exceeds safe cap %.3f", cfg, rep.MaxReadDelta, rep.SafeDeltaMax)
+			}
+			// The paper's tighter Section 7 constant should hold to within
+			// the slack between 2/(e ln 2) and 1/ln 2 per block.
+			if rep.MaxReadDelta > rep.PaperDeltaMax+float64(cfg.D*cfg.B)*0.4 {
+				t.Errorf("%v: read delta %.3f far above paper cap %.3f", cfg, rep.MaxReadDelta, rep.PaperDeltaMax)
+			}
+			// Writes never increase the potential.
+			if rep.MaxWriteDelta > 1e-9 {
+				t.Errorf("%v: write increased potential by %.3f", cfg, rep.MaxWriteDelta)
+			}
+			// One pass: 2N/BD operations.
+			if rep.ReadOps+rep.WriteOps != cfg.PassIOs() {
+				t.Errorf("%v: %d ops, want %d", cfg, rep.ReadOps+rep.WriteOps, cfg.PassIOs())
+			}
+		}
+	}
+}
+
+// TestReplayLowerBoundConsistency: the replayed potential gain, divided by
+// the per-read cap, reproduces the Section 7 lower bound evaluated by the
+// closed form — and the actual pass count respects it.
+func TestReplayLowerBoundConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+	for trial := 0; trial < 5; trial++ {
+		p := randomMLDPerm(rng, n, b, m)
+		rep, err := ReplayMLDPass(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gain := rep.FinalPhi - rep.InitialPhi
+		impliedReads := gain / rep.SafeDeltaMax
+		if float64(rep.ReadOps) < impliedReads-1e-9 {
+			t.Errorf("pass used %d reads, below the potential-implied %f", rep.ReadOps, impliedReads)
+		}
+	}
+}
+
+func TestReplayRejectsNonMLD(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	p := perm.BitReversal(cfg.LgN())
+	if p.IsMLD(cfg.LgB(), cfg.LgM()) {
+		t.Skip("bit reversal unexpectedly MLD")
+	}
+	if _, err := ReplayMLDPass(cfg, p); err == nil {
+		t.Fatal("non-MLD permutation accepted")
+	}
+}
+
+// TestReplayMRCPermutation: MRC permutations are MLD, so the replay covers
+// them too, and a rank-0-gamma MRC permutation starts at full potential
+// only when gamma is zero.
+func TestReplayMRCPermutation(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	p := perm.GrayCode(cfg.LgN())
+	rep, err := ReplayMLDPass(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gray code has rank gamma 0: Phi(0) = N lg B already.
+	if math.Abs(rep.InitialPhi-FinalPotential(cfg)) > 1e-6 {
+		t.Errorf("Gray code Phi(0) = %f, want %f", rep.InitialPhi, FinalPotential(cfg))
+	}
+}

@@ -1,0 +1,183 @@
+// Package core assembles the paper's contribution into the high-level
+// object the public API exposes: a Permuter that owns a simulated parallel
+// disk system and performs BMMC permutations with the asymptotically
+// optimal algorithm of Section 5, dispatching to the one-pass MRC/MLD
+// executors when the permutation's class allows, and detecting BMMC
+// structure in raw target-address vectors at run time (Section 6).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/detect"
+	"repro/internal/engine"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// Permuter owns a parallel disk system holding N records and performs
+// permutations on them. Create one with NewPermuter (RAM-backed) or
+// NewFilePermuter (one file per simulated disk).
+type Permuter struct {
+	sys *pdm.System
+}
+
+// NewPermuter returns a Permuter over a RAM-backed disk system loaded with
+// the canonical records MakeRecord(0..N-1).
+func NewPermuter(cfg pdm.Config) (*Permuter, error) {
+	return newPermuter(cfg, pdm.MemDiskFactory)
+}
+
+// NewFilePermuter returns a Permuter whose D disks are files in dir.
+func NewFilePermuter(cfg pdm.Config, dir string) (*Permuter, error) {
+	return newPermuter(cfg, pdm.FileDiskFactory(dir))
+}
+
+func newPermuter(cfg pdm.Config, factory pdm.DiskFactory) (*Permuter, error) {
+	sys, err := pdm.NewSystem(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.LoadSequential(sys); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return &Permuter{sys: sys}, nil
+}
+
+// Close releases the underlying disks.
+func (p *Permuter) Close() error { return p.sys.Close() }
+
+// Config returns the machine geometry.
+func (p *Permuter) Config() pdm.Config { return p.sys.Config() }
+
+// System exposes the underlying disk system for advanced use (custom I/O
+// schedules, direct stats access).
+func (p *Permuter) System() *pdm.System { return p.sys }
+
+// Stats returns the accumulated I/O statistics.
+func (p *Permuter) Stats() pdm.Stats { return p.sys.Stats() }
+
+// ResetStats zeroes the I/O counters.
+func (p *Permuter) ResetStats() { p.sys.ResetStats() }
+
+// Permute applies the BMMC permutation to the stored records using the
+// cheapest applicable algorithm (identity: free; MRC/MLD: one pass;
+// otherwise the factoring algorithm of Section 5). The returned Report
+// carries the measured cost next to the paper's bounds.
+func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
+	res, err := engine.RunAuto(p.sys, bp)
+	if err != nil {
+		return nil, err
+	}
+	return p.report(bp, res), nil
+}
+
+// PermuteFactored forces the full Section 5 factoring algorithm even for
+// permutations that have a cheaper class, for measurement purposes.
+func (p *Permuter) PermuteFactored(bp perm.BMMC) (*Report, error) {
+	res, err := engine.RunBMMC(p.sys, bp)
+	if err != nil {
+		return nil, err
+	}
+	return p.report(bp, res), nil
+}
+
+// PermuteAll applies a sequence of BMMC permutations (perms[0] first) as a
+// single composed permutation, which by Lemma 1 is again BMMC. Because the
+// cost depends only on the composite's rank gamma, batching is never more
+// expensive than running the sequence one call at a time, and is usually
+// much cheaper (e.g. a permutation followed by its inverse costs nothing).
+func (p *Permuter) PermuteAll(perms ...perm.BMMC) (*Report, error) {
+	if len(perms) == 0 {
+		return p.Permute(perm.Identity(p.sys.Config().LgN()))
+	}
+	composite := perms[0]
+	for _, q := range perms[1:] {
+		composite = q.Compose(composite)
+	}
+	return p.Permute(composite)
+}
+
+// PermuteGeneral applies an arbitrary bijection on addresses using the
+// external merge-sort baseline. targetOf must map 0..N-1 onto itself.
+func (p *Permuter) PermuteGeneral(targetOf func(uint64) uint64) (*Report, error) {
+	res, err := engine.GeneralPermute(p.sys, targetOf)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Passes: res.Passes, ParallelIOs: res.ParallelIOs}, nil
+}
+
+// Verify checks that the stored records are exactly the image of the
+// canonical initial layout under the given cumulative permutation.
+func (p *Permuter) Verify(bp perm.BMMC) error {
+	return engine.VerifyBMMC(p.sys, p.sys.Source(), bp)
+}
+
+// VerifyMapping checks the stored records against an arbitrary bijection.
+func (p *Permuter) VerifyMapping(targetOf func(uint64) uint64) error {
+	return engine.VerifyMapping(p.sys, p.sys.Source(), targetOf)
+}
+
+// Records returns the stored records in address order (diagnostic; not
+// counted as I/O).
+func (p *Permuter) Records() ([]pdm.Record, error) {
+	return p.sys.DumpRecords(p.sys.Source())
+}
+
+// LoadRecords replaces the stored records (diagnostic; not counted as I/O).
+func (p *Permuter) LoadRecords(recs []pdm.Record) error {
+	return p.sys.LoadRecords(p.sys.Source(), recs)
+}
+
+// Report pairs a run's measured cost with the paper's bound expressions.
+type Report struct {
+	Class       perm.Class // class the permutation was dispatched as
+	Passes      int        // one-pass permutations performed
+	ParallelIOs int        // measured parallel I/Os
+
+	RankGamma    int     // rank A_{b..n-1,0..b-1}
+	LowerBound   float64 // Theorem 3 expression
+	RefinedLB    float64 // Section 7 lower bound
+	UpperBound   int     // Theorem 21 guarantee
+	SortBound    float64 // asymptotic sorting expression (N/BD)lg(N/B)/lg(M/B)
+	SortBaseline int     // exact parallel I/Os of the merge-sort baseline
+}
+
+func (p *Permuter) report(bp perm.BMMC, res *engine.Result) *Report {
+	cfg := p.sys.Config()
+	g := bp.RankGamma(cfg.LgB())
+	return &Report{
+		Class:        bp.Classify(cfg.LgB(), cfg.LgM()),
+		Passes:       res.Passes,
+		ParallelIOs:  res.ParallelIOs,
+		RankGamma:    g,
+		LowerBound:   bounds.LowerBound(cfg, g),
+		RefinedLB:    bounds.RefinedLowerBound(cfg, g),
+		UpperBound:   bounds.UpperBound(cfg, g),
+		SortBound:    bounds.SortBound(cfg),
+		SortBaseline: bounds.MergeSortIOs(cfg),
+	}
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d passes, %d parallel I/Os (rank gamma %d; LB %.0f, refined LB %.0f, UB %d)",
+		r.Class, r.Passes, r.ParallelIOs, r.RankGamma, r.LowerBound, r.RefinedLB, r.UpperBound)
+}
+
+// DetectTargets runs Section 6 detection on a target-address vector,
+// loading it onto a scratch disk system of the same geometry and returning
+// the detection result.
+func DetectTargets(cfg pdm.Config, targetOf func(uint64) uint64) (*detect.Result, error) {
+	sys, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	if err := detect.LoadTargetVector(sys, targetOf); err != nil {
+		return nil, err
+	}
+	return detect.Detect(sys, sys.Source())
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/gf2"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+var coreConfig = pdm.Config{N: 1 << 11, D: 4, B: 8, M: 1 << 7}
+
+func TestPermuterReportFields(t *testing.T) {
+	p, err := NewPermuter(coreConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rev := perm.BitReversal(coreConfig.LgN())
+	rep, err := p.Permute(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != perm.ClassBMMC {
+		t.Errorf("class %v", rep.Class)
+	}
+	if rep.RankGamma != rev.RankGamma(coreConfig.LgB()) {
+		t.Errorf("rank gamma %d", rep.RankGamma)
+	}
+	if rep.UpperBound != bounds.UpperBound(coreConfig, rep.RankGamma) {
+		t.Errorf("upper bound %d", rep.UpperBound)
+	}
+	if rep.SortBaseline != bounds.MergeSortIOs(coreConfig) {
+		t.Errorf("sort baseline %d", rep.SortBaseline)
+	}
+	if !strings.Contains(rep.String(), "passes") {
+		t.Errorf("report string %q", rep.String())
+	}
+	if err := p.Verify(rev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuterStatsAndReset(t *testing.T) {
+	p, _ := NewPermuter(coreConfig)
+	defer p.Close()
+	if _, err := p.Permute(perm.GrayCode(coreConfig.LgN())); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().ParallelIOs() == 0 {
+		t.Error("no I/Os recorded")
+	}
+	p.ResetStats()
+	if p.Stats().ParallelIOs() != 0 {
+		t.Error("reset failed")
+	}
+	if p.Config() != coreConfig {
+		t.Error("config mismatch")
+	}
+	if p.System() == nil {
+		t.Error("nil system")
+	}
+}
+
+func TestPermuterRejectsWrongWidth(t *testing.T) {
+	p, _ := NewPermuter(coreConfig)
+	defer p.Close()
+	if _, err := p.Permute(perm.BitReversal(coreConfig.LgN() + 1)); err == nil {
+		t.Fatal("wrong address width accepted")
+	}
+}
+
+func TestPermuterLoadRecordsRoundTrip(t *testing.T) {
+	p, _ := NewPermuter(coreConfig)
+	defer p.Close()
+	recs := make([]pdm.Record, coreConfig.N)
+	for i := range recs {
+		recs[i] = pdm.Record{Key: uint64(i) * 3, Tag: 7}
+	}
+	if err := p.LoadRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPermuterInvalidConfig(t *testing.T) {
+	if _, err := NewPermuter(pdm.Config{N: 100, D: 3, B: 5, M: 7}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDetectTargetsCore(t *testing.T) {
+	want := perm.Transpose(5, coreConfig.LgN()-5)
+	res, err := DetectTargets(coreConfig, want.Apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsBMMC || !res.Perm.Equal(want) {
+		t.Fatal("detection failed")
+	}
+}
+
+// TestPermuterFaultSurface: a permuter built over a failing disk surfaces
+// the injected error through Permute instead of corrupting data.
+func TestPermuterFaultSurface(t *testing.T) {
+	sys, err := pdm.NewSystem(coreConfig, pdm.FaultyFactory(pdm.MemDiskFactory, 0, coreConfig.BlocksPerDisk()*2+4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the permuter by hand around the faulty system: LoadRecords
+	// bypasses counting but still writes blocks, so give it headroom and
+	// then trip the fault during the permutation.
+	p := &Permuter{sys: sys}
+	defer p.Close()
+	recs := make([]pdm.Record, coreConfig.N)
+	for i := range recs {
+		recs[i] = pdm.MakeRecord(uint64(i))
+	}
+	if err := p.LoadRecords(recs); err != nil {
+		// Load itself tripped the fault; equally acceptable.
+		if !errors.Is(err, pdm.ErrInjectedFault) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	_, err = p.Permute(perm.BitReversal(coreConfig.LgN()))
+	if !errors.Is(err, pdm.ErrInjectedFault) {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+}
+
+func TestPermuteGeneralRandom(t *testing.T) {
+	p, _ := NewPermuter(coreConfig)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(9))
+	target := rng.Perm(coreConfig.N)
+	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
+	rep, err := p.PermuteGeneral(targetOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passes < 2 {
+		t.Errorf("sort finished in %d passes", rep.Passes)
+	}
+	if err := p.VerifyMapping(targetOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuterInverseMLDDispatch(t *testing.T) {
+	cfg := coreConfig
+	rng := rand.New(rand.NewSource(10))
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+	e := gf2.Identity(n)
+	e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
+	mld := perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+	inv := mld.Inverse()
+	if inv.IsMLD(b, m) || inv.IsMRC(m) {
+		t.Skip("inverse degenerated to a forward one-pass class")
+	}
+	p, _ := NewPermuter(cfg)
+	defer p.Close()
+	rep, err := p.Permute(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passes != 1 {
+		t.Errorf("inverse-MLD dispatched to %d passes", rep.Passes)
+	}
+	if err := p.Verify(inv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermuteAllBatching: composing a sequence before running it is never
+// more expensive than running it step by step, and a permutation followed
+// by its inverse is free.
+func TestPermuteAllBatching(t *testing.T) {
+	n := coreConfig.LgN()
+	rev := perm.BitReversal(n)
+
+	batched, _ := NewPermuter(coreConfig)
+	defer batched.Close()
+	rep, err := batched.PermuteAll(rev, perm.GrayCode(n), perm.GrayCode(n).Inverse(), rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParallelIOs != 0 {
+		t.Errorf("self-cancelling batch cost %d I/Os", rep.ParallelIOs)
+	}
+	if err := batched.Verify(perm.Identity(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-trivial batch must still land correctly.
+	b2, _ := NewPermuter(coreConfig)
+	defer b2.Close()
+	seq := []perm.BMMC{perm.GrayCode(n), rev, perm.RotateBits(n, 3)}
+	if _, err := b2.PermuteAll(seq...); err != nil {
+		t.Fatal(err)
+	}
+	want := seq[2].Compose(seq[1]).Compose(seq[0])
+	if err := b2.Verify(want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty batch is the identity.
+	b3, _ := NewPermuter(coreConfig)
+	defer b3.Close()
+	rep, err = b3.PermuteAll()
+	if err != nil || rep.ParallelIOs != 0 {
+		t.Fatalf("empty batch: %v, %d I/Os", err, rep.ParallelIOs)
+	}
+}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/factor"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// RunBMMCUngrouped is the ablation of Theorem 17's pass grouping: it uses
+// the same factorization A = F·E_g^{-1}·S_g^{-1}·...·E_1^{-1}·S_1^{-1}·P^{-1}
+// but executes every factor as its own one-pass permutation instead of
+// merging each E^{-1}·S^{-1}(·P^{-1}) group into a single MLD pass. The
+// result is 2g+2 passes instead of g+1, demonstrating what the MLD class
+// buys: each S_i^{-1} and P^{-1} is MRC, each E_i^{-1} is MLD on its own.
+func RunBMMCUngrouped(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return nil, err
+	}
+	if p.IsIdentity() {
+		return &Result{}, nil
+	}
+	before := sys.Stats().ParallelIOs()
+	b, m := cfg.LgB(), cfg.LgM()
+	factors, err := factor.FactorizeUngrouped(p, b, m)
+	if err != nil {
+		return nil, err
+	}
+	for i, pass := range factors {
+		switch pass.Kind {
+		case perm.ClassMRC:
+			err = RunMRCPass(sys, pass.Perm)
+		case perm.ClassMLD:
+			err = RunMLDPass(sys, pass.Perm)
+		default:
+			err = fmt.Errorf("engine: ungrouped pass %d has class %v", i, pass.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: ungrouped pass %d/%d: %w", i+1, len(factors), err)
+		}
+	}
+	return &Result{
+		Passes:      len(factors),
+		ParallelIOs: sys.Stats().ParallelIOs() - before,
+	}, nil
+}

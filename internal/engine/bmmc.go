@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/factor"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// Result summarizes one permutation run: the pass structure and the exact
+// parallel-I/O cost measured by the disk system.
+type Result struct {
+	Passes      int          // one-pass permutations performed
+	ParallelIOs int          // parallel I/Os consumed by this run
+	Plan        *factor.Plan // factoring used (nil for single-pass runs)
+}
+
+// RunBMMC performs an arbitrary BMMC permutation using the asymptotically
+// optimal algorithm of Section 5: factor the characteristic matrix into g
+// MLD passes followed by one MRC pass and execute them, ping-ponging
+// between the two portions. The identity permutation costs zero I/Os.
+//
+// The measured cost is at most 2N/BD * (ceil(rank gamma / lg(M/B)) + 2)
+// parallel I/Os (Theorem 21); tests and the experiment harness assert this
+// against Result.ParallelIOs.
+func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return nil, err
+	}
+	if p.IsIdentity() {
+		return &Result{}, nil
+	}
+	before := sys.Stats().ParallelIOs()
+	plan, err := factor.Factorize(p, cfg.LgB(), cfg.LgM())
+	if err != nil {
+		return nil, err
+	}
+	for i, pass := range plan.Passes {
+		switch pass.Kind {
+		case perm.ClassMRC:
+			err = RunMRCPass(sys, pass.Perm)
+		case perm.ClassMLD:
+			err = RunMLDPass(sys, pass.Perm)
+		default:
+			err = fmt.Errorf("engine: pass %d has unexpected class %v", i, pass.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: pass %d/%d: %w", i+1, len(plan.Passes), err)
+		}
+	}
+	return &Result{
+		Passes:      plan.PassCount(),
+		ParallelIOs: sys.Stats().ParallelIOs() - before,
+		Plan:        plan,
+	}, nil
+}
+
+// RunAuto performs p with the cheapest applicable algorithm, mirroring the
+// run-time dispatch of Section 6: identity costs nothing; MRC and MLD
+// permutations run in one pass; everything else goes through the factoring
+// algorithm.
+func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return nil, err
+	}
+	before := sys.Stats().ParallelIOs()
+	switch p.Classify(cfg.LgB(), cfg.LgM()) {
+	case perm.ClassIdentity:
+		return &Result{}, nil
+	case perm.ClassMRC:
+		if err := RunMRCPass(sys, p); err != nil {
+			return nil, err
+		}
+		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
+	case perm.ClassMLD:
+		if err := RunMLDPass(sys, p); err != nil {
+			return nil, err
+		}
+		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
+	default:
+		// Section 7 extension: the inverse of a one-pass permutation is a
+		// one-pass permutation, so inverses of MLD permutations also run in
+		// a single pass (independent reads, striped writes).
+		if p.Inverse().IsMLD(cfg.LgB(), cfg.LgM()) {
+			if err := RunMLDInversePass(sys, p); err != nil {
+				return nil, err
+			}
+			return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
+		}
+		return RunBMMC(sys, p)
+	}
+}

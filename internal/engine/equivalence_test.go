@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// Cross-algorithm equivalence: every executor that accepts a permutation
+// must produce the identical final layout. These tests pin the engines
+// against each other, so a bug would have to be present in two independent
+// implementations to slip through.
+
+func finalLayout(t *testing.T, cfg pdm.Config, run func(*pdm.System) error) []pdm.Record {
+	t.Helper()
+	sys := newLoaded(t, cfg)
+	if err := run(sys); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sys.DumpRecords(sys.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func sameLayout(t *testing.T, a, b []pdm.Record, what string) {
+	t.Helper()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: layouts diverge at address %d (%d vs %d)", what, i, a[i].Key, b[i].Key)
+		}
+	}
+}
+
+// TestMRCPassAgreesWithMLDPass: MRC permutations are MLD, so both one-pass
+// executors must accept them and agree.
+func TestMRCPassAgreesWithMLDPass(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 11, D: 4, B: 8, M: 1 << 7}
+	rng := rand.New(rand.NewSource(190))
+	for trial := 0; trial < 6; trial++ {
+		p := perm.MustNew(gf2.RandomMRC(rng, cfg.LgN(), cfg.LgM()), gf2.RandomVec(rng, cfg.LgN()))
+		viaMRC := finalLayout(t, cfg, func(s *pdm.System) error { return RunMRCPass(s, p) })
+		viaMLD := finalLayout(t, cfg, func(s *pdm.System) error { return RunMLDPass(s, p) })
+		sameLayout(t, viaMRC, viaMLD, "MRC vs MLD executor")
+	}
+}
+
+// TestBMMCAgreesWithGeneralSort: the factoring algorithm and the sort
+// baseline realize the same mapping.
+func TestBMMCAgreesWithGeneralSort(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 11, D: 4, B: 8, M: 1 << 7}
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 4; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
+		viaBMMC := finalLayout(t, cfg, func(s *pdm.System) error {
+			_, err := RunBMMC(s, p)
+			return err
+		})
+		viaSort := finalLayout(t, cfg, func(s *pdm.System) error {
+			_, err := GeneralPermute(s, p.Apply)
+			return err
+		})
+		sameLayout(t, viaBMMC, viaSort, "BMMC vs sort")
+	}
+}
+
+// TestBMMCAgreesWithNaive: the factoring algorithm and the record-gather
+// baseline realize the same mapping.
+func TestBMMCAgreesWithNaive(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	rng := rand.New(rand.NewSource(192))
+	p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
+	viaBMMC := finalLayout(t, cfg, func(s *pdm.System) error {
+		_, err := RunBMMC(s, p)
+		return err
+	})
+	viaNaive := finalLayout(t, cfg, func(s *pdm.System) error {
+		_, err := NaivePermute(s, p.Apply)
+		return err
+	})
+	sameLayout(t, viaBMMC, viaNaive, "BMMC vs naive")
+}
+
+// TestGroupedAgreesWithUngrouped: both executions of the same
+// factorization produce the identical layout.
+func TestGroupedAgreesWithUngrouped(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 11, D: 4, B: 8, M: 1 << 7}
+	rng := rand.New(rand.NewSource(193))
+	for trial := 0; trial < 4; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
+		grouped := finalLayout(t, cfg, func(s *pdm.System) error {
+			_, err := RunBMMC(s, p)
+			return err
+		})
+		ungrouped := finalLayout(t, cfg, func(s *pdm.System) error {
+			_, err := RunBMMCUngrouped(s, p)
+			return err
+		})
+		sameLayout(t, grouped, ungrouped, "grouped vs ungrouped")
+	}
+}
+
+// TestConcurrentDispatchAgrees: the engines produce identical layouts with
+// concurrent per-disk dispatch enabled.
+func TestConcurrentDispatchAgrees(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 11, D: 8, B: 4, M: 1 << 7}
+	rng := rand.New(rand.NewSource(194))
+	p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
+	seq := finalLayout(t, cfg, func(s *pdm.System) error {
+		_, err := RunBMMC(s, p)
+		return err
+	})
+	con := finalLayout(t, cfg, func(s *pdm.System) error {
+		s.SetConcurrent(true)
+		_, err := RunBMMC(s, p)
+		return err
+	})
+	sameLayout(t, seq, con, "sequential vs concurrent dispatch")
+}

@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pdm"
+)
+
+// GeneralPermute performs an arbitrary permutation — any bijection on
+// record addresses, BMMC or not — by external merge sort on target
+// addresses. This is the general-permutation baseline the paper compares
+// against: its cost has the sorting shape Theta((N/BD) * lg(N/M) / lg(k)),
+// with fan-in k = M/BD - 1 input runs per merge.
+//
+// The paper cites the Vitter-Shriver randomized and Nodine-Vitter
+// deterministic sorts, which achieve fan-in Theta(M/B) using independent
+// I/O. This implementation uses striped I/O (fan-in M/BD - 1), the standard
+// practical scheme; DESIGN.md documents why the shape comparison survives
+// the substitution.
+//
+// Records must carry their source address in Key (see LoadSequential);
+// targetOf maps source to target addresses and must be a bijection.
+func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	cfg := sys.Config()
+	stripeRecs := cfg.B * cfg.D
+	fanIn := cfg.M/stripeRecs - 1
+	if fanIn < 2 {
+		return nil, fmt.Errorf("engine: merge sort needs M >= 3BD (M=%d, BD=%d)", cfg.M, stripeRecs)
+	}
+	before := sys.Stats().ParallelIOs()
+	passes := 0
+
+	// Run formation: sort each memoryload in memory; one pass.
+	mem := sys.Mem()
+	spm := cfg.StripesPerMemoryload()
+	for ml := 0; ml < cfg.Memoryloads(); ml++ {
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.ReadStripe(sys.Source(), ml*spm+sw, sw*cfg.D); err != nil {
+				return nil, err
+			}
+		}
+		sort.Slice(mem, func(i, j int) bool {
+			return targetOf(mem[i].Key) < targetOf(mem[j].Key)
+		})
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.WriteStripe(sys.Target(), ml*spm+sw, sw*cfg.D); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sys.SwapPortions()
+	passes++
+
+	// Merge passes: fanIn-way merges at stripe granularity until one run
+	// spans all stripes.
+	runStripes := spm
+	for runStripes < cfg.Stripes() {
+		if err := mergePass(sys, targetOf, runStripes, fanIn); err != nil {
+			return nil, err
+		}
+		sys.SwapPortions()
+		runStripes *= fanIn
+		passes++
+	}
+	return &Result{
+		Passes:      passes,
+		ParallelIOs: sys.Stats().ParallelIOs() - before,
+	}, nil
+}
+
+// mergePass merges every group of fanIn consecutive runs (runStripes
+// stripes each) from the source portion into single runs in the target
+// portion, reading and writing each stripe exactly once.
+func mergePass(sys *pdm.System, targetOf func(uint64) uint64, runStripes, fanIn int) error {
+	cfg := sys.Config()
+	for group := 0; group*runStripes < cfg.Stripes(); group += fanIn {
+		first := group * runStripes
+		var runs []*runCursor
+		for r := 0; r < fanIn; r++ {
+			start := first + r*runStripes
+			if start >= cfg.Stripes() {
+				break
+			}
+			end := start + runStripes
+			if end > cfg.Stripes() {
+				end = cfg.Stripes()
+			}
+			runs = append(runs, &runCursor{next: start, end: end, frame0: r * cfg.D})
+		}
+		if err := mergeRuns(sys, targetOf, runs, first); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCursor streams one sorted run stripe by stripe through a dedicated
+// window of D memory frames.
+type runCursor struct {
+	next, end int // stripes remaining: [next, end)
+	frame0    int // first of D frames holding the current stripe
+	pos, lim  int // consumed/valid records within the buffer
+}
+
+func (rc *runCursor) refill(sys *pdm.System) error {
+	if rc.next >= rc.end {
+		rc.pos, rc.lim = 0, 0
+		return nil
+	}
+	if err := sys.ReadStripe(sys.Source(), rc.next, rc.frame0); err != nil {
+		return err
+	}
+	rc.next++
+	rc.pos, rc.lim = 0, sys.Config().B*sys.Config().D
+	return nil
+}
+
+func (rc *runCursor) head(sys *pdm.System) (pdm.Record, bool) {
+	if rc.pos >= rc.lim {
+		return pdm.Record{}, false
+	}
+	return sys.Mem()[rc.frame0*sys.Config().B+rc.pos], true
+}
+
+// mergeRuns merges the given runs into consecutive output stripes starting
+// at outStripe in the target portion. The output buffer occupies the D
+// frames after the run windows.
+func mergeRuns(sys *pdm.System, targetOf func(uint64) uint64, runs []*runCursor, outStripe int) error {
+	cfg := sys.Config()
+	stripeRecs := cfg.B * cfg.D
+	outFrame0 := len(runs) * cfg.D
+	out := sys.Mem()[outFrame0*cfg.B : outFrame0*cfg.B+stripeRecs]
+	outPos := 0
+
+	for _, rc := range runs {
+		if err := rc.refill(sys); err != nil {
+			return err
+		}
+	}
+	for {
+		best := -1
+		var bestKey uint64
+		for i, rc := range runs {
+			r, ok := rc.head(sys)
+			if !ok {
+				continue
+			}
+			if k := targetOf(r.Key); best < 0 || k < bestKey {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rc := runs[best]
+		r, _ := rc.head(sys)
+		out[outPos] = r
+		outPos++
+		rc.pos++
+		if rc.pos >= rc.lim {
+			if err := rc.refill(sys); err != nil {
+				return err
+			}
+		}
+		if outPos == stripeRecs {
+			if err := sys.WriteStripe(sys.Target(), outStripe, outFrame0); err != nil {
+				return err
+			}
+			outStripe++
+			outPos = 0
+		}
+	}
+	if outPos != 0 {
+		return fmt.Errorf("engine: merge output not stripe-aligned (%d records left)", outPos)
+	}
+	return nil
+}

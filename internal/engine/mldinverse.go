@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// RunMLDInversePass performs the inverse of an MLD permutation in one pass,
+// realizing the Section 7 remark that "the inverse of any one-pass
+// permutation is a one-pass permutation". Where an MLD pass uses striped
+// reads and independent writes, its inverse uses independent reads and
+// striped writes: for each target memoryload, the M/B source blocks that
+// feed it sit at arbitrary locations but spread evenly across the disks
+// (the mirror image of MLD properties 1-3), so M/BD independent parallel
+// reads gather them, the in-memory permutation rearranges, and M/BD striped
+// writes emit the memoryload. Exactly 2N/BD parallel I/Os.
+//
+// p itself is the permutation to perform; its inverse must be MLD.
+func RunMLDInversePass(sys *pdm.System, p perm.BMMC) error {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return err
+	}
+	b, m := cfg.LgB(), cfg.LgM()
+	inv := p.Inverse()
+	if !inv.IsMLD(b, m) {
+		return fmt.Errorf("engine: inverse is not MLD for b=%d m=%d", b, m)
+	}
+	src, tgt := sys.Source(), sys.Target()
+	mem := sys.Mem()
+	scratch := make([]pdm.Record, cfg.M)
+	spm := cfg.StripesPerMemoryload()
+	invApplier := inv.Compile()
+	applier := p.Compile()
+
+	for tml := 0; tml < cfg.Memoryloads(); tml++ {
+		// The records destined for target memoryload tml have source
+		// addresses inv(base|j) for j = 0..M-1. By the MLD properties of
+		// the inverse (read in reverse), they occupy M/B full source
+		// blocks, M/BD per disk.
+		base := uint64(tml) * uint64(cfg.M)
+		byDisk := make([][]pdm.BlockIO, cfg.D)
+		frameOf := make(map[int]int, cfg.Frames()) // global source block -> frame
+		for j := 0; j < cfg.M; j++ {
+			x := invApplier.Apply(base | uint64(j))
+			sb := cfg.BlockIndex(x)
+			if _, seen := frameOf[sb]; seen {
+				continue
+			}
+			nextFrame := len(frameOf)
+			if nextFrame == cfg.Frames() {
+				return fmt.Errorf("engine: target memoryload %d draws from more than M/B=%d source blocks", tml, cfg.Frames())
+			}
+			frameOf[sb] = nextFrame
+			disk := cfg.DiskOf(x)
+			byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
+				Disk:  disk,
+				Block: cfg.StripeOf(x),
+				Frame: nextFrame,
+			})
+		}
+		if len(frameOf) != cfg.Frames() {
+			return fmt.Errorf("engine: target memoryload %d draws from %d source blocks, want M/B=%d", tml, len(frameOf), cfg.Frames())
+		}
+		for disk, blocks := range byDisk {
+			if len(blocks) != cfg.FramesPerDisk() {
+				return fmt.Errorf("engine: inverse-MLD balance violated: disk %d supplies %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
+			}
+		}
+		// Gather with M/BD independent parallel reads.
+		for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
+			ios := make([]pdm.BlockIO, cfg.D)
+			for disk := range ios {
+				ios[disk] = byDisk[disk][wave]
+			}
+			if err := sys.ParallelRead(src, ios); err != nil {
+				return err
+			}
+		}
+		// Permute in memory: the record read into frame f at offset off has
+		// source address (block base of f) | off; route it to its target
+		// offset within this memoryload.
+		for sb, f := range frameOf {
+			frame := sys.Frame(f)
+			blockBase := uint64(sb) << uint(b)
+			for off, r := range frame {
+				y := applier.Apply(blockBase | uint64(off))
+				if cfg.MemoryloadOf(y) != tml {
+					return fmt.Errorf("engine: record %d escaped target memoryload %d", blockBase|uint64(off), tml)
+				}
+				scratch[y&uint64(cfg.M-1)] = r
+			}
+		}
+		copy(mem, scratch)
+		// Emit the memoryload with striped writes.
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.WriteStripe(tgt, tml*spm+sw, sw*cfg.D); err != nil {
+				return err
+			}
+		}
+	}
+	sys.SwapPortions()
+	return nil
+}

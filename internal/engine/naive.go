@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+)
+
+// NaivePermute performs an arbitrary permutation by gathering each target
+// block's records directly from their source blocks, one group of D target
+// blocks at a time. Its cost is Theta(N/D + N/BD) parallel I/Os — the N/D
+// term of the paper's general-permutation bound
+// min{N/D, (N/BD) lg(N/B)/lg(M/B)} — so it beats sorting only when the
+// block size B is small.
+//
+// Memory use: D output frames plus up to D input frames per read wave,
+// which requires M >= 2BD.
+func NaivePermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	cfg := sys.Config()
+	if cfg.Frames() < 2*cfg.D {
+		return nil, fmt.Errorf("engine: naive permute needs M >= 2BD (M=%d, BD=%d)", cfg.M, cfg.B*cfg.D)
+	}
+	before := sys.Stats().ParallelIOs()
+
+	// Invert the mapping once (host-side bookkeeping, not data movement):
+	// srcOf[y] is the source address of the record that belongs at y.
+	srcOf := make([]uint64, cfg.N)
+	for x := uint64(0); x < uint64(cfg.N); x++ {
+		y := targetOf(x)
+		if y >= uint64(cfg.N) {
+			return nil, fmt.Errorf("engine: targetOf(%d) = %d out of range", x, y)
+		}
+		srcOf[y] = x
+	}
+
+	src, tgt := sys.Source(), sys.Target()
+	// Process D consecutive target blocks per round; consecutive block
+	// indices land on consecutive disks, so each round writes one block per
+	// disk in a single parallel write.
+	for block0 := 0; block0 < cfg.Blocks(); block0 += cfg.D {
+		// need[sourceBlock] lists (outFrame, outOffset, srcOffset) pulls.
+		type pull struct{ frame, outOff, srcOff int }
+		need := make(map[int][]pull)
+		for t := 0; t < cfg.D; t++ {
+			tb := block0 + t
+			for off := 0; off < cfg.B; off++ {
+				y := uint64(tb)<<uint(cfg.LgB()) | uint64(off)
+				x := srcOf[y]
+				need[cfg.BlockIndex(x)] = append(need[cfg.BlockIndex(x)], pull{
+					frame:  t,
+					outOff: off,
+					srcOff: cfg.Offset(x),
+				})
+			}
+		}
+		// Read the needed source blocks in waves of at most one per disk.
+		pending := make([]int, 0, len(need))
+		for sb := range need {
+			pending = append(pending, sb)
+		}
+		for len(pending) > 0 {
+			var wave []pdm.BlockIO
+			used := make([]bool, cfg.D)
+			rest := pending[:0]
+			for _, sb := range pending {
+				disk := sb & (cfg.D - 1) // low d bits of the block index
+				if used[disk] || len(wave) == cfg.D {
+					rest = append(rest, sb)
+					continue
+				}
+				used[disk] = true
+				wave = append(wave, pdm.BlockIO{
+					Disk:  disk,
+					Block: sb >> uint(cfg.LgD()),
+					Frame: cfg.D + len(wave), // input frames follow output frames
+				})
+			}
+			pending = rest
+			if err := sys.ParallelRead(src, wave); err != nil {
+				return nil, err
+			}
+			for _, io := range wave {
+				sb := io.Block<<uint(cfg.LgD()) | io.Disk
+				in := sys.Frame(io.Frame)
+				for _, p := range need[sb] {
+					sys.Frame(p.frame)[p.outOff] = in[p.srcOff]
+				}
+			}
+		}
+		// Write the D assembled target blocks in one parallel write.
+		ios := make([]pdm.BlockIO, cfg.D)
+		for t := 0; t < cfg.D; t++ {
+			tb := block0 + t
+			ios[t] = pdm.BlockIO{
+				Disk:  tb & (cfg.D - 1),
+				Block: tb >> uint(cfg.LgD()),
+				Frame: t,
+			}
+		}
+		if err := sys.ParallelWrite(tgt, ios); err != nil {
+			return nil, err
+		}
+	}
+	sys.SwapPortions()
+	return &Result{
+		Passes:      1,
+		ParallelIOs: sys.Stats().ParallelIOs() - before,
+	}, nil
+}

@@ -1,0 +1,160 @@
+// Package engine executes permutations on a simulated parallel disk system:
+// the one-pass MRC and MLD algorithms, the asymptotically optimal BMMC
+// driver built on the Section 5 factoring, and two baselines (striped
+// external merge sort for general permutations, and a naive record-gather
+// scheme realizing the N/D term).
+//
+// Every engine reads records from the system's source portion and writes
+// the permuted records to the target portion, then swaps the portion roles,
+// exactly as the paper chains one-pass permutations.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// RunMRCPass performs the MRC permutation p in one pass: for each source
+// memoryload, read its M/BD stripes (striped reads), permute the records in
+// memory, and write them to the (possibly different) target memoryload with
+// striped writes. Exactly 2N/BD parallel I/Os.
+func RunMRCPass(sys *pdm.System, p perm.BMMC) error {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return err
+	}
+	m := cfg.LgM()
+	if !p.IsMRC(m) {
+		return fmt.Errorf("engine: permutation is not MRC for m=%d", m)
+	}
+	src, tgt := sys.Source(), sys.Target()
+	mem := sys.Mem()
+	scratch := make([]pdm.Record, cfg.M)
+	spm := cfg.StripesPerMemoryload()
+	applier := p.Compile()
+
+	for ml := 0; ml < cfg.Memoryloads(); ml++ {
+		base := uint64(ml) * uint64(cfg.M)
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.ReadStripe(src, ml*spm+sw, sw*cfg.D); err != nil {
+				return err
+			}
+		}
+		// mem[i] holds the record with source address base|i; its target
+		// address shares one memoryload number across the whole load.
+		tml := -1
+		for i := range mem {
+			y := applier.Apply(base | uint64(i))
+			if l := cfg.MemoryloadOf(y); tml < 0 {
+				tml = l
+			} else if l != tml {
+				return fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
+			}
+			scratch[y&uint64(cfg.M-1)] = mem[i]
+		}
+		copy(mem, scratch)
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.WriteStripe(tgt, tml*spm+sw, sw*cfg.D); err != nil {
+				return err
+			}
+		}
+	}
+	sys.SwapPortions()
+	return nil
+}
+
+// RunMLDPass performs the MLD permutation p in one pass: striped reads of
+// each source memoryload, an in-memory permutation clustering the records
+// into M/B full target blocks spread evenly across the disks (properties
+// 1-3 of Section 3), and M/BD independent parallel writes. Exactly 2N/BD
+// parallel I/Os. The three MLD properties are asserted at run time, so
+// calling this with a non-MLD permutation returns an error rather than
+// corrupting data.
+func RunMLDPass(sys *pdm.System, p perm.BMMC) error {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return err
+	}
+	b, m := cfg.LgB(), cfg.LgM()
+	if !p.IsMLD(b, m) {
+		return fmt.Errorf("engine: permutation is not MLD for b=%d m=%d", b, m)
+	}
+	src, tgt := sys.Source(), sys.Target()
+	mem := sys.Mem()
+	scratch := make([]pdm.Record, cfg.M)
+	fill := make([]int, cfg.Frames())   // records placed per relative block
+	loadOf := make([]int, cfg.Frames()) // target memoryload per relative block
+	spm := cfg.StripesPerMemoryload()
+	applier := p.Compile()
+
+	for ml := 0; ml < cfg.Memoryloads(); ml++ {
+		base := uint64(ml) * uint64(cfg.M)
+		for sw := 0; sw < spm; sw++ {
+			if err := sys.ReadStripe(src, ml*spm+sw, sw*cfg.D); err != nil {
+				return err
+			}
+		}
+		for f := range fill {
+			fill[f] = 0
+			loadOf[f] = -1
+		}
+		// Cluster records into full target blocks keyed by relative block
+		// number (property 1), recording each block's target memoryload
+		// (constant per block by property 2).
+		for i := range mem {
+			y := applier.Apply(base | uint64(i))
+			r := cfg.RelBlock(y)
+			l := cfg.MemoryloadOf(y)
+			if loadOf[r] < 0 {
+				loadOf[r] = l
+			} else if loadOf[r] != l {
+				return fmt.Errorf("engine: MLD property 2 violated: relative block %d maps to memoryloads %d and %d", r, loadOf[r], l)
+			}
+			scratch[r*cfg.B+cfg.Offset(y)] = mem[i]
+			fill[r]++
+		}
+		for r, c := range fill {
+			if c != cfg.B {
+				return fmt.Errorf("engine: MLD property 1 violated: relative block %d holds %d records, want B=%d", r, c, cfg.B)
+			}
+		}
+		copy(mem, scratch)
+		// Group the M/B target blocks by destination disk (property 3:
+		// exactly M/BD per disk) and write them in M/BD independent waves.
+		byDisk := make([][]pdm.BlockIO, cfg.D)
+		for r := 0; r < cfg.Frames(); r++ {
+			y0 := uint64(loadOf[r])<<uint(m) | uint64(r)<<uint(b)
+			disk := cfg.DiskOf(y0)
+			byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
+				Disk:  disk,
+				Block: cfg.StripeOf(y0),
+				Frame: r,
+			})
+		}
+		for disk, blocks := range byDisk {
+			if len(blocks) != cfg.FramesPerDisk() {
+				return fmt.Errorf("engine: MLD property 3 violated: disk %d receives %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
+			}
+		}
+		for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
+			ios := make([]pdm.BlockIO, cfg.D)
+			for disk := range ios {
+				ios[disk] = byDisk[disk][wave]
+			}
+			if err := sys.ParallelWrite(tgt, ios); err != nil {
+				return err
+			}
+		}
+	}
+	sys.SwapPortions()
+	return nil
+}
+
+func checkGeometry(cfg pdm.Config, p perm.BMMC) error {
+	if p.Bits() != cfg.LgN() {
+		return fmt.Errorf("engine: permutation on %d-bit addresses, system has n=%d", p.Bits(), cfg.LgN())
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// LoadSequential fills the system's source portion with the canonical
+// records MakeRecord(0..N-1), the starting state of every experiment. Not
+// counted as I/O.
+func LoadSequential(sys *pdm.System) error {
+	cfg := sys.Config()
+	recs := make([]pdm.Record, cfg.N)
+	for i := range recs {
+		recs[i] = pdm.MakeRecord(uint64(i))
+	}
+	return sys.LoadRecords(sys.Source(), recs)
+}
+
+// VerifyMapping checks that portion p holds exactly the permutation given
+// by targetOf applied to canonical records: the record stored at address y
+// must carry key x with targetOf(x) = y and an intact integrity tag. It
+// reports the first violation.
+func VerifyMapping(sys *pdm.System, p pdm.Portion, targetOf func(uint64) uint64) error {
+	recs, err := sys.DumpRecords(p)
+	if err != nil {
+		return err
+	}
+	for y, r := range recs {
+		if !r.CheckIntegrity() {
+			return fmt.Errorf("engine: record at address %d corrupted (key %d)", y, r.Key)
+		}
+		if got := targetOf(r.Key); got != uint64(y) {
+			return fmt.Errorf("engine: address %d holds record %d, which belongs at %d", y, r.Key, got)
+		}
+	}
+	return nil
+}
+
+// VerifyBMMC checks that portion p holds the result of applying the BMMC
+// permutation to canonical records.
+func VerifyBMMC(sys *pdm.System, p pdm.Portion, b perm.BMMC) error {
+	return VerifyMapping(sys, p, b.Apply)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pdm"
+)
+
+// smallConfig keeps experiment tests fast while exercising every regime.
+var smallConfig = pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+
+func checkAllPass(t *testing.T, tbl *Table) {
+	t.Helper()
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", tbl.ID)
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row {
+			if cell == "FAIL" {
+				var buf bytes.Buffer
+				tbl.Fprint(&buf)
+				t.Fatalf("%s has FAIL row:\n%s", tbl.ID, buf.String())
+			}
+		}
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	tables, err := All(smallConfig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("expected 11 experiment tables, got %d", len(tables))
+	}
+	for _, tbl := range tables {
+		checkAllPass(t, tbl)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "long column"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "long column", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"table1", "tightbounds", "crossover", "mld", "detect", "potential", "transpose", "scaling", "lemma9", "ablation", "inverse"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name returned a generator")
+	}
+}
+
+// TestCrossoverShape: the headline claim — at rank gamma = 0 the BMMC
+// algorithm must beat the sort baseline by a wide margin, and the speedup
+// must shrink (weakly) as rank grows.
+func TestCrossoverShape(t *testing.T) {
+	tbl, err := Crossover(smallConfig, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tbl.Rows[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	var firstBMMC, lastBMMC, sortIOs int
+	if _, err := parseInt(first[1], &firstBMMC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseInt(last[1], &lastBMMC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseInt(first[2], &sortIOs); err != nil {
+		t.Fatal(err)
+	}
+	if firstBMMC >= sortIOs {
+		t.Errorf("rank 0 BMMC (%d I/Os) does not beat sort (%d I/Os)", firstBMMC, sortIOs)
+	}
+	if lastBMMC < firstBMMC {
+		t.Errorf("cost decreased with rank: %d -> %d", firstBMMC, lastBMMC)
+	}
+}
+
+func parseInt(s string, out *int) (int, error) {
+	var v int
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		v = v*10 + int(ch-'0')
+	}
+	*out = v
+	return v, nil
+}

@@ -1,0 +1,181 @@
+// Package factor implements the matrix-column operations of Section 4 and
+// the BMMC factoring algorithm of Section 5: any nonsingular characteristic
+// matrix A is factored as
+//
+//	A = F · E_g^{-1} · S_g^{-1} · ... · E_1^{-1} · S_1^{-1} · P^{-1}
+//
+// where P = T·R (trailer times reducer) and F are MRC matrices, each S_i is
+// a swapper and each E_i an erasure matrix. Grouped per Theorem 21, the
+// factorization yields g+1 one-pass permutations — g MLD passes followed by
+// one MRC pass — with g = ceil(rank(beta-hat)/(m-b)) <=
+// ceil(rank(gamma)/lg(M/B)) + 1.
+package factor
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// ColPair names one elementary column addition: column Src is added (XORed)
+// into column Dst.
+type ColPair struct{ Src, Dst int }
+
+// ColumnAdditionMatrix builds the n x n matrix Q with ones on the diagonal
+// and q[src][dst] = 1 for every pair, so that A*Q adds the named columns of
+// A into others. It enforces the paper's dependency restriction: a column
+// that receives an addition may not itself be added into any other column.
+func ColumnAdditionMatrix(n int, pairs []ColPair) (gf2.Matrix, error) {
+	q := gf2.Identity(n)
+	receives := make([]bool, n)
+	sends := make([]bool, n)
+	for _, p := range pairs {
+		if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n {
+			return gf2.Matrix{}, fmt.Errorf("factor: column pair (%d,%d) out of range", p.Src, p.Dst)
+		}
+		if p.Src == p.Dst {
+			return gf2.Matrix{}, fmt.Errorf("factor: column %d added into itself", p.Src)
+		}
+		receives[p.Dst] = true
+		sends[p.Src] = true
+		q.Set(p.Src, p.Dst, 1)
+	}
+	for j := 0; j < n; j++ {
+		if receives[j] && sends[j] {
+			return gf2.Matrix{}, fmt.Errorf("factor: column %d violates the dependency restriction", j)
+		}
+	}
+	return q, nil
+}
+
+// IsTrailerForm reports whether t is a trailer matrix for the split at m:
+// identity diagonal with extra entries only in the upper-right m x (n-m)
+// region (columns of the left and middle sections added into the right
+// section).
+func IsTrailerForm(t gf2.Matrix, m int) bool {
+	n := t.Rows()
+	if t.Cols() != n || m < 0 || m > n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			e := t.At(i, j)
+			switch {
+			case i == j:
+				if e != 1 {
+					return false
+				}
+			case i < m && j >= m:
+				// allowed region
+			default:
+				if e != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsReducerForm reports whether r is a reducer matrix for the split at m:
+// identity trailing block, zero off-diagonal blocks, and a unit-diagonal
+// leading m x m block obeying the dependency restriction.
+func IsReducerForm(r gf2.Matrix, m int) bool {
+	n := r.Rows()
+	if r.Cols() != n || m < 0 || m > n {
+		return false
+	}
+	if !r.Submatrix(m, n, m, n).IsIdentity() && m < n {
+		return false
+	}
+	if !r.Submatrix(0, m, m, n).IsZero() || !r.Submatrix(m, n, 0, m).IsZero() {
+		return false
+	}
+	lead := r.Submatrix(0, m, 0, m)
+	for i := 0; i < m; i++ {
+		if lead.At(i, i) != 1 {
+			return false
+		}
+	}
+	// Dependency restriction within the leading block.
+	for j := 0; j < m; j++ {
+		receives := false
+		for i := 0; i < m; i++ {
+			if i != j && lead.At(i, j) == 1 {
+				receives = true
+				break
+			}
+		}
+		if !receives {
+			continue
+		}
+		for k := 0; k < m; k++ {
+			if k != j && lead.At(j, k) == 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SwapperMatrix builds the n x n swapper matrix whose leading m x m block is
+// the permutation swapping each listed pair of columns (both indices < m)
+// and whose trailing block is the identity.
+func SwapperMatrix(n, m int, pairs [][2]int) (gf2.Matrix, error) {
+	s := gf2.Identity(n)
+	used := make([]bool, m)
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		if i < 0 || i >= m || j < 0 || j >= m || i == j {
+			return gf2.Matrix{}, fmt.Errorf("factor: invalid swap pair (%d,%d) for m=%d", i, j, m)
+		}
+		if used[i] || used[j] {
+			return gf2.Matrix{}, fmt.Errorf("factor: column %d or %d swapped twice", i, j)
+		}
+		used[i], used[j] = true, true
+		s.SwapCols(i, j)
+	}
+	return s, nil
+}
+
+// IsSwapperForm reports whether s has a permutation matrix as its leading
+// m x m block, identity trailing block, and zero off-diagonal blocks.
+func IsSwapperForm(s gf2.Matrix, m int) bool {
+	n := s.Rows()
+	if s.Cols() != n || m < 0 || m > n {
+		return false
+	}
+	if !s.Submatrix(0, m, 0, m).IsPermutation() {
+		return false
+	}
+	if m < n && !s.Submatrix(m, n, m, n).IsIdentity() {
+		return false
+	}
+	return s.Submatrix(0, m, m, n).IsZero() && s.Submatrix(m, n, 0, m).IsZero()
+}
+
+// ErasureMatrix builds the n x n erasure matrix whose lower-middle
+// (n-m) x (m-b) block is `block`: columns of the right section are added
+// into columns of the middle section. Such a matrix is its own inverse and
+// characterizes an MLD permutation (Section 4).
+func ErasureMatrix(n, b, m int, block gf2.Matrix) (gf2.Matrix, error) {
+	if block.Rows() != n-m || block.Cols() != m-b {
+		return gf2.Matrix{}, fmt.Errorf("factor: erasure block is %dx%d, want %dx%d",
+			block.Rows(), block.Cols(), n-m, m-b)
+	}
+	e := gf2.Identity(n)
+	e.SetSubmatrix(m, b, block)
+	return e, nil
+}
+
+// IsErasureForm reports whether e is an erasure matrix for the splits at b
+// and m: identity everywhere except the lower-middle (n-m) x (m-b) block.
+func IsErasureForm(e gf2.Matrix, b, m int) bool {
+	n := e.Rows()
+	if e.Cols() != n || b < 0 || b > m || m > n {
+		return false
+	}
+	chk := e.Clone()
+	chk.SetSubmatrix(m, b, gf2.New(n-m, m-b))
+	return chk.IsIdentity()
+}

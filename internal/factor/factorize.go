@@ -1,0 +1,294 @@
+package factor
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+	"repro/internal/perm"
+)
+
+// Pass is one one-pass permutation in a factoring plan: an MRC pass (striped
+// reads and writes) or an MLD pass (striped reads, independent writes).
+type Pass struct {
+	Perm perm.BMMC
+	Kind perm.Class // ClassMRC or ClassMLD
+}
+
+// Plan is the result of factoring a BMMC permutation: the passes to perform
+// in order (Passes[0] first), together with the quantities the paper's
+// bounds are stated in.
+type Plan struct {
+	Passes     []Pass
+	G          int // swap/erase pairs used (eq. 17)
+	RankGamma  int // rank A_{b..n-1,0..b-1}, the lower-bound rank (Thm 3)
+	RankLambda int // rank A_{m..n-1,0..m-1}, what the loop actually clears
+}
+
+// PassCount returns the number of one-pass permutations in the plan.
+func (p *Plan) PassCount() int { return len(p.Passes) }
+
+// Composed returns the composition of all passes (last applied leftmost),
+// which must equal the original permutation; tests use it as an oracle.
+func (p *Plan) Composed(n int) perm.BMMC {
+	out := perm.Identity(n)
+	for _, pass := range p.Passes {
+		out = pass.Perm.Compose(out)
+	}
+	return out
+}
+
+// Factorize decomposes the BMMC permutation p into at most
+// ceil(rank(gamma)/lg(M/B)) + 2 one-pass permutations for the machine
+// geometry with block size 2^b and memory size 2^m (Theorem 21). It
+// requires 0 <= b <= m < n = p.Bits().
+func Factorize(p perm.BMMC, b, m int) (*Plan, error) {
+	n := p.Bits()
+	if b < 0 || b > m || m >= n {
+		return nil, fmt.Errorf("factor: invalid geometry b=%d m=%d n=%d", b, m, n)
+	}
+	if !p.A.IsNonsingular() {
+		return nil, fmt.Errorf("factor: characteristic matrix singular")
+	}
+	plan := &Plan{
+		RankGamma:  p.RankGamma(b),
+		RankLambda: p.A.Submatrix(m, n, 0, m).Rank(),
+	}
+
+	// Fast path: an MRC permutation is already a single pass.
+	if p.IsMRC(m) {
+		plan.Passes = []Pass{{Perm: p, Kind: perm.ClassMRC}}
+		return plan, nil
+	}
+	if m == b {
+		// With lg(M/B) = 0 an erasure pass cannot clear any columns; the
+		// paper's bounds all divide by lg(M/B), assuming M >= 2B.
+		return nil, fmt.Errorf("factor: non-MRC permutation needs M >= 2B (m=%d, b=%d)", m, b)
+	}
+
+	pMat, swappers, erasures, f, err := decompose(p, b, m)
+	if err != nil {
+		return nil, err
+	}
+	plan.G = len(swappers)
+
+	pInv, ok := pMat.Inverse()
+	if !ok {
+		return nil, fmt.Errorf("factor: internal error: P singular")
+	}
+	if plan.G == 0 {
+		// No swap/erase rounds: A = F·P^{-1} with both factors MRC, so A
+		// itself is MRC and the fast path above must have caught it.
+		return nil, fmt.Errorf("factor: internal error: g = 0 for non-MRC matrix")
+	}
+
+	// Pass 1: E_1^{-1}·S_1^{-1}·P^{-1} — MLD by Theorem 17 (erasure matrices
+	// are their own inverses and MLD; S^{-1}·P^{-1} is MRC by Theorem 18).
+	s1Inv := swappers[0].Transpose() // permutation-block inverse
+	first := erasures[0].Mul(s1Inv).Mul(pInv)
+	plan.Passes = append(plan.Passes, Pass{Perm: perm.BMMC{A: first}, Kind: perm.ClassMLD})
+
+	// Passes 2..g: E_i^{-1}·S_i^{-1}, each MLD.
+	for i := 1; i < plan.G; i++ {
+		mat := erasures[i].Mul(swappers[i].Transpose())
+		plan.Passes = append(plan.Passes, Pass{Perm: perm.BMMC{A: mat}, Kind: perm.ClassMLD})
+	}
+
+	// Final pass: F, MRC, carrying the complement vector.
+	plan.Passes = append(plan.Passes, Pass{Perm: f, Kind: perm.ClassMRC})
+	return plan, nil
+}
+
+// decompose runs the column-operation phase of Section 5 on p's matrix and
+// returns P = T·R, the swapper and erasure factors, and the final MRC
+// permutation F (with p's complement vector folded in).
+func decompose(p perm.BMMC, b, m int) (pMat gf2.Matrix, swappers, erasures []gf2.Matrix, f perm.BMMC, err error) {
+	n := p.Bits()
+	a := p.A.Clone() // work matrix, transformed in place by column operations
+
+	// Step 1 — trailer T: make the trailing (n-m) x (n-m) submatrix
+	// nonsingular by adding columns from the left/middle sections into
+	// dependent columns of the right section.
+	t, err := buildTrailer(a, m)
+	if err != nil {
+		return gf2.Matrix{}, nil, nil, perm.BMMC{}, err
+	}
+	a = a.Mul(t)
+
+	// Step 2 — reducer R: zero out the dependent columns of the lower-left
+	// (n-m) x m submatrix, leaving rank-lambda independent nonzero columns.
+	r, err := buildReducer(a, m)
+	if err != nil {
+		return gf2.Matrix{}, nil, nil, perm.BMMC{}, err
+	}
+	a = a.Mul(r)
+	pMat = t.Mul(r) // P = T·R characterizes an MRC permutation
+
+	// Step 3 — repeated swap/erase: clear the nonzero columns of the
+	// lower-left (n-m) x m submatrix, at most m-b per round.
+	for !a.Submatrix(m, n, 0, m).IsZero() {
+		s := buildSwapper(a, b, m)
+		a = a.Mul(s)
+		e, err := buildErasure(a, b, m)
+		if err != nil {
+			return gf2.Matrix{}, nil, nil, perm.BMMC{}, err
+		}
+		a = a.Mul(e)
+		swappers = append(swappers, s)
+		erasures = append(erasures, e)
+	}
+
+	// a is now F = A·P·S_1·E_1·...·S_g·E_g, an MRC matrix; the complement
+	// vector folds into this final MRC pass.
+	f = perm.BMMC{A: a, C: p.C}
+	if !f.IsMRC(m) {
+		return gf2.Matrix{}, nil, nil, perm.BMMC{}, fmt.Errorf("factor: internal error: residual matrix not MRC\n%v", a)
+	}
+	return pMat, swappers, erasures, f, nil
+}
+
+// FactorizeUngrouped returns the same factorization as Factorize but with
+// every factor as its own pass — the ablation of Theorem 17's grouping. The
+// passes, in execution order, are P^{-1} (MRC), then S_i^{-1} (MRC) and
+// E_i^{-1} (MLD) for i = 1..g, then F (MRC): 2g+2 passes instead of g+1.
+func FactorizeUngrouped(p perm.BMMC, b, m int) ([]Pass, error) {
+	n := p.Bits()
+	if b < 0 || b > m || m >= n {
+		return nil, fmt.Errorf("factor: invalid geometry b=%d m=%d n=%d", b, m, n)
+	}
+	if !p.A.IsNonsingular() {
+		return nil, fmt.Errorf("factor: characteristic matrix singular")
+	}
+	if p.IsMRC(m) {
+		return []Pass{{Perm: p, Kind: perm.ClassMRC}}, nil
+	}
+	if m == b {
+		return nil, fmt.Errorf("factor: non-MRC permutation needs M >= 2B (m=%d, b=%d)", m, b)
+	}
+	pMat, swappers, erasures, f, err := decompose(p, b, m)
+	if err != nil {
+		return nil, err
+	}
+	pInv, ok := pMat.Inverse()
+	if !ok {
+		return nil, fmt.Errorf("factor: internal error: P singular")
+	}
+	passes := []Pass{{Perm: perm.BMMC{A: pInv}, Kind: perm.ClassMRC}}
+	for i := range swappers {
+		passes = append(passes,
+			Pass{Perm: perm.BMMC{A: swappers[i].Transpose()}, Kind: perm.ClassMRC},
+			Pass{Perm: perm.BMMC{A: erasures[i]}, Kind: perm.ClassMLD}, // E^{-1} = E
+		)
+	}
+	passes = append(passes, Pass{Perm: f, Kind: perm.ClassMRC})
+	return passes, nil
+}
+
+// buildTrailer returns the trailer matrix T making the trailing block of
+// a·T nonsingular (Section 5, "Creating a nonsingular trailing submatrix").
+func buildTrailer(a gf2.Matrix, m int) (gf2.Matrix, error) {
+	n := a.Rows()
+	bottom := a.Submatrix(m, n, 0, n) // the lower n-m rows, all columns
+
+	// V: maximal independent set among the right-section columns.
+	var span gf2.Span
+	inV := make([]bool, n)
+	for j := m; j < n; j++ {
+		if span.Add(bottom.Col(j)) {
+			inV[j] = true
+		}
+	}
+	// W: columns from the left/middle sections completing the basis.
+	var w []int
+	for j := 0; j < m && span.Dim() < n-m; j++ {
+		if span.Add(bottom.Col(j)) {
+			w = append(w, j)
+		}
+	}
+	if span.Dim() != n-m {
+		return gf2.Matrix{}, fmt.Errorf("factor: bottom rows rank %d < %d; matrix singular", span.Dim(), n-m)
+	}
+	// Pair each w with a dependent right-section column and add it in.
+	var pairs []ColPair
+	wi := 0
+	for j := m; j < n && wi < len(w); j++ {
+		if !inV[j] {
+			pairs = append(pairs, ColPair{Src: w[wi], Dst: j})
+			wi++
+		}
+	}
+	return ColumnAdditionMatrix(n, pairs)
+}
+
+// buildReducer returns the reducer matrix R putting a's lower-left
+// (n-m) x m submatrix into reduced form: each dependent column receives the
+// XOR of the independent columns that express it, zeroing it out.
+func buildReducer(a gf2.Matrix, m int) (gf2.Matrix, error) {
+	n := a.Rows()
+	lower := a.Submatrix(m, n, 0, m)
+	basis, comb := lower.ColumnBasis()
+	inBasis := make([]bool, m)
+	for _, j := range basis {
+		inBasis[j] = true
+	}
+	var pairs []ColPair
+	for j := 0; j < m; j++ {
+		if inBasis[j] || lower.Col(j) == 0 {
+			continue
+		}
+		for k := 0; k < m; k++ {
+			if comb[j].Bit(k) == 1 {
+				pairs = append(pairs, ColPair{Src: k, Dst: j})
+			}
+		}
+	}
+	return ColumnAdditionMatrix(n, pairs)
+}
+
+// buildSwapper returns the swapper matrix moving as many nonzero lower-left
+// columns as possible (at most m-b) into zero columns of the lower-middle
+// section.
+func buildSwapper(a gf2.Matrix, b, m int) gf2.Matrix {
+	n := a.Rows()
+	lower := a.Submatrix(m, n, 0, m)
+	var nonzeroLeft, zeroMiddle []int
+	for j := 0; j < b; j++ {
+		if lower.Col(j) != 0 {
+			nonzeroLeft = append(nonzeroLeft, j)
+		}
+	}
+	for j := b; j < m; j++ {
+		if lower.Col(j) == 0 {
+			zeroMiddle = append(zeroMiddle, j)
+		}
+	}
+	s := gf2.Identity(n)
+	k := len(nonzeroLeft)
+	if len(zeroMiddle) < k {
+		k = len(zeroMiddle)
+	}
+	for i := 0; i < k; i++ {
+		s.SwapCols(nonzeroLeft[i], zeroMiddle[i])
+	}
+	return s
+}
+
+// buildErasure returns the erasure matrix zeroing every nonzero column of
+// a's lower-middle (n-m) x (m-b) submatrix by adding right-section columns,
+// using the nonsingular trailing block as a basis.
+func buildErasure(a gf2.Matrix, b, m int) (gf2.Matrix, error) {
+	n := a.Rows()
+	trailing := a.Submatrix(m, n, m, n)
+	block := gf2.New(n-m, m-b)
+	for j := b; j < m; j++ {
+		v := a.Submatrix(m, n, 0, m).Col(j)
+		if v == 0 {
+			continue
+		}
+		wvec, ok := trailing.Solve(v)
+		if !ok {
+			return gf2.Matrix{}, fmt.Errorf("factor: trailing block cannot express column %d", j)
+		}
+		block.SetCol(j-b, wvec)
+	}
+	return ErasureMatrix(n, b, m, block)
+}

@@ -1,0 +1,325 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/perm"
+)
+
+// checkPlan validates every guarantee of Theorem 21 for one factoring:
+// the passes compose back to p, every pass is of its declared one-pass
+// class, and the pass count respects ceil(rank(gamma)/(m-b)) + 2.
+func checkPlan(t *testing.T, p perm.BMMC, b, m int) *Plan {
+	t.Helper()
+	n := p.Bits()
+	plan, err := Factorize(p, b, m)
+	if err != nil {
+		t.Fatalf("Factorize(n=%d b=%d m=%d): %v", n, b, m, err)
+	}
+	if !plan.Composed(n).Equal(p) {
+		t.Fatalf("passes do not compose to the original permutation (n=%d b=%d m=%d)", n, b, m)
+	}
+	for i, pass := range plan.Passes {
+		switch pass.Kind {
+		case perm.ClassMRC:
+			if !pass.Perm.IsMRC(m) {
+				t.Fatalf("pass %d tagged MRC is not MRC:\n%v", i, pass.Perm.A)
+			}
+		case perm.ClassMLD:
+			if !pass.Perm.IsMLD(b, m) {
+				t.Fatalf("pass %d tagged MLD is not MLD:\n%v", i, pass.Perm.A)
+			}
+			if pass.Perm.C != 0 {
+				t.Fatalf("pass %d (MLD) carries a complement vector", i)
+			}
+		default:
+			t.Fatalf("pass %d has class %v", i, pass.Kind)
+		}
+	}
+	if last := plan.Passes[len(plan.Passes)-1]; last.Kind != perm.ClassMRC {
+		t.Fatalf("final pass is %v, want MRC", last.Kind)
+	}
+	// Theorem 21 pass bound via eq. 17 and Lemma 20.
+	w := m - b
+	bound := ceilDiv(plan.RankGamma, w) + 2
+	if got := plan.PassCount(); got > bound {
+		t.Fatalf("pass count %d exceeds Theorem 21 bound %d (rank gamma=%d, w=%d)", got, bound, plan.RankGamma, w)
+	}
+	// Exact pass count: g+1 with g = ceil(rank lambda / w) (or 1 for MRC).
+	if p.IsMRC(m) {
+		if plan.PassCount() != 1 {
+			t.Fatalf("MRC fast path used %d passes", plan.PassCount())
+		}
+	} else if want := ceilDiv(plan.RankLambda, w) + 1; plan.PassCount() != want {
+		t.Fatalf("pass count %d, want g+1 = %d (rank lambda=%d w=%d)", plan.PassCount(), want, plan.RankLambda, w)
+	}
+	return plan
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func TestFactorizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(12)
+		m := 2 + rng.Intn(n-2) // 2..n-1
+		b := 1 + rng.Intn(m-1) // 1..m-1
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		checkPlan(t, p, b, m)
+	}
+}
+
+func TestFactorizeControlledGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n, b, m := 14, 4, 9
+	for g := 0; g <= 4; g++ {
+		for trial := 0; trial < 10; trial++ {
+			a := gf2.RandomNonsingularWithGamma(rng, n, b, g)
+			p := perm.MustNew(a, gf2.RandomVec(rng, n))
+			plan := checkPlan(t, p, b, m)
+			if plan.RankGamma != g {
+				t.Fatalf("plan rank gamma %d, want %d", plan.RankGamma, g)
+			}
+		}
+	}
+}
+
+func TestFactorizeCatalog(t *testing.T) {
+	n, b, m := 12, 3, 8
+	cases := []struct {
+		name string
+		p    perm.BMMC
+	}{
+		{"bit reversal", perm.BitReversal(n)},
+		{"transpose 6x6", perm.Transpose(6, 6)},
+		{"transpose 4x8", perm.Transpose(4, 8)},
+		{"vector reversal", perm.VectorReversal(n)},
+		{"gray code", perm.GrayCode(n)},
+		{"gray inverse", perm.GrayCodeInverse(n)},
+		{"rotate 5", perm.RotateBits(n, 5)},
+		{"hypercube", perm.Hypercube(n, 0b101010101010)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkPlan(t, c.p, b, m)
+		})
+	}
+	// Gray code and hypercube are MRC: exactly one pass.
+	for _, name := range []string{"gray code", "gray inverse", "vector reversal", "hypercube"} {
+		for _, c := range cases {
+			if c.name != name {
+				continue
+			}
+			plan, _ := Factorize(c.p, b, m)
+			if plan.PassCount() != 1 {
+				t.Errorf("%s: %d passes, want 1", name, plan.PassCount())
+			}
+		}
+	}
+}
+
+func TestFactorizeIdentityAndErrors(t *testing.T) {
+	id := perm.Identity(8)
+	plan, err := Factorize(id, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PassCount() != 1 {
+		t.Errorf("identity plan has %d passes", plan.PassCount())
+	}
+	if _, err := Factorize(id, 6, 5); err == nil {
+		t.Error("b > m accepted")
+	}
+	if _, err := Factorize(id, 2, 8); err == nil {
+		t.Error("m >= n accepted")
+	}
+	// m == b with a non-MRC permutation must fail cleanly.
+	if _, err := Factorize(perm.BitReversal(8), 3, 3); err == nil {
+		t.Error("m == b with non-MRC permutation accepted")
+	}
+	// m == b with an MRC permutation is fine (single pass).
+	if _, err := Factorize(perm.GrayCode(8), 3, 3); err != nil {
+		t.Errorf("m == b MRC rejected: %v", err)
+	}
+}
+
+// TestLemma20 verifies rank(gamma) - lg(M/B) <= rank(lambda) <=
+// rank(gamma) + lg(M/B) on random instances, the inequality that converts
+// the algorithm's natural rank-lambda bound into the rank-gamma statement.
+func TestLemma20(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		a := gf2.RandomNonsingular(rng, n)
+		gamma := a.Submatrix(b, n, 0, b).Rank()
+		lambda := a.Submatrix(m, n, 0, m).Rank()
+		w := m - b
+		if lambda < gamma-w || lambda > gamma+w {
+			t.Fatalf("Lemma 20 violated: gamma=%d lambda=%d w=%d", gamma, lambda, w)
+		}
+	}
+}
+
+func TestColumnAdditionMatrix(t *testing.T) {
+	q, err := ColumnAdditionMatrix(4, []ColPair{{0, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsNonsingular() {
+		t.Error("column-addition matrix singular (Lemma 19)")
+	}
+	a := gf2.RandomNonsingular(rand.New(rand.NewSource(1)), 4)
+	prod := a.Mul(q)
+	// Column 2 of the product must be col2 ^ col0 of a.
+	if got, want := prod.Col(2), a.Col(2)^a.Col(0); got != want {
+		t.Errorf("column addition wrong: %b want %b", got, want)
+	}
+	if got, want := prod.Col(0), a.Col(0); got != want {
+		t.Errorf("source column changed: %b want %b", got, want)
+	}
+	// Dependency restriction: 0->1 plus 1->2 is illegal.
+	if _, err := ColumnAdditionMatrix(4, []ColPair{{0, 1}, {1, 2}}); err == nil {
+		t.Error("dependency restriction violation accepted")
+	}
+	if _, err := ColumnAdditionMatrix(4, []ColPair{{2, 2}}); err == nil {
+		t.Error("self-addition accepted")
+	}
+	if _, err := ColumnAdditionMatrix(4, []ColPair{{0, 5}}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+// TestLemma19AllColumnAdditionsNonsingular samples random legal
+// column-addition matrices and checks nonsingularity.
+func TestLemma19AllColumnAdditionsNonsingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(12)
+		// Split columns randomly into senders and receivers.
+		var pairs []ColPair
+		for dst := 0; dst < n; dst++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			src := rng.Intn(n)
+			if src == dst || rng.Intn(2) == 0 {
+				continue
+			}
+			pairs = append(pairs, ColPair{Src: src, Dst: dst})
+		}
+		q, err := ColumnAdditionMatrix(n, pairs)
+		if err != nil {
+			continue // sampled an illegal combination; skip
+		}
+		if !q.IsNonsingular() {
+			t.Fatalf("legal column-addition matrix singular:\n%v", q)
+		}
+	}
+}
+
+func TestMatrixForms(t *testing.T) {
+	n, b, m := 8, 2, 5
+	// Trailer: adds col 1 into col 6.
+	tr, _ := ColumnAdditionMatrix(n, []ColPair{{1, 6}})
+	if !IsTrailerForm(tr, m) {
+		t.Error("trailer form not recognized")
+	}
+	if IsTrailerForm(tr, 7) {
+		t.Error("trailer form accepted for wrong m")
+	}
+	// Reducer: adds col 1 into col 3 (both < m).
+	rd, _ := ColumnAdditionMatrix(n, []ColPair{{1, 3}})
+	if !IsReducerForm(rd, m) {
+		t.Error("reducer form not recognized")
+	}
+	if IsReducerForm(tr, m) {
+		t.Error("trailer accepted as reducer")
+	}
+	// Swapper.
+	sw, err := SwapperMatrix(n, m, [][2]int{{0, 3}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSwapperForm(sw, m) {
+		t.Error("swapper form not recognized")
+	}
+	if _, err := SwapperMatrix(n, m, [][2]int{{0, 3}, {3, 4}}); err == nil {
+		t.Error("double swap accepted")
+	}
+	if _, err := SwapperMatrix(n, m, [][2]int{{0, m}}); err == nil {
+		t.Error("swap beyond m accepted")
+	}
+	// Erasure.
+	er, err := ErasureMatrix(n, b, m, gf2.New(n-m, m-b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !er.IsIdentity() {
+		t.Error("zero-block erasure not identity")
+	}
+	rng := rand.New(rand.NewSource(74))
+	er2, _ := ErasureMatrix(n, b, m, gf2.RandomMatrix(rng, n-m, m-b))
+	if !IsErasureForm(er2, b, m) {
+		t.Error("erasure form not recognized")
+	}
+	// Erasure matrices are involutions characterizing MLD permutations.
+	if !er2.Mul(er2).IsIdentity() {
+		t.Error("erasure not an involution")
+	}
+	p := perm.MustNew(er2, 0)
+	if !p.IsMLD(b, m) {
+		t.Error("erasure matrix not MLD")
+	}
+	if _, err := ErasureMatrix(n, b, m, gf2.New(2, 2)); err == nil {
+		t.Error("wrong-shape erasure block accepted")
+	}
+}
+
+// TestPSP: the combined matrix P = T*R is MRC, matching Section 4's claim
+// about the product form.
+func TestTrailerReducerProductIsMRC(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		a := gf2.RandomNonsingular(rng, n)
+		tr, err := buildTrailer(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsTrailerForm(tr, m) {
+			t.Fatalf("buildTrailer output not in trailer form:\n%v", tr)
+		}
+		a1 := a.Mul(tr)
+		if !a1.Submatrix(m, n, m, n).IsNonsingular() {
+			t.Fatal("trailer did not make trailing block nonsingular")
+		}
+		rd, err := buildReducer(a1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsReducerForm(rd, m) {
+			t.Fatalf("buildReducer output not in reducer form:\n%v", rd)
+		}
+		p := perm.BMMC{A: tr.Mul(rd)}
+		if !p.IsMRC(m) {
+			t.Fatal("P = T*R not MRC")
+		}
+		// Reduced form: number of nonzero lower columns equals rank.
+		a2 := a1.Mul(rd)
+		lower := a2.Submatrix(m, n, 0, m)
+		nonzero := 0
+		for j := 0; j < m; j++ {
+			if lower.Col(j) != 0 {
+				nonzero++
+			}
+		}
+		if nonzero != lower.Rank() {
+			t.Fatalf("reduced form has %d nonzero columns, rank %d", nonzero, lower.Rank())
+		}
+	}
+}

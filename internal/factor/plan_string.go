@@ -1,0 +1,34 @@
+package factor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the plan as a human-readable pass list: execution order,
+// class of each pass, and the rank bookkeeping the bounds are stated in.
+// cmd/bmmcplan uses it to explain a factorization.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan: %d passes (g = %d swap/erase rounds; rank gamma = %d, rank lambda = %d)\n",
+		p.PassCount(), p.G, p.RankGamma, p.RankLambda)
+	for i, pass := range p.Passes {
+		fmt.Fprintf(&sb, "  pass %d: %s", i+1, pass.Kind)
+		if pass.Perm.C != 0 {
+			fmt.Fprintf(&sb, " (complement %b)", uint64(pass.Perm.C))
+		}
+		sb.WriteByte('\n')
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// Describe renders the plan including each pass's full characteristic
+// matrix, for diagnostics.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	sb.WriteString(p.String())
+	for i, pass := range p.Passes {
+		fmt.Fprintf(&sb, "\npass %d matrix:\n%v", i+1, pass.Perm.A)
+	}
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/perm"
+)
+
+// TestFactorizeUngrouped: the ungrouped factorization composes to the
+// original permutation, every pass is of its declared class, and the pass
+// count is exactly 2g+2 (or 1 for MRC) — versus g+1 for the grouped plan.
+func TestFactorizeUngrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + rng.Intn(12)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		passes, err := FactorizeUngrouped(p, b, m)
+		if err != nil {
+			t.Fatalf("n=%d b=%d m=%d: %v", n, b, m, err)
+		}
+		composed := perm.Identity(n)
+		for _, pass := range passes {
+			composed = pass.Perm.Compose(composed)
+			switch pass.Kind {
+			case perm.ClassMRC:
+				if !pass.Perm.IsMRC(m) {
+					t.Fatalf("ungrouped pass tagged MRC is not MRC")
+				}
+			case perm.ClassMLD:
+				if !pass.Perm.IsMLD(b, m) {
+					t.Fatalf("ungrouped pass tagged MLD is not MLD")
+				}
+			}
+		}
+		if !composed.Equal(p) {
+			t.Fatalf("ungrouped passes do not compose to p (n=%d b=%d m=%d)", n, b, m)
+		}
+		plan, err := Factorize(p, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsMRC(m) {
+			if len(passes) != 1 {
+				t.Fatalf("MRC fast path: %d ungrouped passes", len(passes))
+			}
+			continue
+		}
+		if want := 2*plan.G + 2; len(passes) != want {
+			t.Fatalf("ungrouped passes = %d, want 2g+2 = %d", len(passes), want)
+		}
+		// The grouped plan must never be longer than the ungrouped one —
+		// that is what Theorem 17 buys.
+		if plan.PassCount() > len(passes) {
+			t.Fatalf("grouped plan longer than ungrouped: %d > %d", plan.PassCount(), len(passes))
+		}
+	}
+}
+
+func TestFactorizeUngroupedErrors(t *testing.T) {
+	if _, err := FactorizeUngrouped(perm.Identity(8), 6, 5); err == nil {
+		t.Error("b > m accepted")
+	}
+	if _, err := FactorizeUngrouped(perm.BitReversal(8), 3, 3); err == nil {
+		t.Error("m == b non-MRC accepted")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := Factorize(perm.BitReversal(12), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if s == "" || plan.Describe() == "" {
+		t.Fatal("empty plan rendering")
+	}
+	for _, want := range []string{"passes", "MLD", "MRC", "rank gamma"} {
+		if !contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

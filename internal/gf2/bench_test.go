@@ -1,0 +1,72 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) Matrix {
+	return RandomNonsingular(rand.New(rand.NewSource(1)), n)
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	a := benchMatrix(48)
+	x := Vec(0x123456789abc)
+	var sink Vec
+	for i := 0; i < b.N; i++ {
+		sink = a.MulVec(x + Vec(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	x := benchMatrix(48)
+	y := benchMatrix(48)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	a := benchMatrix(48)
+	for i := 0; i < b.N; i++ {
+		_ = a.Rank()
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	a := benchMatrix(48)
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Inverse(); !ok {
+			b.Fatal("singular")
+		}
+	}
+}
+
+func BenchmarkKernelBasis(b *testing.B) {
+	a := RandomWithRank(rand.New(rand.NewSource(2)), 48, 48, 30)
+	for i := 0; i < b.N; i++ {
+		_ = a.KernelBasis()
+	}
+}
+
+func BenchmarkColumnBasis(b *testing.B) {
+	a := RandomWithRank(rand.New(rand.NewSource(3)), 48, 48, 30)
+	for i := 0; i < b.N; i++ {
+		_, _ = a.ColumnBasis()
+	}
+}
+
+func BenchmarkRandomNonsingular(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < b.N; i++ {
+		_ = RandomNonsingular(rng, 48)
+	}
+}
+
+func BenchmarkRandomNonsingularWithGamma(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < b.N; i++ {
+		_ = RandomNonsingularWithGamma(rng, 48, 12, 6)
+	}
+}

@@ -1,0 +1,255 @@
+package gf2
+
+// This file holds the elimination-based computations: rank, inverse, kernel,
+// solving, and the column-basis decomposition that drives the paper's
+// trailer/reducer constructions (Section 5). Serial time is O(lg^3 N) per the
+// paper's on-line requirement; all matrices here are at most 64x64.
+
+// Rank returns the rank of a over GF(2).
+func (a Matrix) Rank() int {
+	rows := make([]Vec, a.p)
+	copy(rows, a.rows)
+	rank := 0
+	for col := 0; col < a.q && rank < a.p; col++ {
+		pivot := -1
+		for i := rank; i < a.p; i++ {
+			if rows[i].Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < a.p; i++ {
+			if i != rank && rows[i].Bit(col) == 1 {
+				rows[i] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// IsNonsingular reports whether a is square and invertible over GF(2).
+func (a Matrix) IsNonsingular() bool {
+	return a.p == a.q && a.Rank() == a.p
+}
+
+// Inverse returns the inverse of a nonsingular square matrix. The boolean is
+// false when a is singular or non-square.
+func (a Matrix) Inverse() (Matrix, bool) {
+	if a.p != a.q {
+		return Matrix{}, false
+	}
+	n := a.p
+	work := make([]Vec, n)
+	copy(work, a.rows)
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for i := col; i < n; i++ {
+			if work[i].Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			return Matrix{}, false
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv.rows[col], inv.rows[pivot] = inv.rows[pivot], inv.rows[col]
+		for i := 0; i < n; i++ {
+			if i != col && work[i].Bit(col) == 1 {
+				work[i] ^= work[col]
+				inv.rows[i] ^= inv.rows[col]
+			}
+		}
+	}
+	return inv, true
+}
+
+// KernelBasis returns a basis for ker A = {x : Ax = 0} as q-vectors. The
+// basis has q - rank(A) elements; a trivial kernel yields an empty slice.
+func (a Matrix) KernelBasis() []Vec {
+	// Column-reduce the transpose equivalent: run elimination on rows of A,
+	// tracking pivot columns, then read free-column solutions.
+	rows := make([]Vec, a.p)
+	copy(rows, a.rows)
+	pivotCol := make([]int, 0, a.p) // pivotCol[r] = column of pivot in reduced row r
+	rank := 0
+	for col := 0; col < a.q && rank < a.p; col++ {
+		pivot := -1
+		for i := rank; i < a.p; i++ {
+			if rows[i].Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < a.p; i++ {
+			if i != rank && rows[i].Bit(col) == 1 {
+				rows[i] ^= rows[rank]
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	isPivot := Vec(0)
+	for _, c := range pivotCol {
+		isPivot |= 1 << uint(c)
+	}
+	var basis []Vec
+	for free := 0; free < a.q; free++ {
+		if isPivot.Bit(free) == 1 {
+			continue
+		}
+		// Solution with x_free = 1, other free vars 0: each pivot variable
+		// equals the free column's entry in its reduced row.
+		x := Vec(1) << uint(free)
+		for r, c := range pivotCol {
+			if rows[r].Bit(free) == 1 {
+				x |= 1 << uint(c)
+			}
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}
+
+// Solve returns one solution x of Ax = y and true, or false when y is not in
+// the range of A. The full preimage is x plus the kernel (Lemma 8).
+func (a Matrix) Solve(y Vec) (Vec, bool) {
+	rows := make([]Vec, a.p)
+	copy(rows, a.rows)
+	rhs := make([]uint, a.p)
+	for i := range rhs {
+		rhs[i] = y.Bit(i)
+	}
+	pivotCol := make([]int, 0, a.p)
+	rank := 0
+	for col := 0; col < a.q && rank < a.p; col++ {
+		pivot := -1
+		for i := rank; i < a.p; i++ {
+			if rows[i].Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		rhs[rank], rhs[pivot] = rhs[pivot], rhs[rank]
+		for i := 0; i < a.p; i++ {
+			if i != rank && rows[i].Bit(col) == 1 {
+				rows[i] ^= rows[rank]
+				rhs[i] ^= rhs[rank]
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	for i := rank; i < a.p; i++ {
+		if rhs[i] != 0 {
+			return 0, false
+		}
+	}
+	var x Vec
+	for r, c := range pivotCol {
+		if rhs[r] == 1 {
+			x |= 1 << uint(c)
+		}
+	}
+	return x, true
+}
+
+// RangeSize returns |R(A)| = 2^rank(A), the count from Lemma 7 (the XOR of a
+// constant vector does not change the cardinality).
+func (a Matrix) RangeSize() uint64 {
+	return 1 << uint(a.Rank())
+}
+
+// PreimageSize returns |Pre(A, y)| for y in R(A): 2^(q-rank) per Lemma 8,
+// and 0 when y is outside the range.
+func (a Matrix) PreimageSize(y Vec) uint64 {
+	if _, ok := a.Solve(y); !ok {
+		return 0
+	}
+	return 1 << uint(a.q-a.Rank())
+}
+
+// InKernel reports whether Ax = 0.
+func (a Matrix) InKernel(x Vec) bool { return a.MulVec(x) == 0 }
+
+// KernelContains reports whether ker a is a subset of ker b: every x with
+// ax = 0 also satisfies bx = 0. This is the paper's kernel condition (4)
+// written ker kappa ⊆ ker lambda; by Lemma 14 it suffices to check a kernel
+// basis of a.
+func KernelContains(a, b Matrix) bool {
+	for _, x := range a.KernelBasis() {
+		if !b.InKernel(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// RowSpaceContains reports whether every row of b lies in the row space of a,
+// i.e. row b ⊆ row a (used to cross-check Lemma 11).
+func RowSpaceContains(a, b Matrix) bool {
+	// row b ⊆ row a  ⟺  stacking b under a does not increase the rank.
+	if a.p+b.p > MaxDim {
+		panic("gf2: RowSpaceContains stack exceeds MaxDim rows")
+	}
+	stack := New(a.p+b.p, a.q)
+	copy(stack.rows[:a.p], a.rows)
+	copy(stack.rows[a.p:], b.rows)
+	return stack.Rank() == a.Rank()
+}
+
+// ColumnBasis computes a maximal linearly independent set of columns of a.
+// It returns the indices of the basis columns in increasing order, and for
+// every column j a combination mask over column indices: for a dependent
+// column j, comb[j] has bit k set for each basis column k with
+// col_j = XOR of those basis columns; for a basis column j, comb[j] = 1<<j.
+// This is the Gaussian-elimination decomposition the paper's trailer and
+// reducer constructions consume (Section 5).
+func (a Matrix) ColumnBasis() (basis []int, comb []Vec) {
+	type pivotInfo struct {
+		vec     Vec // reduced column value; lowest set bit is the pivot row
+		colMask Vec // expression of vec as a XOR of original basis columns
+	}
+	var byRow [MaxDim]pivotInfo
+	var havePivot Vec // bit r set when a pivot with pivot row r exists
+	comb = make([]Vec, a.q)
+	for j := 0; j < a.q; j++ {
+		v := a.Col(j)
+		expr := Vec(1) << uint(j)
+		// Reduce v by pivots keyed on lowest set bit; each step clears that
+		// bit and cannot set a lower one, so the loop terminates.
+		for v != 0 {
+			r := trailingZeros(v)
+			if havePivot.Bit(r) == 0 {
+				break
+			}
+			v ^= byRow[r].vec
+			expr ^= byRow[r].colMask
+		}
+		if v == 0 {
+			// Dependent: col_j = XOR of the basis columns in expr (minus j).
+			comb[j] = expr &^ (1 << uint(j))
+			continue
+		}
+		basis = append(basis, j)
+		comb[j] = 1 << uint(j)
+		r := trailingZeros(v)
+		byRow[r] = pivotInfo{vec: v, colMask: expr}
+		havePivot |= 1 << uint(r)
+	}
+	return basis, comb
+}

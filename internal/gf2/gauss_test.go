@@ -1,0 +1,277 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankKnown(t *testing.T) {
+	if got := Identity(7).Rank(); got != 7 {
+		t.Errorf("rank(I7) = %d", got)
+	}
+	if got := New(5, 5).Rank(); got != 0 {
+		t.Errorf("rank(0) = %d", got)
+	}
+	a := FromRows(3, 0b011, 0b101, 0b110) // row2 = row0 ^ row1
+	if got := a.Rank(); got != 2 {
+		t.Errorf("rank of dependent rows = %d, want 2", got)
+	}
+}
+
+func TestRankTransposeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 100; trial++ {
+		a := RandomMatrix(rng, 1+rng.Intn(16), 1+rng.Intn(16))
+		if a.Rank() != a.Transpose().Rank() {
+			t.Fatalf("rank(A) != rank(A^T) for\n%v", a)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(20)
+		a := RandomNonsingular(rng, n)
+		inv, ok := a.Inverse()
+		if !ok {
+			t.Fatalf("nonsingular matrix reported singular:\n%v", a)
+		}
+		if !a.Mul(inv).IsIdentity() || !inv.Mul(a).IsIdentity() {
+			t.Fatalf("A*A^-1 != I for n=%d", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows(3, 0b011, 0b011, 0b100)
+	if _, ok := a.Inverse(); ok {
+		t.Error("singular matrix inverted")
+	}
+	if _, ok := New(2, 3).Inverse(); ok {
+		t.Error("non-square matrix inverted")
+	}
+}
+
+func TestKernelBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 80; trial++ {
+		p, q := 1+rng.Intn(14), 1+rng.Intn(14)
+		a := RandomMatrix(rng, p, q)
+		basis := a.KernelBasis()
+		if len(basis) != q-a.Rank() {
+			t.Fatalf("kernel dimension %d, want q-rank = %d", len(basis), q-a.Rank())
+		}
+		for _, x := range basis {
+			if a.MulVec(x) != 0 {
+				t.Fatalf("kernel basis vector %b not in kernel", x)
+			}
+			if x == 0 {
+				t.Fatal("zero vector in kernel basis")
+			}
+		}
+		// Basis vectors must be linearly independent.
+		span := New(len(basis), q)
+		for i, x := range basis {
+			span.SetRow(i, x)
+		}
+		if span.Rank() != len(basis) {
+			t.Fatal("kernel basis not independent")
+		}
+	}
+}
+
+func TestSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 80; trial++ {
+		p, q := 1+rng.Intn(14), 1+rng.Intn(14)
+		a := RandomMatrix(rng, p, q)
+		// Solvable instance: pick x, solve for Ax.
+		x0 := RandomVec(rng, q)
+		y := a.MulVec(x0)
+		x, ok := a.Solve(y)
+		if !ok {
+			t.Fatalf("Solve failed on consistent system")
+		}
+		if a.MulVec(x) != y {
+			t.Fatalf("Solve returned non-solution: A*%b = %b, want %b", x, a.MulVec(x), y)
+		}
+	}
+	// Inconsistent system.
+	a := FromRows(2, 0b01, 0b01) // y0 = x0, y1 = x0
+	if _, ok := a.Solve(0b10); ok {
+		t.Error("Solve accepted inconsistent system")
+	}
+}
+
+// TestLemma7RangeSize checks |R(A) xor c| = 2^rank(A).
+func TestLemma7RangeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 40; trial++ {
+		p, q := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := RandomMatrix(rng, p, q)
+		c := RandomVec(rng, p)
+		seen := make(map[Vec]bool)
+		for x := Vec(0); x < 1<<uint(q); x++ {
+			seen[a.MulVec(x)^c] = true
+		}
+		if uint64(len(seen)) != a.RangeSize() {
+			t.Fatalf("|R(A) xor c| = %d, want 2^rank = %d", len(seen), a.RangeSize())
+		}
+	}
+}
+
+// TestLemma8PreimageSize checks |Pre(A,y)| = 2^(q-rank) for y in R(A).
+func TestLemma8PreimageSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		p, q := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := RandomMatrix(rng, p, q)
+		y := a.MulVec(RandomVec(rng, q)) // guaranteed in range
+		count := uint64(0)
+		for x := Vec(0); x < 1<<uint(q); x++ {
+			if a.MulVec(x) == y {
+				count++
+			}
+		}
+		if count != a.PreimageSize(y) {
+			t.Fatalf("|Pre(A,y)| = %d, want %d", count, a.PreimageSize(y))
+		}
+	}
+	// Out-of-range target must report 0.
+	a := FromRows(2, 0b01, 0b01)
+	if a.PreimageSize(0b10) != 0 {
+		t.Error("PreimageSize nonzero for unreachable target")
+	}
+}
+
+// TestLemma11KernelRowSpace checks: ker K ⊆ ker L implies row L ⊆ row K.
+func TestLemma11KernelRowSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	found := 0
+	for trial := 0; trial < 400; trial++ {
+		q := 2 + rng.Intn(8)
+		k := RandomMatrix(rng, 1+rng.Intn(8), q)
+		l := RandomMatrix(rng, 1+rng.Intn(8), q)
+		if KernelContains(k, l) {
+			found++
+			if !RowSpaceContains(k, l) {
+				t.Fatalf("ker K ⊆ ker L but row L ⊄ row K:\nK=\n%v\nL=\n%v", k, l)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no kernel-condition pairs sampled; test vacuous")
+	}
+}
+
+// TestLemma14Equivalence checks ker K ⊆ ker L  ⟺  (Kx=Ky ⟹ Lx=Ly).
+func TestLemma14Equivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		q := 1 + rng.Intn(6)
+		k := RandomMatrix(rng, 1+rng.Intn(6), q)
+		l := RandomMatrix(rng, 1+rng.Intn(6), q)
+		implies := true
+		for x := Vec(0); x < 1<<uint(q) && implies; x++ {
+			for y := Vec(0); y < 1<<uint(q); y++ {
+				if k.MulVec(x) == k.MulVec(y) && l.MulVec(x) != l.MulVec(y) {
+					implies = false
+					break
+				}
+			}
+		}
+		if implies != KernelContains(k, l) {
+			t.Fatalf("Lemma 14 equivalence violated (implies=%v, kernel=%v)", implies, KernelContains(k, l))
+		}
+	}
+}
+
+func TestColumnBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 120; trial++ {
+		p, q := 1+rng.Intn(16), 1+rng.Intn(16)
+		a := RandomMatrix(rng, p, q)
+		basis, comb := a.ColumnBasis()
+		if len(basis) != a.Rank() {
+			t.Fatalf("basis size %d, want rank %d", len(basis), a.Rank())
+		}
+		inBasis := Vec(0)
+		for _, j := range basis {
+			inBasis |= 1 << uint(j)
+		}
+		for j := 0; j < q; j++ {
+			if inBasis.Bit(j) == 1 {
+				if comb[j] != 1<<uint(j) {
+					t.Fatalf("basis column %d has comb %b", j, comb[j])
+				}
+				continue
+			}
+			// Dependent column: XOR of indicated basis columns must equal it.
+			var sum Vec
+			for k := 0; k < q; k++ {
+				if comb[j].Bit(k) == 1 {
+					if inBasis.Bit(k) == 0 {
+						t.Fatalf("comb[%d] references non-basis column %d", j, k)
+					}
+					sum ^= a.Col(k)
+				}
+			}
+			if sum != a.Col(j) {
+				t.Fatalf("comb[%d] does not reconstruct column", j)
+			}
+		}
+	}
+}
+
+// TestQuickInverseProperty: for random nonsingular A and any x,
+// A^{-1}(Ax) = x.
+func TestQuickInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func(seed int64, xRaw uint64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(24)
+		a := RandomNonsingular(local, n)
+		inv, _ := a.Inverse()
+		x := Vec(xRaw) & Mask(n)
+		return inv.MulVec(a.MulVec(x)) == x
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMulAssociative: (AB)C = A(BC) for random square matrices.
+func TestQuickMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(16)
+		a := RandomMatrix(local, n, n)
+		b := RandomMatrix(local, n, n)
+		c := RandomMatrix(local, n, n)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRankSubadditive: rank(A+B) <= rank(A) + rank(B).
+func TestQuickRankSubadditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		p, q := 1+local.Intn(16), 1+local.Intn(16)
+		a := RandomMatrix(local, p, q)
+		b := RandomMatrix(local, p, q)
+		return a.Add(b).Rank() <= a.Rank()+b.Rank()
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

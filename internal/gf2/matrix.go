@@ -1,0 +1,270 @@
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Matrix is a p x q matrix over GF(2). Row i is stored as a Vec whose bit j
+// holds the entry a_ij, so a matrix-vector product is one AND+parity per row.
+// Rows and columns are indexed from 0; both dimensions must be <= MaxDim.
+//
+// The zero Matrix has no rows or columns and is usable only with New and the
+// constructors below.
+type Matrix struct {
+	p, q int   // rows, columns
+	rows []Vec // len p; bit j of rows[i] is a_ij
+}
+
+// New returns a zero p x q matrix. It panics if either dimension is negative
+// or exceeds MaxDim; matrix shapes are program invariants, not runtime data.
+func New(p, q int) Matrix {
+	if p < 0 || q < 0 || p > MaxDim || q > MaxDim {
+		panic(fmt.Sprintf("gf2: invalid matrix shape %dx%d", p, q))
+	}
+	return Matrix{p: p, q: q, rows: make([]Vec, p)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		a.rows[i] = 1 << uint(i)
+	}
+	return a
+}
+
+// FromRows builds a p x q matrix from explicit row bitmasks. Each row is
+// masked to q bits.
+func FromRows(q int, rows ...Vec) Matrix {
+	a := New(len(rows), q)
+	m := Mask(q)
+	for i, r := range rows {
+		a.rows[i] = r & m
+	}
+	return a
+}
+
+// Rows returns the number of rows p.
+func (a Matrix) Rows() int { return a.p }
+
+// Cols returns the number of columns q.
+func (a Matrix) Cols() int { return a.q }
+
+// At returns entry a_ij.
+func (a Matrix) At(i, j int) uint { return a.rows[i].Bit(j) }
+
+// Set sets entry a_ij to v (0 or 1).
+func (a *Matrix) Set(i, j int, v uint) { a.rows[i] = a.rows[i].SetBit(j, v) }
+
+// Row returns row i as a Vec (bit j = a_ij).
+func (a Matrix) Row(i int) Vec { return a.rows[i] }
+
+// SetRow replaces row i, masking to q bits.
+func (a *Matrix) SetRow(i int, r Vec) { a.rows[i] = r & Mask(a.q) }
+
+// Col returns column j as a Vec (bit i = a_ij).
+func (a Matrix) Col(j int) Vec {
+	var c Vec
+	for i := 0; i < a.p; i++ {
+		c |= Vec(a.rows[i].Bit(j)) << uint(i)
+	}
+	return c
+}
+
+// SetCol replaces column j with c (bit i of c = new a_ij).
+func (a *Matrix) SetCol(j int, c Vec) {
+	for i := 0; i < a.p; i++ {
+		a.rows[i] = a.rows[i].SetBit(j, c.Bit(i))
+	}
+}
+
+// Clone returns a deep copy of a.
+func (a Matrix) Clone() Matrix {
+	b := Matrix{p: a.p, q: a.q, rows: make([]Vec, a.p)}
+	copy(b.rows, a.rows)
+	return b
+}
+
+// Equal reports whether a and b have the same shape and entries.
+func (a Matrix) Equal(b Matrix) bool {
+	if a.p != b.p || a.q != b.q {
+		return false
+	}
+	for i := range a.rows {
+		if a.rows[i] != b.rows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every entry is 0.
+func (a Matrix) IsZero() bool {
+	for _, r := range a.rows {
+		if r != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIdentity reports whether a is square and equal to the identity.
+func (a Matrix) IsIdentity() bool {
+	if a.p != a.q {
+		return false
+	}
+	for i, r := range a.rows {
+		if r != 1<<uint(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPermutation reports whether a is a permutation matrix: square with
+// exactly one 1 in each row and each column.
+func (a Matrix) IsPermutation() bool {
+	if a.p != a.q {
+		return false
+	}
+	var colSeen Vec
+	for _, r := range a.rows {
+		if r.Weight() != 1 || colSeen&r != 0 {
+			return false
+		}
+		colSeen |= r
+	}
+	return true
+}
+
+// MulVec returns the matrix-vector product Ax over GF(2); x is a q-vector
+// and the result a p-vector.
+func (a Matrix) MulVec(x Vec) Vec {
+	x &= Mask(a.q)
+	var y Vec
+	for i, r := range a.rows {
+		y |= Vec(Dot(r, x)) << uint(i)
+	}
+	return y
+}
+
+// Mul returns the matrix product a*b, where a is p x q and b is q x r.
+// It panics on a shape mismatch.
+func (a Matrix) Mul(b Matrix) Matrix {
+	if a.q != b.p {
+		panic(fmt.Sprintf("gf2: shape mismatch %dx%d * %dx%d", a.p, a.q, b.p, b.q))
+	}
+	c := New(a.p, b.q)
+	for i := 0; i < a.p; i++ {
+		var row Vec
+		r := a.rows[i]
+		for r != 0 {
+			j := trailingZeros(r)
+			row ^= b.rows[j]
+			r &= r - 1
+		}
+		c.rows[i] = row
+	}
+	return c
+}
+
+// Add returns the entrywise sum (XOR) a + b. It panics on a shape mismatch.
+func (a Matrix) Add(b Matrix) Matrix {
+	if a.p != b.p || a.q != b.q {
+		panic(fmt.Sprintf("gf2: shape mismatch %dx%d + %dx%d", a.p, a.q, b.p, b.q))
+	}
+	c := New(a.p, a.q)
+	for i := range a.rows {
+		c.rows[i] = a.rows[i] ^ b.rows[i]
+	}
+	return c
+}
+
+// Transpose returns the q x p transpose of a.
+func (a Matrix) Transpose() Matrix {
+	t := New(a.q, a.p)
+	for i := 0; i < a.p; i++ {
+		r := a.rows[i]
+		for r != 0 {
+			j := trailingZeros(r)
+			t.rows[j] |= 1 << uint(i)
+			r &= r - 1
+		}
+	}
+	return t
+}
+
+// Submatrix returns the block A_{r0..r1-1, c0..c1-1}, following the paper's
+// "A_{r0..r1-1,c0..c1-1}" contiguous-index notation (half-open here).
+func (a Matrix) Submatrix(r0, r1, c0, c1 int) Matrix {
+	if r0 < 0 || r1 > a.p || c0 < 0 || c1 > a.q || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("gf2: submatrix [%d:%d,%d:%d] out of range for %dx%d", r0, r1, c0, c1, a.p, a.q))
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		s.rows[i-r0] = a.rows[i].Extract(c0, c1)
+	}
+	return s
+}
+
+// SetSubmatrix overwrites the block with upper-left corner (r0, c0) with s.
+func (a *Matrix) SetSubmatrix(r0, c0 int, s Matrix) {
+	if r0+s.p > a.p || c0+s.q > a.q || r0 < 0 || c0 < 0 {
+		panic(fmt.Sprintf("gf2: set submatrix %dx%d at (%d,%d) out of range for %dx%d", s.p, s.q, r0, c0, a.p, a.q))
+	}
+	for i := 0; i < s.p; i++ {
+		a.rows[r0+i] = a.rows[r0+i].Insert(c0, c0+s.q, s.rows[i])
+	}
+}
+
+// AddColInto adds (XORs) column src into column dst, the elementary column
+// operation used by the paper's column-addition matrices (Section 4).
+func (a *Matrix) AddColInto(src, dst int) {
+	for i := 0; i < a.p; i++ {
+		if a.rows[i].Bit(src) == 1 {
+			a.rows[i] ^= 1 << uint(dst)
+		}
+	}
+}
+
+// SwapCols exchanges columns i and j.
+func (a *Matrix) SwapCols(i, j int) {
+	if i == j {
+		return
+	}
+	for k := 0; k < a.p; k++ {
+		bi, bj := a.rows[k].Bit(i), a.rows[k].Bit(j)
+		a.rows[k] = a.rows[k].SetBit(i, bj).SetBit(j, bi)
+	}
+}
+
+// SwapRows exchanges rows i and j.
+func (a *Matrix) SwapRows(i, j int) {
+	a.rows[i], a.rows[j] = a.rows[j], a.rows[i]
+}
+
+// AddRowInto adds (XORs) row src into row dst.
+func (a *Matrix) AddRowInto(src, dst int) {
+	a.rows[dst] ^= a.rows[src]
+}
+
+// String renders the matrix as rows of 0/1 digits, row 0 first, column 0
+// leftmost, for diagnostics and test failure messages.
+func (a Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < a.p; i++ {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		for j := 0; j < a.q; j++ {
+			sb.WriteByte('0' + byte(a.At(i, j)))
+		}
+	}
+	return sb.String()
+}
+
+func trailingZeros(v Vec) int {
+	return bits.TrailingZeros64(uint64(v))
+}

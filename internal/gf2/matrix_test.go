@@ -1,0 +1,244 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVecBitOps(t *testing.T) {
+	var x Vec
+	x = x.SetBit(0, 1).SetBit(5, 1).SetBit(63, 1)
+	if x.Bit(0) != 1 || x.Bit(5) != 1 || x.Bit(63) != 1 {
+		t.Fatalf("SetBit/Bit roundtrip failed: %b", x)
+	}
+	if x.Bit(1) != 0 || x.Bit(62) != 0 {
+		t.Fatalf("unset bits read as 1: %b", x)
+	}
+	x = x.SetBit(5, 0)
+	if x.Bit(5) != 0 {
+		t.Fatalf("clearing bit 5 failed: %b", x)
+	}
+	if x.Weight() != 2 {
+		t.Fatalf("Weight = %d, want 2", x.Weight())
+	}
+}
+
+func TestVecDot(t *testing.T) {
+	cases := []struct {
+		x, y Vec
+		want uint
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{0b1011, 0b1110, 1}, // overlap at bits 1 and 3 -> even... bits: 1011&1110=1010 weight 2 -> 0
+	}
+	cases[2].want = 0
+	for _, c := range cases {
+		if got := Dot(c.x, c.y); got != c.want {
+			t.Errorf("Dot(%b,%b) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Errorf("Mask(0) = %b", Mask(0))
+	}
+	if Mask(3) != 0b111 {
+		t.Errorf("Mask(3) = %b", Mask(3))
+	}
+	if Mask(64) != ^Vec(0) {
+		t.Errorf("Mask(64) = %b", Mask(64))
+	}
+}
+
+func TestVecExtractInsert(t *testing.T) {
+	x := Vec(0b110101)
+	if got := x.Extract(2, 5); got != 0b101 {
+		t.Errorf("Extract(2,5) = %b, want 101", got)
+	}
+	if got := x.Insert(1, 4, 0b010); got != 0b110101&^0b1110|0b0100 {
+		t.Errorf("Insert = %b", got)
+	}
+	if got := x.Extract(3, 3); got != 0 {
+		t.Errorf("empty Extract = %b, want 0", got)
+	}
+	if got := x.Insert(3, 3, 0b111); got != x {
+		t.Errorf("empty Insert changed value: %b", got)
+	}
+}
+
+func TestIdentityAndMulVec(t *testing.T) {
+	id := Identity(8)
+	for trial := 0; trial < 100; trial++ {
+		x := Vec(trial * 2654435761)
+		if got := id.MulVec(x & Mask(8)); got != x&Mask(8) {
+			t.Fatalf("I*x = %b, want %b", got, x&Mask(8))
+		}
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// y0 = x0^x2, y1 = x1, y2 = x0.
+	a := FromRows(3, 0b101, 0b010, 0b001)
+	cases := []struct{ x, y Vec }{
+		{0b000, 0b000},
+		{0b001, 0b101},
+		{0b010, 0b010},
+		{0b100, 0b001},
+		{0b111, 0b110},
+	}
+	for _, c := range cases {
+		if got := a.MulVec(c.x); got != c.y {
+			t.Errorf("A*%03b = %03b, want %03b", c.x, got, c.y)
+		}
+	}
+}
+
+func TestMulMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p, q, r := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := RandomMatrix(rng, p, q)
+		b := RandomMatrix(rng, q, r)
+		ab := a.Mul(b)
+		for k := 0; k < 20; k++ {
+			x := RandomVec(rng, r)
+			if ab.MulVec(x) != a.MulVec(b.MulVec(x)) {
+				t.Fatalf("(AB)x != A(Bx) for %dx%d * %dx%d", p, q, q, r)
+			}
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		p, q := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := RandomMatrix(rng, p, q)
+		tt := a.Transpose().Transpose()
+		if !a.Equal(tt) {
+			t.Fatalf("transpose not involutive for %dx%d", p, q)
+		}
+		at := a.Transpose()
+		for i := 0; i < p; i++ {
+			for j := 0; j < q; j++ {
+				if a.At(i, j) != at.At(j, i) {
+					t.Fatalf("transpose entry mismatch at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomMatrix(rng, 10, 10)
+	c := a.Col(4)
+	b := a.Clone()
+	b.SetCol(4, c)
+	if !a.Equal(b) {
+		t.Fatal("SetCol(Col) changed the matrix")
+	}
+	b.SetCol(4, 0)
+	for i := 0; i < 10; i++ {
+		if b.At(i, 4) != 0 {
+			t.Fatal("SetCol(0) left a 1")
+		}
+	}
+}
+
+func TestSubmatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandomMatrix(rng, 12, 12)
+	s := a.Submatrix(3, 9, 2, 7)
+	if s.Rows() != 6 || s.Cols() != 5 {
+		t.Fatalf("submatrix shape %dx%d", s.Rows(), s.Cols())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			if s.At(i, j) != a.At(i+3, j+2) {
+				t.Fatalf("submatrix entry mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	b := a.Clone()
+	b.SetSubmatrix(3, 2, s)
+	if !a.Equal(b) {
+		t.Fatal("SetSubmatrix(Submatrix) changed the matrix")
+	}
+}
+
+func TestColumnOps(t *testing.T) {
+	a := Identity(4)
+	a.AddColInto(0, 2) // col2 += col0
+	if a.At(0, 2) != 1 || a.At(2, 2) != 1 {
+		t.Fatalf("AddColInto failed:\n%v", a)
+	}
+	a.AddColInto(0, 2) // undo (GF(2))
+	if !a.IsIdentity() {
+		t.Fatalf("AddColInto not involutive:\n%v", a)
+	}
+	a.SwapCols(1, 3)
+	if a.At(1, 3) != 1 || a.At(3, 1) != 1 || a.At(1, 1) != 0 {
+		t.Fatalf("SwapCols failed:\n%v", a)
+	}
+	a.SwapCols(1, 3)
+	if !a.IsIdentity() {
+		t.Fatal("SwapCols not involutive")
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	a := Identity(4)
+	a.AddRowInto(1, 3)
+	if a.At(3, 1) != 1 {
+		t.Fatal("AddRowInto failed")
+	}
+	a.SwapRows(0, 2)
+	if a.At(0, 2) != 1 || a.At(2, 0) != 1 {
+		t.Fatal("SwapRows failed")
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !Identity(6).IsPermutation() {
+		t.Error("identity should be a permutation matrix")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		p := RandomPermutationMatrix(rng, 8)
+		if !p.IsPermutation() {
+			t.Fatalf("RandomPermutationMatrix not a permutation:\n%v", p)
+		}
+		if p.Rank() != 8 {
+			t.Fatalf("permutation matrix rank %d", p.Rank())
+		}
+	}
+	bad := Identity(4)
+	bad.Set(0, 1, 1)
+	if bad.IsPermutation() {
+		t.Error("two ones in a row accepted as permutation")
+	}
+	zero := New(3, 3)
+	if zero.IsPermutation() {
+		t.Error("zero matrix accepted as permutation")
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	a := FromRows(3, 0b101, 0b010, 0b110)
+	want := "101\n010\n011"
+	if got := a.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

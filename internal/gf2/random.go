@@ -1,0 +1,140 @@
+package gf2
+
+import "math/rand"
+
+// This file provides deterministic pseudo-random generators for vectors and
+// matrices, including the controlled-rank constructions that the experiment
+// harness uses to sweep rank gamma = rank A_{b..n-1,0..b-1} (Theorems 3, 21).
+
+// RandomVec returns a uniformly random q-bit vector drawn from rng.
+func RandomVec(rng *rand.Rand, q int) Vec {
+	return Vec(rng.Uint64()) & Mask(q)
+}
+
+// RandomMatrix returns a uniformly random p x q matrix.
+func RandomMatrix(rng *rand.Rand, p, q int) Matrix {
+	a := New(p, q)
+	for i := 0; i < p; i++ {
+		a.rows[i] = RandomVec(rng, q)
+	}
+	return a
+}
+
+// RandomNonsingular returns a uniformly random nonsingular n x n matrix by
+// rejection sampling. Over GF(2) a random square matrix is nonsingular with
+// probability > 0.288, so the expected number of draws is below 4.
+func RandomNonsingular(rng *rand.Rand, n int) Matrix {
+	if n == 0 {
+		return New(0, 0)
+	}
+	for {
+		a := RandomMatrix(rng, n, n)
+		if a.Rank() == n {
+			return a
+		}
+	}
+}
+
+// RandomWithRank returns a random p x q matrix of rank exactly r, built as a
+// product of a random p x r full-column-rank matrix and a random r x q
+// full-row-rank matrix. It panics when r > min(p, q).
+func RandomWithRank(rng *rand.Rand, p, q, r int) Matrix {
+	if r < 0 || r > p || r > q {
+		panic("gf2: RandomWithRank rank out of range")
+	}
+	if r == 0 {
+		return New(p, q)
+	}
+	left := randomFullColumnRank(rng, p, r)
+	right := randomFullColumnRank(rng, q, r).Transpose()
+	return left.Mul(right)
+}
+
+// randomFullColumnRank returns a random p x r matrix with rank r (r <= p).
+func randomFullColumnRank(rng *rand.Rand, p, r int) Matrix {
+	for {
+		a := RandomMatrix(rng, p, r)
+		if a.Rank() == r {
+			return a
+		}
+	}
+}
+
+// RandomPermutationMatrix returns a uniformly random n x n permutation
+// matrix, the characteristic matrix of a random BPC permutation.
+func RandomPermutationMatrix(rng *rand.Rand, n int) Matrix {
+	perm := rng.Perm(n)
+	a := New(n, n)
+	for i, p := range perm {
+		a.Set(i, p, 1)
+	}
+	return a
+}
+
+// RandomNonsingularWithGamma returns a random nonsingular n x n matrix whose
+// submatrix A_{b..n-1, 0..b-1} (the paper's gamma) has rank exactly g. It
+// fixes the leftmost b columns first — random on the top b rows, a rank-g
+// random matrix on the bottom n-b rows — and then extends those columns to a
+// basis of GF(2)^n with random columns, which never touches gamma. Requires
+// 0 <= g <= min(b, n-b).
+func RandomNonsingularWithGamma(rng *rand.Rand, n, b, g int) Matrix {
+	if b < 0 || b > n {
+		panic("gf2: RandomNonsingularWithGamma b out of range")
+	}
+	if g < 0 || g > b || g > n-b {
+		panic("gf2: RandomNonsingularWithGamma gamma rank out of range")
+	}
+	for {
+		a := New(n, n)
+		gamma := RandomWithRank(rng, n-b, b, g)
+		// Left section: random top, prescribed gamma bottom; retry until the
+		// b columns are linearly independent.
+		for j := 0; j < b; j++ {
+			col := RandomVec(rng, b) | (gamma.Col(j) << uint(b))
+			a.SetCol(j, col)
+		}
+		left := a.Submatrix(0, n, 0, b)
+		if left.Rank() != b {
+			continue
+		}
+		if !extendToBasis(rng, &a, b) {
+			continue
+		}
+		return a
+	}
+}
+
+// extendToBasis fills columns fixed..n-1 of a with random vectors that keep
+// the full column set linearly independent. Returns false if it gives up
+// (vanishingly unlikely); the caller retries with fresh randomness.
+func extendToBasis(rng *rand.Rand, a *Matrix, fixed int) bool {
+	n := a.p
+	for j := fixed; j < n; j++ {
+		ok := false
+		for attempt := 0; attempt < 64; attempt++ {
+			a.SetCol(j, RandomVec(rng, n))
+			if a.Submatrix(0, n, 0, j+1).Rank() == j+1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomMRC returns a random matrix in the paper's MRC form for the given
+// n and m = lg M: nonsingular leading m x m block, arbitrary upper-right,
+// zero lower-left, nonsingular trailing (n-m) x (n-m) block.
+func RandomMRC(rng *rand.Rand, n, m int) Matrix {
+	if m < 0 || m > n {
+		panic("gf2: RandomMRC m out of range")
+	}
+	a := New(n, n)
+	a.SetSubmatrix(0, 0, RandomNonsingular(rng, m))
+	a.SetSubmatrix(0, m, RandomMatrix(rng, m, n-m))
+	a.SetSubmatrix(m, m, RandomNonsingular(rng, n-m))
+	return a
+}

@@ -1,0 +1,93 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomNonsingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		a := RandomNonsingular(rng, n)
+		if a.Rank() != n {
+			t.Fatalf("RandomNonsingular produced rank %d for n=%d", a.Rank(), n)
+		}
+	}
+}
+
+func TestRandomWithRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		p, q := 1+rng.Intn(16), 1+rng.Intn(16)
+		r := rng.Intn(min(p, q) + 1)
+		a := RandomWithRank(rng, p, q, r)
+		if a.Rank() != r {
+			t.Fatalf("RandomWithRank(%d,%d,%d) produced rank %d", p, q, r, a.Rank())
+		}
+	}
+}
+
+func TestRandomWithRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank > min(p,q)")
+		}
+	}()
+	RandomWithRank(rand.New(rand.NewSource(1)), 3, 3, 4)
+}
+
+func TestRandomNonsingularWithGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(16)
+		b := 1 + rng.Intn(n-1)
+		g := rng.Intn(min(b, n-b) + 1)
+		a := RandomNonsingularWithGamma(rng, n, b, g)
+		if a.Rank() != n {
+			t.Fatalf("matrix singular for n=%d b=%d g=%d", n, b, g)
+		}
+		gamma := a.Submatrix(b, n, 0, b)
+		if gamma.Rank() != g {
+			t.Fatalf("gamma rank = %d, want %d (n=%d b=%d)", gamma.Rank(), g, n, b)
+		}
+	}
+}
+
+func TestRandomMRCForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(16)
+		m := 1 + rng.Intn(n)
+		a := RandomMRC(rng, n, m)
+		if !a.Submatrix(0, m, 0, m).IsNonsingular() {
+			t.Fatal("leading block singular")
+		}
+		if n > m && !a.Submatrix(m, n, m, n).IsNonsingular() {
+			t.Fatal("trailing block singular")
+		}
+		if !a.Submatrix(m, n, 0, m).IsZero() {
+			t.Fatal("lower-left block nonzero")
+		}
+		if !a.IsNonsingular() {
+			t.Fatal("MRC matrix singular")
+		}
+	}
+}
+
+func TestRandomVecMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 100; trial++ {
+		q := rng.Intn(64)
+		if v := RandomVec(rng, q); v&^Mask(q) != 0 {
+			t.Fatalf("RandomVec(%d) has bits above mask: %b", q, v)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,42 @@
+package gf2
+
+// Span is an incremental linear span of GF(2) vectors, used to grow maximal
+// independent column sets (the paper's Gaussian-elimination subroutine for
+// the trailer and reducer constructions). The zero value is an empty span.
+type Span struct {
+	byRow [MaxDim]Vec // byRow[r]: basis vector whose lowest set bit is r
+	have  Vec         // bit r set when byRow[r] is occupied
+	dim   int
+}
+
+// Dim returns the dimension of the span.
+func (s *Span) Dim() int { return s.dim }
+
+// reduce returns v reduced against the current basis.
+func (s *Span) reduce(v Vec) Vec {
+	for v != 0 {
+		r := trailingZeros(v)
+		if s.have.Bit(r) == 0 {
+			break
+		}
+		v ^= s.byRow[r]
+	}
+	return v
+}
+
+// Contains reports whether v lies in the span.
+func (s *Span) Contains(v Vec) bool { return s.reduce(v) == 0 }
+
+// Add inserts v into the span. It returns true when v was linearly
+// independent of the current basis (and so increased the dimension).
+func (s *Span) Add(v Vec) bool {
+	v = s.reduce(v)
+	if v == 0 {
+		return false
+	}
+	r := trailingZeros(v)
+	s.byRow[r] = v
+	s.have |= 1 << uint(r)
+	s.dim++
+	return true
+}

@@ -1,0 +1,76 @@
+// Package gf2 implements linear algebra over GF(2) on bit vectors and bit
+// matrices, sized for address arithmetic on parallel disk systems.
+//
+// Throughout the package, a vector of q bits (q <= MaxDim) is stored in a
+// single Vec (uint64) with component i in bit i, matching the paper's
+// least-significant-bit-first convention: an address x = (x_0, x_1, ...,
+// x_{n-1}) is the integer whose bit i equals x_i. A p x q matrix stores row i
+// as a Vec whose bit j is the entry a_ij. All arithmetic is over GF(2):
+// addition is XOR, multiplication is AND, and inner products reduce with
+// parity.
+package gf2
+
+import "math/bits"
+
+// MaxDim is the largest supported vector length and matrix dimension. The
+// package stores one vector per machine word; parallel-disk addresses have
+// n = lg N <= 63 bits, so 64 covers every representable problem size.
+const MaxDim = 64
+
+// Vec is a GF(2) vector of up to MaxDim components; component i is bit i.
+type Vec uint64
+
+// Dot returns the GF(2) inner product <x, y>: the parity of the number of
+// positions where both vectors have a 1.
+func Dot(x, y Vec) uint {
+	return uint(bits.OnesCount64(uint64(x&y)) & 1)
+}
+
+// Bit returns component i of x (0 or 1).
+func (x Vec) Bit(i int) uint {
+	return uint(x>>uint(i)) & 1
+}
+
+// SetBit returns x with component i set to v (v must be 0 or 1).
+func (x Vec) SetBit(i int, v uint) Vec {
+	mask := Vec(1) << uint(i)
+	if v&1 == 1 {
+		return x | mask
+	}
+	return x &^ mask
+}
+
+// Weight returns the Hamming weight of x.
+func (x Vec) Weight() int {
+	return bits.OnesCount64(uint64(x))
+}
+
+// Mask returns a Vec with bits 0..q-1 set, the all-ones vector of length q.
+func Mask(q int) Vec {
+	if q <= 0 {
+		return 0
+	}
+	if q >= MaxDim {
+		return ^Vec(0)
+	}
+	return (Vec(1) << uint(q)) - 1
+}
+
+// Extract returns bits lo..hi-1 of x shifted down to position 0, i.e. the
+// subvector x_{lo..hi-1} as a (hi-lo)-bit Vec. It mirrors the paper's
+// submatrix "lo..hi-1" index notation applied to vectors.
+func (x Vec) Extract(lo, hi int) Vec {
+	if hi <= lo {
+		return 0
+	}
+	return (x >> uint(lo)) & Mask(hi-lo)
+}
+
+// Insert returns x with bits lo..hi-1 replaced by the low hi-lo bits of v.
+func (x Vec) Insert(lo, hi int, v Vec) Vec {
+	if hi <= lo {
+		return x
+	}
+	m := Mask(hi-lo) << uint(lo)
+	return (x &^ m) | ((v << uint(lo)) & m)
+}

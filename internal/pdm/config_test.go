@@ -1,0 +1,135 @@
+package pdm
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	good := Config{N: 1 << 13, D: 16, B: 8, M: 1 << 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"N not power of 2", Config{N: 100, D: 2, B: 2, M: 8}},
+		{"D not power of 2", Config{N: 64, D: 3, B: 2, M: 8}},
+		{"B not power of 2", Config{N: 64, D: 2, B: 3, M: 8}},
+		{"M not power of 2", Config{N: 64, D: 2, B: 2, M: 9}},
+		{"zero D", Config{N: 64, D: 0, B: 2, M: 8}},
+		{"negative B", Config{N: 64, D: 2, B: -2, M: 8}},
+		{"BD > M", Config{N: 64, D: 8, B: 2, M: 8}},
+		{"M >= N", Config{N: 64, D: 2, B: 2, M: 64}},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestFigure2AddressParse reproduces the exact example of Figure 2:
+// n=13, b=3, d=4, m=8, s=6.
+func TestFigure2AddressParse(t *testing.T) {
+	cfg := Config{N: 1 << 13, D: 1 << 4, B: 1 << 3, M: 1 << 8}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LgN() != 13 || cfg.LgB() != 3 || cfg.LgD() != 4 || cfg.LgM() != 8 {
+		t.Fatalf("log parameters: n=%d b=%d d=%d m=%d", cfg.LgN(), cfg.LgB(), cfg.LgD(), cfg.LgM())
+	}
+	// Build an address with offset=0b101, disk=0b1100, stripe=0b000101.
+	x := cfg.Addr(0b000101, 0b1100, 0b101)
+	if cfg.Offset(x) != 0b101 {
+		t.Errorf("offset = %b", cfg.Offset(x))
+	}
+	if cfg.DiskOf(x) != 0b1100 {
+		t.Errorf("disk = %b", cfg.DiskOf(x))
+	}
+	if cfg.StripeOf(x) != 0b000101 {
+		t.Errorf("stripe = %b", cfg.StripeOf(x))
+	}
+	// Relative block number is bits b..m-1 (5 bits here: disk + 1 stripe bit).
+	wantRel := int((x >> 3) & 0b11111)
+	if cfg.RelBlock(x) != wantRel {
+		t.Errorf("relblock = %b, want %b", cfg.RelBlock(x), wantRel)
+	}
+	// Memoryload number is bits m..n-1.
+	if cfg.MemoryloadOf(x) != int(x>>8) {
+		t.Errorf("memoryload = %d, want %d", cfg.MemoryloadOf(x), x>>8)
+	}
+	// Counts.
+	if cfg.Stripes() != 1<<6 {
+		t.Errorf("stripes = %d", cfg.Stripes())
+	}
+	if cfg.Frames() != 1<<5 {
+		t.Errorf("frames = %d", cfg.Frames())
+	}
+	if cfg.Memoryloads() != 1<<5 {
+		t.Errorf("memoryloads = %d", cfg.Memoryloads())
+	}
+	if cfg.StripesPerMemoryload() != 2 {
+		t.Errorf("stripes/memoryload = %d", cfg.StripesPerMemoryload())
+	}
+}
+
+// TestFigure1Layout reproduces Figure 1 exactly: N=64 records, B=2, D=8.
+// Record indices 0..15 fill stripe 0 (two per block across 8 disks), etc.
+func TestFigure1Layout(t *testing.T) {
+	cfg := Config{N: 64, D: 8, B: 2, M: 32}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Stripes() != 4 {
+		t.Fatalf("stripes = %d, want 4", cfg.Stripes())
+	}
+	// From Figure 1: record 21 sits in stripe 1, disk D2, offset 1;
+	// record 40 in stripe 2, disk D4, offset 0; record 63 in stripe 3,
+	// disk D7, offset 1.
+	cases := []struct {
+		rec          uint64
+		stripe, disk int
+		offset       int
+	}{
+		{0, 0, 0, 0},
+		{15, 0, 7, 1},
+		{16, 1, 0, 0},
+		{21, 1, 2, 1},
+		{40, 2, 4, 0},
+		{63, 3, 7, 1},
+	}
+	for _, c := range cases {
+		if got := cfg.StripeOf(c.rec); got != c.stripe {
+			t.Errorf("record %d stripe = %d, want %d", c.rec, got, c.stripe)
+		}
+		if got := cfg.DiskOf(c.rec); got != c.disk {
+			t.Errorf("record %d disk = %d, want %d", c.rec, got, c.disk)
+		}
+		if got := cfg.Offset(c.rec); got != c.offset {
+			t.Errorf("record %d offset = %d, want %d", c.rec, got, c.offset)
+		}
+		if back := cfg.Addr(c.stripe, c.disk, c.offset); back != c.rec {
+			t.Errorf("Addr(%d,%d,%d) = %d, want %d", c.stripe, c.disk, c.offset, back, c.rec)
+		}
+	}
+}
+
+func TestBlockIndexAndBlockAddr(t *testing.T) {
+	cfg := Config{N: 1 << 10, D: 4, B: 8, M: 1 << 6}
+	for _, x := range []uint64{0, 7, 8, 511, 1023} {
+		want := int(x / 8)
+		if got := cfg.BlockIndex(x); got != want {
+			t.Errorf("BlockIndex(%d) = %d, want %d", x, got, want)
+		}
+	}
+	x := cfg.BlockAddr(3, 5, 2)
+	if cfg.DiskOf(x) != 3 || cfg.StripeOf(x) != 5 || cfg.Offset(x) != 2 {
+		t.Errorf("BlockAddr roundtrip failed: %d", x)
+	}
+}
+
+func TestPassIOs(t *testing.T) {
+	cfg := Config{N: 1 << 12, D: 8, B: 4, M: 1 << 7}
+	if cfg.PassIOs() != 2*cfg.N/(cfg.B*cfg.D) {
+		t.Errorf("PassIOs = %d", cfg.PassIOs())
+	}
+}

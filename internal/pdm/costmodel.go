@@ -1,0 +1,44 @@
+package pdm
+
+import (
+	"fmt"
+	"time"
+)
+
+// CostModel converts parallel-I/O counts into estimated wall-clock time on
+// a hypothetical disk array. The Vitter-Shriver model charges every
+// parallel I/O one unit regardless of how many disks participate; a cost
+// model makes that unit concrete: each operation pays one average seek plus
+// half a rotation plus the block transfer, all D transfers overlapping.
+type CostModel struct {
+	Seek         time.Duration // average positioning time per operation
+	Rotation     time.Duration // average rotational latency per operation
+	PerByte      time.Duration // media transfer time per byte
+	BlockRecords int           // records per block (B)
+}
+
+// DefaultCostModel resembles an early-1990s drive of the paper's era:
+// 12 ms seek, 7200 RPM half-rotation (4.2 ms), 5 MB/s media rate.
+func DefaultCostModel(b int) CostModel {
+	return CostModel{
+		Seek:         12 * time.Millisecond,
+		Rotation:     4200 * time.Microsecond,
+		PerByte:      time.Second / (5 << 20),
+		BlockRecords: b,
+	}
+}
+
+// PerOp returns the modeled time of one parallel I/O operation.
+func (c CostModel) PerOp() time.Duration {
+	return c.Seek + c.Rotation + time.Duration(c.BlockRecords*RecordBytes)*c.PerByte
+}
+
+// Estimate returns the modeled wall-clock time of a run's parallel I/Os.
+func (c CostModel) Estimate(s Stats) time.Duration {
+	return time.Duration(s.ParallelIOs()) * c.PerOp()
+}
+
+func (c CostModel) String() string {
+	return fmt.Sprintf("seek %v + rotation %v + transfer %v per parallel I/O",
+		c.Seek, c.Rotation, time.Duration(c.BlockRecords*RecordBytes)*c.PerByte)
+}

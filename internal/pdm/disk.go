@@ -1,0 +1,66 @@
+package pdm
+
+import "fmt"
+
+// Disk abstracts one of the D independent disks. Blocks are numbered from 0;
+// each holds exactly B records. Implementations must be safe for sequential
+// use by a single System (the model has one I/O channel per disk, so there
+// is no intra-disk concurrency to manage).
+type Disk interface {
+	// ReadBlock copies block blockNum into dst (len(dst) == B).
+	ReadBlock(blockNum int, dst []Record) error
+	// WriteBlock overwrites block blockNum from src (len(src) == B).
+	WriteBlock(blockNum int, src []Record) error
+	// NumBlocks returns the disk's capacity in blocks.
+	NumBlocks() int
+	// Close releases any resources (files) held by the disk.
+	Close() error
+}
+
+// MemDisk is a RAM-backed Disk used for fast simulation.
+type MemDisk struct {
+	blockSize int
+	data      []Record
+}
+
+// NewMemDisk returns a zero-filled RAM disk with the given geometry.
+func NewMemDisk(numBlocks, blockSize int) *MemDisk {
+	return &MemDisk{
+		blockSize: blockSize,
+		data:      make([]Record, numBlocks*blockSize),
+	}
+}
+
+// ReadBlock implements Disk.
+func (d *MemDisk) ReadBlock(blockNum int, dst []Record) error {
+	if err := d.check(blockNum, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.data[blockNum*d.blockSize:(blockNum+1)*d.blockSize])
+	return nil
+}
+
+// WriteBlock implements Disk.
+func (d *MemDisk) WriteBlock(blockNum int, src []Record) error {
+	if err := d.check(blockNum, len(src)); err != nil {
+		return err
+	}
+	copy(d.data[blockNum*d.blockSize:(blockNum+1)*d.blockSize], src)
+	return nil
+}
+
+// NumBlocks implements Disk.
+func (d *MemDisk) NumBlocks() int { return len(d.data) / d.blockSize }
+
+// Close implements Disk; a MemDisk holds no external resources.
+func (d *MemDisk) Close() error { return nil }
+
+func (d *MemDisk) check(blockNum, n int) error {
+	if blockNum < 0 || blockNum >= d.NumBlocks() {
+		return fmt.Errorf("pdm: block %d out of range [0,%d)", blockNum, d.NumBlocks())
+	}
+	if n != d.blockSize {
+		return fmt.Errorf("pdm: buffer holds %d records, block holds %d", n, d.blockSize)
+	}
+	return nil
+}

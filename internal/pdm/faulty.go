@@ -1,0 +1,79 @@
+package pdm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjectedFault is the sentinel wrapped by every fault a FaultyDisk
+// injects, so tests can errors.Is for it.
+var ErrInjectedFault = errors.New("pdm: injected disk fault")
+
+// FaultyDisk wraps a Disk and injects failures, for testing that the
+// engines propagate I/O errors instead of silently corrupting data. Faults
+// trigger by operation count: the FailAfter'th block operation (0-based,
+// reads and writes combined) and every one following it fail when the
+// matching flag is set.
+type FaultyDisk struct {
+	Inner      Disk
+	FailAfter  int  // operations before faults begin
+	FailReads  bool // inject on ReadBlock
+	FailWrites bool // inject on WriteBlock
+
+	ops int
+}
+
+// NewFaultyDisk wraps inner so that all operations from number failAfter
+// onward fail (both reads and writes).
+func NewFaultyDisk(inner Disk, failAfter int) *FaultyDisk {
+	return &FaultyDisk{Inner: inner, FailAfter: failAfter, FailReads: true, FailWrites: true}
+}
+
+// Ops returns the number of block operations attempted so far.
+func (d *FaultyDisk) Ops() int { return d.ops }
+
+// ReadBlock implements Disk, injecting a fault when armed.
+func (d *FaultyDisk) ReadBlock(blockNum int, dst []Record) error {
+	n := d.ops
+	d.ops++
+	if d.FailReads && n >= d.FailAfter {
+		return fmt.Errorf("%w: read of block %d (op %d)", ErrInjectedFault, blockNum, n)
+	}
+	return d.Inner.ReadBlock(blockNum, dst)
+}
+
+// WriteBlock implements Disk, injecting a fault when armed.
+func (d *FaultyDisk) WriteBlock(blockNum int, src []Record) error {
+	n := d.ops
+	d.ops++
+	if d.FailWrites && n >= d.FailAfter {
+		return fmt.Errorf("%w: write of block %d (op %d)", ErrInjectedFault, blockNum, n)
+	}
+	return d.Inner.WriteBlock(blockNum, src)
+}
+
+// NumBlocks implements Disk.
+func (d *FaultyDisk) NumBlocks() int { return d.Inner.NumBlocks() }
+
+// Close implements Disk.
+func (d *FaultyDisk) Close() error { return d.Inner.Close() }
+
+// FaultyFactory wraps another DiskFactory so that the single disk
+// `faultyDisk` starts failing after failAfter operations. The created
+// FaultyDisk is returned through out (if non-nil) for inspection.
+func FaultyFactory(inner DiskFactory, faultyDisk, failAfter int, out **FaultyDisk) DiskFactory {
+	return func(disk, numBlocks, blockSize int) (Disk, error) {
+		d, err := inner(disk, numBlocks, blockSize)
+		if err != nil {
+			return nil, err
+		}
+		if disk != faultyDisk {
+			return d, nil
+		}
+		fd := NewFaultyDisk(d, failAfter)
+		if out != nil {
+			*out = fd
+		}
+		return fd, nil
+	}
+}

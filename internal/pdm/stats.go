@@ -1,0 +1,46 @@
+package pdm
+
+import "fmt"
+
+// Stats accumulates the cost measures of a simulation run. ParallelReads and
+// ParallelWrites count parallel I/O operations — the paper's only cost
+// metric — while the remaining fields support finer-grained assertions
+// (per-disk balance, block volume).
+type Stats struct {
+	ParallelReads  int // parallel read operations
+	ParallelWrites int // parallel write operations
+	BlocksRead     int // individual blocks transferred by reads
+	BlocksWritten  int // individual blocks transferred by writes
+
+	PerDiskReads  []int // blocks read from each disk
+	PerDiskWrites []int // blocks written to each disk
+}
+
+func newStats(d int) Stats {
+	return Stats{PerDiskReads: make([]int, d), PerDiskWrites: make([]int, d)}
+}
+
+// ParallelIOs returns the total number of parallel I/O operations.
+func (s Stats) ParallelIOs() int { return s.ParallelReads + s.ParallelWrites }
+
+// Passes converts the I/O total into passes of 2N/BD parallel I/Os each.
+func (s Stats) Passes(c Config) float64 {
+	return float64(s.ParallelIOs()) / float64(c.PassIOs())
+}
+
+// Reset zeroes all counters, preserving the per-disk slice lengths.
+func (s *Stats) Reset() {
+	s.ParallelReads, s.ParallelWrites = 0, 0
+	s.BlocksRead, s.BlocksWritten = 0, 0
+	for i := range s.PerDiskReads {
+		s.PerDiskReads[i] = 0
+	}
+	for i := range s.PerDiskWrites {
+		s.PerDiskWrites[i] = 0
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("parallel I/Os: %d (%d reads, %d writes); blocks: %d read, %d written",
+		s.ParallelIOs(), s.ParallelReads, s.ParallelWrites, s.BlocksRead, s.BlocksWritten)
+}

@@ -1,0 +1,281 @@
+package pdm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Portion selects one of the two record regions on the disk system. As in
+// Section 3 of the paper, one-pass algorithms read from a source portion and
+// write to a disjoint target portion, swapping roles between chained passes
+// so no source block is overwritten before it is read.
+type Portion int
+
+const (
+	// PortionA is the region that initially holds the input records.
+	PortionA Portion = 0
+	// PortionB is the initially empty second region.
+	PortionB Portion = 1
+)
+
+// DiskFactory constructs the backing store for one simulated disk.
+type DiskFactory func(disk, numBlocks, blockSize int) (Disk, error)
+
+// BlockIO names one block transfer within a parallel I/O: the block at
+// position Block on disk Disk (relative to a portion) moves to or from
+// memory frame Frame.
+type BlockIO struct {
+	Disk  int // disk number, 0..D-1
+	Block int // block position on the disk within the portion, 0..N/BD-1
+	Frame int // memory frame index, 0..M/B-1
+}
+
+// System is a simulated parallel disk system: D disks each holding two
+// portions of N/BD blocks, plus an M-record memory. All block transfers go
+// through ParallelRead/ParallelWrite (or the striped wrappers), which
+// enforce the model's one-block-per-disk rule and count every operation.
+type System struct {
+	cfg        Config
+	disks      []Disk
+	mem        []Record
+	stats      Stats
+	source     Portion
+	concurrent bool     // dispatch per-disk transfers on goroutines
+	observer   Observer // optional per-operation trace hook
+}
+
+// NewSystem builds a System over the given configuration. factory is called
+// once per disk; pass MemDiskFactory for RAM-backed simulation or
+// FileDiskFactory(dir) for file-backed disks.
+func NewSystem(cfg Config, factory DiskFactory) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		disks:  make([]Disk, cfg.D),
+		mem:    make([]Record, cfg.M),
+		stats:  newStats(cfg.D),
+		source: PortionA,
+	}
+	for i := 0; i < cfg.D; i++ {
+		d, err := factory(i, 2*cfg.BlocksPerDisk(), cfg.B)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("pdm: disk %d: %w", i, err)
+		}
+		if d.NumBlocks() < 2*cfg.BlocksPerDisk() {
+			s.Close()
+			return nil, fmt.Errorf("pdm: disk %d too small: %d blocks, need %d",
+				i, d.NumBlocks(), 2*cfg.BlocksPerDisk())
+		}
+		s.disks[i] = d
+	}
+	return s, nil
+}
+
+// NewMemSystem is shorthand for NewSystem(cfg, MemDiskFactory).
+func NewMemSystem(cfg Config) (*System, error) { return NewSystem(cfg, MemDiskFactory) }
+
+// Close closes all disks. The System must not be used afterwards.
+func (s *System) Close() error {
+	var firstErr error
+	for _, d := range s.disks {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Config returns the system's model parameters.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the accumulated I/O statistics.
+func (s *System) Stats() Stats {
+	out := s.stats
+	out.PerDiskReads = append([]int(nil), s.stats.PerDiskReads...)
+	out.PerDiskWrites = append([]int(nil), s.stats.PerDiskWrites...)
+	return out
+}
+
+// ResetStats zeroes the I/O counters.
+func (s *System) ResetStats() { s.stats.Reset() }
+
+// Source returns the portion currently holding the input of the next pass.
+func (s *System) Source() Portion { return s.source }
+
+// Target returns the portion the next pass writes to.
+func (s *System) Target() Portion { return 1 - s.source }
+
+// SwapPortions exchanges the source and target roles, as done between
+// chained one-pass permutations.
+func (s *System) SwapPortions() { s.source = 1 - s.source }
+
+// Mem returns the M-record memory. Callers permute records in place; frame
+// f occupies Mem()[f*B : (f+1)*B].
+func (s *System) Mem() []Record { return s.mem }
+
+// Frame returns the B-record slice of memory backing frame f.
+func (s *System) Frame(f int) []Record {
+	return s.mem[f*s.cfg.B : (f+1)*s.cfg.B]
+}
+
+// validate checks a batch of block transfers against the model's rules:
+// at most one block per disk per operation, and all indices in range.
+func (s *System) validate(p Portion, ios []BlockIO) error {
+	if len(ios) == 0 {
+		return errors.New("pdm: empty parallel I/O")
+	}
+	if len(ios) > s.cfg.D {
+		return fmt.Errorf("pdm: %d blocks in one parallel I/O exceeds D = %d", len(ios), s.cfg.D)
+	}
+	if p != PortionA && p != PortionB {
+		return fmt.Errorf("pdm: invalid portion %d", p)
+	}
+	seenDisk := make([]bool, s.cfg.D)
+	seenFrame := make(map[int]bool, len(ios))
+	for _, io := range ios {
+		if io.Disk < 0 || io.Disk >= s.cfg.D {
+			return fmt.Errorf("pdm: disk %d out of range [0,%d)", io.Disk, s.cfg.D)
+		}
+		if seenDisk[io.Disk] {
+			return fmt.Errorf("pdm: two blocks on disk %d in one parallel I/O", io.Disk)
+		}
+		seenDisk[io.Disk] = true
+		if io.Block < 0 || io.Block >= s.cfg.BlocksPerDisk() {
+			return fmt.Errorf("pdm: block %d out of range [0,%d)", io.Block, s.cfg.BlocksPerDisk())
+		}
+		if io.Frame < 0 || io.Frame >= s.cfg.Frames() {
+			return fmt.Errorf("pdm: frame %d out of range [0,%d)", io.Frame, s.cfg.Frames())
+		}
+		if seenFrame[io.Frame] {
+			return fmt.Errorf("pdm: frame %d used twice in one parallel I/O", io.Frame)
+		}
+		seenFrame[io.Frame] = true
+	}
+	return nil
+}
+
+// physBlock maps a portion-relative block position to the disk's physical
+// block number.
+func (s *System) physBlock(p Portion, block int) int {
+	return int(p)*s.cfg.BlocksPerDisk() + block
+}
+
+// ParallelRead performs one parallel read: every listed block (at most one
+// per disk) is copied from portion p into its memory frame. It counts as
+// exactly one parallel I/O regardless of how many disks participate.
+func (s *System) ParallelRead(p Portion, ios []BlockIO) error {
+	if err := s.validate(p, ios); err != nil {
+		return err
+	}
+	err := s.dispatch(ios, func(io BlockIO) error {
+		return s.disks[io.Disk].ReadBlock(s.physBlock(p, io.Block), s.Frame(io.Frame))
+	})
+	if err != nil {
+		return err
+	}
+	for _, io := range ios {
+		s.stats.PerDiskReads[io.Disk]++
+	}
+	s.stats.ParallelReads++
+	s.stats.BlocksRead += len(ios)
+	s.notify(IORead, p, ios)
+	return nil
+}
+
+// ParallelWrite performs one parallel write: every listed memory frame is
+// copied to its block (at most one per disk) in portion p. One parallel I/O.
+func (s *System) ParallelWrite(p Portion, ios []BlockIO) error {
+	if err := s.validate(p, ios); err != nil {
+		return err
+	}
+	err := s.dispatch(ios, func(io BlockIO) error {
+		return s.disks[io.Disk].WriteBlock(s.physBlock(p, io.Block), s.Frame(io.Frame))
+	})
+	if err != nil {
+		return err
+	}
+	for _, io := range ios {
+		s.stats.PerDiskWrites[io.Disk]++
+	}
+	s.stats.ParallelWrites++
+	s.stats.BlocksWritten += len(ios)
+	s.notify(IOWrite, p, ios)
+	return nil
+}
+
+// ReadStripe reads stripe `stripe` of portion p — one block from every disk
+// — into D consecutive frames starting at frame0. One parallel I/O.
+func (s *System) ReadStripe(p Portion, stripe, frame0 int) error {
+	ios := make([]BlockIO, s.cfg.D)
+	for disk := range ios {
+		ios[disk] = BlockIO{Disk: disk, Block: stripe, Frame: frame0 + disk}
+	}
+	return s.ParallelRead(p, ios)
+}
+
+// WriteStripe writes D consecutive frames starting at frame0 to stripe
+// `stripe` of portion p. One parallel I/O.
+func (s *System) WriteStripe(p Portion, stripe, frame0 int) error {
+	ios := make([]BlockIO, s.cfg.D)
+	for disk := range ios {
+		ios[disk] = BlockIO{Disk: disk, Block: stripe, Frame: frame0 + disk}
+	}
+	return s.ParallelWrite(p, ios)
+}
+
+// The helpers below bypass the I/O accounting. They exist for test setup and
+// post-run verification only — algorithms must never call them.
+
+// LoadRecords fills portion p with the given N records laid out per
+// Figure 1 (striped, record index varying fastest within a block). Not
+// counted as I/O.
+func (s *System) LoadRecords(p Portion, records []Record) error {
+	if len(records) != s.cfg.N {
+		return fmt.Errorf("pdm: LoadRecords got %d records, want N = %d", len(records), s.cfg.N)
+	}
+	buf := make([]Record, s.cfg.B)
+	for stripe := 0; stripe < s.cfg.Stripes(); stripe++ {
+		for disk := 0; disk < s.cfg.D; disk++ {
+			base := s.cfg.Addr(stripe, disk, 0)
+			copy(buf, records[base:base+uint64(s.cfg.B)])
+			if err := s.disks[disk].WriteBlock(s.physBlock(p, stripe), buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DumpRecords returns the N records of portion p in address order. Not
+// counted as I/O.
+func (s *System) DumpRecords(p Portion) ([]Record, error) {
+	out := make([]Record, s.cfg.N)
+	buf := make([]Record, s.cfg.B)
+	for stripe := 0; stripe < s.cfg.Stripes(); stripe++ {
+		for disk := 0; disk < s.cfg.D; disk++ {
+			if err := s.disks[disk].ReadBlock(s.physBlock(p, stripe), buf); err != nil {
+				return nil, err
+			}
+			base := s.cfg.Addr(stripe, disk, 0)
+			copy(out[base:base+uint64(s.cfg.B)], buf)
+		}
+	}
+	return out, nil
+}
+
+// RecordAt returns the record stored at address x in portion p. Not counted
+// as I/O; intended for spot checks in tests.
+func (s *System) RecordAt(p Portion, x uint64) (Record, error) {
+	buf := make([]Record, s.cfg.B)
+	disk := s.cfg.DiskOf(x)
+	if err := s.disks[disk].ReadBlock(s.physBlock(p, s.cfg.StripeOf(x)), buf); err != nil {
+		return Record{}, err
+	}
+	return buf[s.cfg.Offset(x)], nil
+}

@@ -1,0 +1,115 @@
+// Package perm defines bit-matrix-multiply/complement (BMMC) permutations
+// and the paper's subclasses: bit-permute/complement (BPC), memory-
+// rearrangement/complement (MRC), and memoryload-dispersal (MLD), together
+// with a catalog of the practically important instances (transposition,
+// bit reversal, Gray codes, hypercube and vector reversal).
+//
+// A BMMC permutation on N = 2^n records maps each n-bit source address x to
+// the target address y = Ax XOR c over GF(2), where the characteristic
+// matrix A is n x n and nonsingular and c is the complement vector.
+package perm
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// BMMC is a bit-matrix-multiply/complement permutation: y = Ax XOR c.
+// Construct values with New (which validates nonsingularity) or the catalog
+// constructors; the zero value is not meaningful.
+type BMMC struct {
+	A gf2.Matrix // n x n, nonsingular over GF(2)
+	C gf2.Vec    // complement vector, low n bits
+}
+
+// New validates that a is square and nonsingular and returns the BMMC
+// permutation y = ax XOR c.
+func New(a gf2.Matrix, c gf2.Vec) (BMMC, error) {
+	if a.Rows() != a.Cols() {
+		return BMMC{}, fmt.Errorf("perm: characteristic matrix is %dx%d, not square", a.Rows(), a.Cols())
+	}
+	if !a.IsNonsingular() {
+		return BMMC{}, fmt.Errorf("perm: characteristic matrix is singular over GF(2)")
+	}
+	return BMMC{A: a, C: c & gf2.Mask(a.Rows())}, nil
+}
+
+// MustNew is New for statically known-good inputs; it panics on error.
+func MustNew(a gf2.Matrix, c gf2.Vec) BMMC {
+	p, err := New(a, c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Identity returns the identity permutation on n-bit addresses.
+func Identity(n int) BMMC {
+	return BMMC{A: gf2.Identity(n)}
+}
+
+// Bits returns n, the address width the permutation acts on.
+func (p BMMC) Bits() int { return p.A.Rows() }
+
+// Size returns N = 2^n, the number of records permuted.
+func (p BMMC) Size() uint64 { return 1 << uint(p.Bits()) }
+
+// Apply maps a source address to its target address: y = Ax XOR c.
+func (p BMMC) Apply(x uint64) uint64 {
+	return uint64(p.A.MulVec(gf2.Vec(x)) ^ p.C)
+}
+
+// Inverse returns the inverse permutation: x = A^{-1} y XOR A^{-1} c.
+func (p BMMC) Inverse() BMMC {
+	inv, ok := p.A.Inverse()
+	if !ok {
+		panic("perm: BMMC matrix singular; value not built with New")
+	}
+	return BMMC{A: inv, C: inv.MulVec(p.C)}
+}
+
+// Compose returns the composition p ∘ q, the permutation that applies q
+// first and then p (Lemma 1 with complement vectors folded through):
+// (p∘q)(x) = A_p(A_q x XOR c_q) XOR c_p.
+func (p BMMC) Compose(q BMMC) BMMC {
+	return BMMC{A: p.A.Mul(q.A), C: p.A.MulVec(q.C) ^ p.C}
+}
+
+// IsIdentity reports whether p maps every address to itself.
+func (p BMMC) IsIdentity() bool {
+	return p.C == 0 && p.A.IsIdentity()
+}
+
+// Equal reports whether p and q are the same permutation (same matrix and
+// complement vector; BMMC representations are unique).
+func (p BMMC) Equal(q BMMC) bool {
+	return p.C == q.C && p.A.Equal(q.A)
+}
+
+// FixedPoints returns the number of addresses with Ax XOR c = x. Per the
+// proof of Lemma 9 this is |Pre(A+I, c)|: zero if c is outside the range of
+// A+I and 2^(n-rank(A+I)) otherwise, hence at most N/2 for any non-identity
+// BMMC permutation.
+func (p BMMC) FixedPoints() uint64 {
+	aPlusI := p.A.Add(gf2.Identity(p.Bits()))
+	if _, ok := aPlusI.Solve(p.C); !ok {
+		return 0
+	}
+	return 1 << uint(p.Bits()-aPlusI.Rank())
+}
+
+// Gamma returns the submatrix A_{b..n-1, 0..b-1} of size lg(N/B) x lg B —
+// the paper's gamma, whose rank controls both the lower bound (Theorem 3)
+// and the upper bound (Theorem 21).
+func (p BMMC) Gamma(b int) gf2.Matrix {
+	return p.A.Submatrix(b, p.Bits(), 0, b)
+}
+
+// RankGamma returns rank A_{b..n-1, 0..b-1}.
+func (p BMMC) RankGamma(b int) int { return p.Gamma(b).Rank() }
+
+// String renders the permutation compactly for diagnostics.
+func (p BMMC) String() string {
+	return fmt.Sprintf("BMMC(n=%d, c=%b)\n%v", p.Bits(), uint64(p.C), p.A)
+}

@@ -1,0 +1,147 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2"
+)
+
+func TestNewRejectsSingular(t *testing.T) {
+	a := gf2.New(4, 4) // zero matrix
+	if _, err := New(a, 0); err == nil {
+		t.Error("singular matrix accepted")
+	}
+	if _, err := New(gf2.New(3, 4), 0); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := New(gf2.Identity(4), 0b1111); err != nil {
+		t.Errorf("identity rejected: %v", err)
+	}
+}
+
+func TestApplyIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		p := MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		seen := make([]bool, 1<<uint(n))
+		for x := uint64(0); x < p.Size(); x++ {
+			y := p.Apply(x)
+			if y >= p.Size() {
+				t.Fatalf("Apply(%d) = %d out of range", x, y)
+			}
+			if seen[y] {
+				t.Fatalf("Apply not injective at %d", x)
+			}
+			seen[y] = true
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(seed int64, xRaw uint64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(20)
+		p := MustNew(gf2.RandomNonsingular(local, n), gf2.RandomVec(local, n))
+		inv := p.Inverse()
+		x := xRaw & uint64(gf2.Mask(n))
+		return inv.Apply(p.Apply(x)) == x && p.Apply(inv.Apply(x)) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma1Composition: the matrix product characterizes the composition
+// (with complement vectors folded through).
+func TestLemma1Composition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, xRaw uint64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(16)
+		p := MustNew(gf2.RandomNonsingular(local, n), gf2.RandomVec(local, n))
+		q := MustNew(gf2.RandomNonsingular(local, n), gf2.RandomVec(local, n))
+		x := xRaw & uint64(gf2.Mask(n))
+		return p.Compose(q).Apply(x) == p.Apply(q.Apply(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorollary2Factors: performing the permutations of factors right to
+// left realizes the permutation of the product.
+func TestCorollary2Factors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 8
+	factors := make([]BMMC, 4)
+	product := Identity(n)
+	for i := range factors {
+		factors[i] = MustNew(gf2.RandomNonsingular(rng, n), 0)
+	}
+	// product = A4 A3 A2 A1 (factors[3] ... factors[0]).
+	for i := len(factors) - 1; i >= 0; i-- {
+		product = product.Compose(factors[i])
+	}
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		y := x
+		for _, f := range factors { // apply factors[0] first: right to left
+			y = f.Apply(y)
+		}
+		if product.Apply(x) != y {
+			t.Fatalf("factored application diverges at %d", x)
+		}
+	}
+}
+
+// TestLemma9FixedPoints: brute-force fixed point counts match the closed
+// form, and non-identity permutations have at most N/2 fixed points.
+func TestLemma9FixedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(9)
+		p := MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		count := uint64(0)
+		for x := uint64(0); x < p.Size(); x++ {
+			if p.Apply(x) == x {
+				count++
+			}
+		}
+		if count != p.FixedPoints() {
+			t.Fatalf("fixed points = %d, closed form %d", count, p.FixedPoints())
+		}
+		if !p.IsIdentity() && count > p.Size()/2 {
+			t.Fatalf("non-identity permutation with %d > N/2 fixed points", count)
+		}
+	}
+	id := Identity(5)
+	if id.FixedPoints() != 32 {
+		t.Errorf("identity fixed points = %d", id.FixedPoints())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	p := GrayCode(6)
+	q := GrayCode(6)
+	if !p.Equal(q) {
+		t.Error("equal permutations not Equal")
+	}
+	if p.Equal(BitReversal(6)) {
+		t.Error("different permutations Equal")
+	}
+}
+
+func TestGammaRank(t *testing.T) {
+	// Identity: gamma (below-diagonal block) is zero.
+	if Identity(8).RankGamma(3) != 0 {
+		t.Error("identity gamma rank nonzero")
+	}
+	// Bit reversal on n bits with b < n/2: gamma has a full-rank antidiagonal.
+	p := BitReversal(8)
+	if got := p.RankGamma(3); got != 3 {
+		t.Errorf("bit-reversal gamma rank = %d, want 3", got)
+	}
+}

@@ -1,0 +1,137 @@
+package perm
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// This file constructs the BMMC permutations of practical interest named in
+// the paper: matrix transposition, bit-reversal (FFT), vector reversal,
+// hypercube permutations, Gray codes and their inverses, and general
+// bit-rotation (stride) permutations. All are BPC except the Gray codes,
+// which are MRC (unit triangular), and the complement-only permutations.
+
+// Transpose returns the BMMC permutation that transposes an R x S matrix
+// (R = 2^lgR rows, S = 2^lgS columns, N = RS records) stored in row-major
+// order. Element (i, j) moves from address i*S+j to address j*R+i, which on
+// addresses is a left-rotation of the n bits by lgS positions:
+// y_t = x_{(t+lgS) mod n}.
+func Transpose(lgR, lgS int) BMMC {
+	return RotateBits(lgR+lgS, lgS)
+}
+
+// RotateBits returns the BPC permutation y_t = x_{(t+k) mod n}, the
+// "stride" or generalized shuffle permutation. k may be any integer; it is
+// reduced mod n.
+func RotateBits(n, k int) BMMC {
+	if n <= 0 {
+		panic(fmt.Sprintf("perm: RotateBits n = %d", n))
+	}
+	k = ((k % n) + n) % n
+	a := gf2.New(n, n)
+	for t := 0; t < n; t++ {
+		a.Set(t, (t+k)%n, 1)
+	}
+	return BMMC{A: a}
+}
+
+// BitReversal returns the BPC permutation y_t = x_{n-1-t} used to reorder
+// FFT inputs.
+func BitReversal(n int) BMMC {
+	a := gf2.New(n, n)
+	for t := 0; t < n; t++ {
+		a.Set(t, n-1-t, 1)
+	}
+	return BMMC{A: a}
+}
+
+// VectorReversal returns the permutation mapping x to N-1-x, i.e. the
+// complement of every address bit: A = I, c = 2^n - 1.
+func VectorReversal(n int) BMMC {
+	return BMMC{A: gf2.Identity(n), C: gf2.Mask(n)}
+}
+
+// Hypercube returns the permutation x -> x XOR mask, exchanging data across
+// the hypercube dimensions set in mask: A = I, c = mask.
+func Hypercube(n int, mask uint64) BMMC {
+	return BMMC{A: gf2.Identity(n), C: gf2.Vec(mask) & gf2.Mask(n)}
+}
+
+// GrayCode returns the permutation mapping x to its standard binary-
+// reflected Gray code g(x) = x XOR (x >> 1). Row i of the characteristic
+// matrix has 1s in columns i and i+1 — a unit upper-triangular matrix, so
+// the permutation is MRC for every memory size (as noted in Section 1).
+func GrayCode(n int) BMMC {
+	a := gf2.Identity(n)
+	for i := 0; i < n-1; i++ {
+		a.Set(i, i+1, 1)
+	}
+	return BMMC{A: a}
+}
+
+// GrayCodeInverse returns the inverse Gray code permutation
+// x = g^{-1}(y), whose matrix is unit upper-triangular with all-ones upper
+// triangle: x_i = y_i XOR y_{i+1} XOR ... XOR y_{n-1}.
+func GrayCodeInverse(n int) BMMC {
+	a := gf2.Identity(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 1)
+		}
+	}
+	return BMMC{A: a}
+}
+
+// BitPermutation returns the BPC permutation y_t = x_{pi[t]} with target
+// bit t drawn from source bit pi[t], complemented by c. pi must be a
+// permutation of 0..n-1.
+func BitPermutation(pi []int, c uint64) (BMMC, error) {
+	n := len(pi)
+	seen := make([]bool, n)
+	a := gf2.New(n, n)
+	for t, s := range pi {
+		if s < 0 || s >= n || seen[s] {
+			return BMMC{}, fmt.Errorf("perm: pi is not a permutation of 0..%d", n-1)
+		}
+		seen[s] = true
+		a.Set(t, s, 1)
+	}
+	return BMMC{A: a, C: gf2.Vec(c) & gf2.Mask(n)}, nil
+}
+
+// Reblock returns the permutation that converts a vector laid out in blocks
+// of 2^lgOld records into blocks of 2^lgNew records distributed round-robin
+// across the same number of block positions — the "matrix reblocking"
+// permutation cited for BPC. Concretely it swaps the roles of address bit
+// fields [0, lgOld) and [lgOld, lgOld+lgNew): y = (block fields exchanged),
+// a rotation of the low lgOld+lgNew bits by lgOld with the top bits fixed.
+func Reblock(n, lgOld, lgNew int) (BMMC, error) {
+	if lgOld < 0 || lgNew < 0 || lgOld+lgNew > n {
+		return BMMC{}, fmt.Errorf("perm: reblock fields %d+%d exceed n=%d", lgOld, lgNew, n)
+	}
+	a := gf2.Identity(n)
+	k := lgOld + lgNew
+	for t := 0; t < k; t++ {
+		a.SetRow(t, 0)
+		a.Set(t, (t+lgOld)%k, 1)
+	}
+	return BMMC{A: a}, nil
+}
+
+// PermutedGrayCode returns the permutation characterized by Pi*G, where G
+// is the standard binary-reflected Gray code matrix and Pi applies the
+// bit permutation pi to the result bits (target bit t of the Gray code
+// moves to bit position with pi describing the permutation matrix rows as
+// in BitPermutation). Section 6 uses this family as the motivating case
+// for run-time detection: the result is BMMC but in general not MRC, so a
+// programmer who only knows "it is some Gray-code variant" would miss the
+// cheap algorithm without detection.
+func PermutedGrayCode(pi []int) (BMMC, error) {
+	p, err := BitPermutation(pi, 0)
+	if err != nil {
+		return BMMC{}, err
+	}
+	g := GrayCode(len(pi))
+	return p.Compose(g), nil
+}

@@ -1,0 +1,211 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransposeSemantics(t *testing.T) {
+	// R=8 rows, S=4 cols: element (i,j) at i*S+j must land at j*R+i.
+	const lgR, lgS = 3, 2
+	const R, S = 1 << lgR, 1 << lgS
+	p := Transpose(lgR, lgS)
+	for i := uint64(0); i < R; i++ {
+		for j := uint64(0); j < S; j++ {
+			src := i*S + j
+			want := j*R + i
+			if got := p.Apply(src); got != want {
+				t.Fatalf("transpose(%d,%d): Apply(%d) = %d, want %d", i, j, src, got, want)
+			}
+		}
+	}
+	// Transposing back must be the inverse.
+	back := Transpose(lgS, lgR)
+	if !back.Equal(p.Inverse()) {
+		t.Error("Transpose(lgS,lgR) != inverse of Transpose(lgR,lgS)")
+	}
+}
+
+func TestRotateBits(t *testing.T) {
+	p := RotateBits(6, 2)
+	// y_t = x_{(t+2) mod 6}: x = 0b000001 (bit 0 set) -> bit 0 appears at
+	// target position t with (t+2) mod 6 = 0, i.e. t = 4.
+	if got := p.Apply(1); got != 1<<4 {
+		t.Errorf("rotate: Apply(1) = %b, want bit 4", got)
+	}
+	if !RotateBits(6, 0).IsIdentity() {
+		t.Error("rotation by 0 not identity")
+	}
+	if !RotateBits(6, -2).Equal(RotateBits(6, 4)) {
+		t.Error("negative rotation not normalized")
+	}
+	if !RotateBits(6, 6).IsIdentity() {
+		t.Error("full rotation not identity")
+	}
+}
+
+func TestBitReversalSemantics(t *testing.T) {
+	p := BitReversal(5)
+	cases := []struct{ x, y uint64 }{
+		{0b00000, 0b00000},
+		{0b00001, 0b10000},
+		{0b10000, 0b00001},
+		{0b10110, 0b01101},
+		{0b11111, 0b11111},
+	}
+	for _, c := range cases {
+		if got := p.Apply(c.x); got != c.y {
+			t.Errorf("bitrev(%05b) = %05b, want %05b", c.x, got, c.y)
+		}
+	}
+	if !p.Inverse().Equal(p) {
+		t.Error("bit reversal not an involution")
+	}
+}
+
+func TestVectorReversal(t *testing.T) {
+	p := VectorReversal(6)
+	for x := uint64(0); x < 64; x++ {
+		if got := p.Apply(x); got != 63-x {
+			t.Fatalf("vector reversal Apply(%d) = %d, want %d", x, got, 63-x)
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	p := Hypercube(8, 0b1010)
+	for _, x := range []uint64{0, 5, 77, 255} {
+		if got := p.Apply(x); got != x^0b1010 {
+			t.Fatalf("hypercube Apply(%d) = %d", x, got)
+		}
+	}
+}
+
+func TestGrayCodeSemantics(t *testing.T) {
+	p := GrayCode(7)
+	inv := GrayCodeInverse(7)
+	for x := uint64(0); x < 128; x++ {
+		want := x ^ (x >> 1)
+		if got := p.Apply(x); got != want {
+			t.Fatalf("gray(%d) = %d, want %d", x, got, want)
+		}
+		if inv.Apply(want) != x {
+			t.Fatalf("inverse gray fails at %d", x)
+		}
+	}
+	if !p.Inverse().Equal(inv) {
+		t.Error("GrayCodeInverse != Inverse of GrayCode")
+	}
+	// Successive Gray codes differ in exactly one bit.
+	for x := uint64(0); x < 127; x++ {
+		diff := p.Apply(x) ^ p.Apply(x+1)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("gray(%d) and gray(%d) differ in %b", x, x+1, diff)
+		}
+	}
+}
+
+func TestBitPermutation(t *testing.T) {
+	p, err := BitPermutation([]int{2, 0, 1}, 0b100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y0 = x2, y1 = x0, y2 = x1 ^ 1.
+	x := uint64(0b011) // x0=1 x1=1 x2=0
+	want := uint64(0b110 ^ 0b100)
+	if got := p.Apply(x); got != want {
+		t.Errorf("BitPermutation Apply(%03b) = %03b, want %03b", x, got, want)
+	}
+	if _, err := BitPermutation([]int{0, 0, 1}, 0); err == nil {
+		t.Error("duplicate source bit accepted")
+	}
+	if _, err := BitPermutation([]int{0, 3, 1}, 0); err == nil {
+		t.Error("out-of-range source bit accepted")
+	}
+}
+
+func TestReblock(t *testing.T) {
+	// Reblocking 2^2-record blocks into 2^1-record blocks on 5-bit
+	// addresses: low 3 bits rotate by 2, top 2 bits fixed.
+	p, err := Reblock(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsBPC() {
+		t.Error("reblock not BPC")
+	}
+	for x := uint64(0); x < 32; x++ {
+		low := x & 0b111
+		want := x&^uint64(0b111) | (low >> 2) | (low&0b11)<<1
+		if got := p.Apply(x); got != want {
+			t.Fatalf("reblock Apply(%05b) = %05b, want %05b", x, got, want)
+		}
+	}
+	if _, err := Reblock(4, 3, 2); err == nil {
+		t.Error("oversized reblock accepted")
+	}
+}
+
+func TestCatalogAllNonsingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for n := 2; n <= 16; n++ {
+		perms := []BMMC{
+			BitReversal(n),
+			VectorReversal(n),
+			GrayCode(n),
+			GrayCodeInverse(n),
+			RotateBits(n, rng.Intn(n)),
+			Hypercube(n, rng.Uint64()),
+		}
+		for i, p := range perms {
+			if !p.A.IsNonsingular() {
+				t.Fatalf("catalog permutation %d singular at n=%d", i, n)
+			}
+		}
+	}
+}
+
+// TestSection6PermutedGrayCode reproduces the Section 6 discussion: a Gray
+// code with all bits permuted the same way (matrix Pi*G) is BMMC but not
+// necessarily MRC, which is why run-time detection matters.
+func TestSection6PermutedGrayCode(t *testing.T) {
+	n, m := 10, 7
+	// A rotation moving high Gray bits low destroys the MRC form.
+	pi := make([]int, n)
+	for i := range pi {
+		pi[i] = (i + 3) % n
+	}
+	p, err := PermutedGrayCode(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.A.IsNonsingular() {
+		t.Fatal("permuted Gray code singular")
+	}
+	if p.IsMRC(m) {
+		t.Fatal("expected a non-MRC permuted Gray code for this pi")
+	}
+	// Semantics: pi applied to the Gray code's bits.
+	g := GrayCode(n)
+	rot := RotateBits(n, 3)
+	for x := uint64(0); x < 1<<uint(n); x += 17 {
+		if p.Apply(x) != rot.Apply(g.Apply(x)) {
+			t.Fatalf("permuted Gray code semantics wrong at %d", x)
+		}
+	}
+	// The identity bit permutation recovers the plain (MRC) Gray code.
+	idPi := make([]int, n)
+	for i := range idPi {
+		idPi[i] = i
+	}
+	plain, err := PermutedGrayCode(idPi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(g) || !plain.IsMRC(m) {
+		t.Fatal("identity-permuted Gray code is not the plain Gray code")
+	}
+	if _, err := PermutedGrayCode([]int{0, 0, 1}); err == nil {
+		t.Fatal("invalid pi accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package perm
+
+import "repro/internal/gf2"
+
+// Class identifies the most specific permutation class a BMMC permutation
+// falls into for a given machine geometry. The classes are nested:
+// Identity ⊂ MRC ⊂ MLD ⊂ BMMC, with BPC orthogonal (a BPC permutation may
+// or may not be MRC/MLD).
+type Class int
+
+const (
+	// ClassIdentity is the identity permutation (zero I/Os).
+	ClassIdentity Class = iota
+	// ClassMRC is memory-rearrangement/complement: one pass, striped reads
+	// and striped writes.
+	ClassMRC
+	// ClassMLD is memoryload-dispersal: one pass, striped reads and
+	// independent writes.
+	ClassMLD
+	// ClassBMMC is the general case, requiring the factoring algorithm.
+	ClassBMMC
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIdentity:
+		return "identity"
+	case ClassMRC:
+		return "MRC"
+	case ClassMLD:
+		return "MLD"
+	default:
+		return "BMMC"
+	}
+}
+
+// IsBPC reports whether p is a bit-permute/complement permutation: its
+// characteristic matrix is a permutation matrix.
+func (p BMMC) IsBPC() bool { return p.A.IsPermutation() }
+
+// IsMRC reports whether p is memory-rearrangement/complement for memory
+// size 2^m: the lower-left (n-m) x m submatrix is zero (for a nonsingular
+// block-upper-triangular matrix the leading and trailing blocks are then
+// automatically nonsingular, but we check them anyway so the predicate is
+// meaningful on matrices that bypassed New).
+func (p BMMC) IsMRC(m int) bool {
+	n := p.Bits()
+	if m < 0 || m > n {
+		return false
+	}
+	if !p.A.Submatrix(m, n, 0, m).IsZero() {
+		return false
+	}
+	if !p.A.Submatrix(0, m, 0, m).IsNonsingular() {
+		return false
+	}
+	return m == n || p.A.Submatrix(m, n, m, n).IsNonsingular()
+}
+
+// IsMLD reports whether p is a memoryload-dispersal permutation for block
+// size 2^b and memory size 2^m: the kernel condition (4) holds,
+// ker kappa ⊆ ker lambda, where kappa = A_{b..m-1,0..m-1} and
+// lambda = A_{m..n-1,0..m-1}.
+func (p BMMC) IsMLD(b, m int) bool {
+	n := p.Bits()
+	if b < 0 || b > m || m > n {
+		return false
+	}
+	kappa := p.A.Submatrix(b, m, 0, m)
+	lambda := p.A.Submatrix(m, n, 0, m)
+	return gf2.KernelContains(kappa, lambda)
+}
+
+// CheckMLDKernelCondition runs the explicit two-step procedure of Section 6
+// for verifying the kernel condition: find a basis of ker kappa, reject if
+// it has more than b vectors (rank kappa must be m-b), and verify lambda
+// maps every basis vector to zero. It returns the same answer as IsMLD for
+// nonsingular matrices but mirrors the paper's runtime check.
+func (p BMMC) CheckMLDKernelCondition(b, m int) bool {
+	n := p.Bits()
+	if b < 0 || b > m || m > n {
+		return false
+	}
+	kappa := p.A.Submatrix(b, m, 0, m)
+	lambda := p.A.Submatrix(m, n, 0, m)
+	basis := kappa.KernelBasis()
+	if len(basis) > b {
+		// dim(ker kappa) must be exactly b for an MLD matrix (Lemma 12).
+		return false
+	}
+	for _, x := range basis {
+		if !lambda.InKernel(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify returns the most specific class of p for block size 2^b and
+// memory size 2^m, using the containments proved in Section 3 (every MRC
+// permutation is MLD; every MLD permutation is BMMC).
+func (p BMMC) Classify(b, m int) Class {
+	switch {
+	case p.IsIdentity():
+		return ClassIdentity
+	case p.IsMRC(m):
+		return ClassMRC
+	case p.IsMLD(b, m):
+		return ClassMLD
+	default:
+		return ClassBMMC
+	}
+}
+
+// CrossRank returns the k-cross-rank of eq. (2): rank A_{k..n-1, 0..k-1},
+// which for permutation matrices equals rank A_{0..k-1, k..n-1}.
+func (p BMMC) CrossRank(k int) int {
+	return p.A.Submatrix(k, p.Bits(), 0, k).Rank()
+}
+
+// MaxCrossRank returns kappa(A) of eq. (3): the maximum of the b- and
+// m-cross-ranks, the quantity governing the BPC algorithm of [4].
+func (p BMMC) MaxCrossRank(b, m int) int {
+	kb, km := p.CrossRank(b), p.CrossRank(m)
+	if kb > km {
+		return kb
+	}
+	return km
+}

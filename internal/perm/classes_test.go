@@ -1,0 +1,253 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// randomMLD builds a random MLD permutation as (erasure form) * (random MRC):
+// by Theorem 17 the product of an MLD and an MRC matrix is MLD, and the
+// erasure form is MLD by construction (Section 4).
+func randomMLD(rng *rand.Rand, n, b, m int) BMMC {
+	e := gf2.Identity(n)
+	e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
+	mrc := gf2.RandomMRC(rng, n, m)
+	return MustNew(e.Mul(mrc), gf2.RandomVec(rng, n))
+}
+
+func TestIsBPC(t *testing.T) {
+	if !BitReversal(7).IsBPC() {
+		t.Error("bit reversal not BPC")
+	}
+	if !Transpose(3, 4).IsBPC() {
+		t.Error("transpose not BPC")
+	}
+	if !VectorReversal(5).IsBPC() {
+		t.Error("vector reversal not BPC")
+	}
+	if GrayCode(5).IsBPC() {
+		t.Error("Gray code reported BPC")
+	}
+}
+
+func TestIsMRC(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		m := 1 + rng.Intn(n-1)
+		p := MustNew(gf2.RandomMRC(rng, n, m), gf2.RandomVec(rng, n))
+		if !p.IsMRC(m) {
+			t.Fatalf("RandomMRC not recognized (n=%d m=%d)", n, m)
+		}
+	}
+	// Gray code is unit upper triangular: MRC for every m.
+	g := GrayCode(8)
+	for m := 1; m < 8; m++ {
+		if !g.IsMRC(m) {
+			t.Errorf("Gray code not MRC at m=%d", m)
+		}
+	}
+	gi := GrayCodeInverse(8)
+	for m := 1; m < 8; m++ {
+		if !gi.IsMRC(m) {
+			t.Errorf("inverse Gray code not MRC at m=%d", m)
+		}
+	}
+	// Bit reversal moves low bits high: not MRC for m < n.
+	if BitReversal(8).IsMRC(4) {
+		t.Error("bit reversal reported MRC")
+	}
+}
+
+func TestIsMLDAndKernelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := randomMLD(rng, n, b, m)
+		if !p.IsMLD(b, m) {
+			t.Fatalf("constructed MLD not recognized (n=%d b=%d m=%d)\n%v", n, b, m, p.A)
+		}
+		if !p.CheckMLDKernelCondition(b, m) {
+			t.Fatalf("Section 6 kernel check rejects constructed MLD (n=%d b=%d m=%d)", n, b, m)
+		}
+	}
+	// The two predicates must agree on arbitrary nonsingular matrices.
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(8)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := MustNew(gf2.RandomNonsingular(rng, n), 0)
+		if p.IsMLD(b, m) != p.CheckMLDKernelCondition(b, m) {
+			t.Fatalf("IsMLD and CheckMLDKernelCondition disagree (n=%d b=%d m=%d)\n%v", n, b, m, p.A)
+		}
+	}
+}
+
+// TestEveryMRCIsMLD verifies the containment noted at the end of Section 3.
+func TestEveryMRCIsMLD(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := MustNew(gf2.RandomMRC(rng, n, m), 0)
+		if !p.IsMLD(b, m) {
+			t.Fatalf("MRC permutation not MLD (n=%d b=%d m=%d)", n, b, m)
+		}
+	}
+}
+
+// TestTheorem18MRCClosure: MRC permutations are closed under composition
+// and inverse.
+func TestTheorem18MRCClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(10)
+		m := 1 + rng.Intn(n-1)
+		p := MustNew(gf2.RandomMRC(rng, n, m), gf2.RandomVec(rng, n))
+		q := MustNew(gf2.RandomMRC(rng, n, m), gf2.RandomVec(rng, n))
+		if !p.Inverse().IsMRC(m) {
+			t.Fatalf("inverse of MRC not MRC (n=%d m=%d)", n, m)
+		}
+		if !p.Compose(q).IsMRC(m) {
+			t.Fatalf("composition of MRCs not MRC (n=%d m=%d)", n, m)
+		}
+	}
+}
+
+// TestTheorem17MLDTimesMRC: the product (MLD matrix)*(MRC matrix)
+// characterizes an MLD permutation.
+func TestTheorem17MLDTimesMRC(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		y := randomMLD(rng, n, b, m)
+		x := MustNew(gf2.RandomMRC(rng, n, m), 0)
+		prod := BMMC{A: y.A.Mul(x.A)}
+		if !prod.IsMLD(b, m) {
+			t.Fatalf("MLD*MRC not MLD (n=%d b=%d m=%d)", n, b, m)
+		}
+	}
+}
+
+// TestSection3Counterexample reproduces the paper's explicit example showing
+// MRC*MLD need not be MLD, with b = m-b = n-m = 2.
+func TestSection3Counterexample(t *testing.T) {
+	const b, mb, nm = 2, 2, 2
+	n, m := b+mb+nm, b+mb
+	// MRC factor: [[0 I 0],[I 0 0],[0 0 I]] blocks of size 2.
+	mrc := gf2.New(n, n)
+	mrc.SetSubmatrix(0, b, gf2.Identity(mb))
+	mrc.SetSubmatrix(b, 0, gf2.Identity(b))
+	mrc.SetSubmatrix(m, m, gf2.Identity(nm))
+	// MLD factor: [[I 0 0],[0 I 0],[0 I I]].
+	mld := gf2.Identity(n)
+	mld.SetSubmatrix(m, b, gf2.Identity(mb))
+
+	pMRC := MustNew(mrc, 0)
+	pMLD := MustNew(mld, 0)
+	if !pMRC.IsMRC(m) {
+		t.Fatal("MRC factor not MRC")
+	}
+	if !pMLD.IsMLD(b, m) {
+		t.Fatal("MLD factor not MLD")
+	}
+	prod := BMMC{A: mrc.Mul(mld)}
+	if prod.IsMLD(b, m) {
+		t.Fatal("paper's counterexample product reported MLD")
+	}
+}
+
+// TestLemma16RankBound: for an MLD matrix, rank of the lower-left
+// (n-m) x m submatrix is at most m-b.
+func TestLemma16RankBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := randomMLD(rng, n, b, m)
+		lambda := p.A.Submatrix(m, n, 0, m)
+		if lambda.Rank() > m-b {
+			t.Fatalf("MLD lambda rank %d > m-b = %d", lambda.Rank(), m-b)
+		}
+	}
+}
+
+// TestLemma12LeadingBlock: the kernel condition implies the leading m x m
+// submatrix of an MLD matrix is nonsingular.
+func TestLemma12LeadingBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(n-2)
+		b := 1 + rng.Intn(m-1)
+		p := randomMLD(rng, n, b, m)
+		if !p.A.Submatrix(0, m, 0, m).IsNonsingular() {
+			t.Fatalf("MLD leading block singular (n=%d b=%d m=%d)", n, b, m)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	n, b, m := 10, 3, 7
+	if got := Identity(n).Classify(b, m); got != ClassIdentity {
+		t.Errorf("identity classified %v", got)
+	}
+	if got := GrayCode(n).Classify(b, m); got != ClassMRC {
+		t.Errorf("Gray code classified %v", got)
+	}
+	mld := randomMLD(rng, n, b, m)
+	if !mld.IsMRC(m) {
+		if got := mld.Classify(b, m); got != ClassMLD {
+			t.Errorf("MLD classified %v", got)
+		}
+	}
+	if got := BitReversal(n).Classify(b, m); got != ClassBMMC {
+		t.Errorf("bit reversal classified %v", got)
+	}
+	for _, c := range []Class{ClassIdentity, ClassMRC, ClassMLD, ClassBMMC} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestCrossRank(t *testing.T) {
+	// For a BPC matrix, the k-cross-rank counts target bits >= k drawn from
+	// source bits < k. Bit reversal on 8 bits at k=4 moves all 4 low bits
+	// high: cross-rank 4.
+	p := BitReversal(8)
+	if got := p.CrossRank(4); got != 4 {
+		t.Errorf("bit-reversal 4-cross-rank = %d, want 4", got)
+	}
+	if got := Identity(8).CrossRank(4); got != 0 {
+		t.Errorf("identity cross-rank = %d", got)
+	}
+	// Transpose(4,4) = rotation by 4 on 8 bits: every low bit moves high.
+	if got := Transpose(4, 4).CrossRank(4); got != 4 {
+		t.Errorf("transpose cross-rank = %d", got)
+	}
+	// Symmetry of eq. (2) for permutation matrices.
+	rng := rand.New(rand.NewSource(58))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		k := 1 + rng.Intn(n-1)
+		a := gf2.RandomPermutationMatrix(rng, n)
+		p := BMMC{A: a}
+		upper := a.Submatrix(0, k, k, n).Rank()
+		if p.CrossRank(k) != upper {
+			t.Fatalf("cross-rank asymmetry for permutation matrix at k=%d", k)
+		}
+	}
+	if MaxOf := (BMMC{A: gf2.RandomPermutationMatrix(rng, 10)}).MaxCrossRank(3, 7); MaxOf < 0 {
+		t.Error("negative cross rank")
+	}
+}

@@ -1,0 +1,64 @@
+package perm
+
+import "repro/internal/gf2"
+
+// Compiled is a table-driven form of a BMMC permutation. Apply on the
+// Matrix form costs one AND+popcount per matrix row; the compiled form
+// splits the source address into bytes and XORs eight precomputed partial
+// products, independent of n. Engines compile once per pass and then map
+// millions of addresses.
+type Compiled struct {
+	tab [8][256]uint64 // tab[k][v] = A * (v << 8k) over GF(2)
+	c   uint64
+}
+
+// Compile precomputes the byte-lookup tables for p.
+func (p BMMC) Compile() *Compiled {
+	ca := &Compiled{c: uint64(p.C)}
+	n := p.Bits()
+	// Column images: colImage[j] = A * e_j.
+	var colImage [gf2.MaxDim]uint64
+	for j := 0; j < n; j++ {
+		colImage[j] = uint64(p.A.MulVec(gf2.Vec(1) << uint(j)))
+	}
+	for k := 0; k < 8; k++ {
+		base := 8 * k
+		if base >= n {
+			break // higher bytes are always zero for n-bit addresses
+		}
+		for v := 1; v < 256; v++ {
+			// One new bit relative to v with that bit cleared.
+			low := v & (v - 1)
+			bit := base + trailingZeros8(v^low)
+			img := uint64(0)
+			if bit < n {
+				img = colImage[bit]
+			}
+			ca.tab[k][v] = ca.tab[k][low] ^ img
+		}
+	}
+	return ca
+}
+
+// Apply maps a source address to its target address, equal to
+// BMMC.Apply for addresses below 2^n.
+func (ca *Compiled) Apply(x uint64) uint64 {
+	return ca.tab[0][x&0xff] ^
+		ca.tab[1][x>>8&0xff] ^
+		ca.tab[2][x>>16&0xff] ^
+		ca.tab[3][x>>24&0xff] ^
+		ca.tab[4][x>>32&0xff] ^
+		ca.tab[5][x>>40&0xff] ^
+		ca.tab[6][x>>48&0xff] ^
+		ca.tab[7][x>>56&0xff] ^
+		ca.c
+}
+
+func trailingZeros8(v int) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

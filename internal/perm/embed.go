@@ -1,0 +1,53 @@
+package perm
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// Embed lifts p to a larger address space of n bits by placing its
+// characteristic matrix in the leading block and the identity in the
+// trailing block:
+//
+//	A' = [ A 0 ]      c' = (c, 0...)
+//	     [ 0 I ]
+//
+// The embedded permutation applies p to the low p.Bits() address bits and
+// leaves the high bits fixed — it permutes within each 2^p.Bits()-record
+// segment identically. Both rank gamma (for any b <= p.Bits()) and rank
+// lambda are preserved, which makes Embed the right tool for scaling
+// experiments that must hold the pass structure constant while N grows.
+func (p BMMC) Embed(n int) (BMMC, error) {
+	k := p.Bits()
+	if n < k {
+		return BMMC{}, fmt.Errorf("perm: cannot embed %d-bit permutation into %d bits", k, n)
+	}
+	if n == k {
+		return p, nil
+	}
+	a := gf2.Identity(n)
+	a.SetSubmatrix(0, 0, p.A)
+	return BMMC{A: a, C: p.C}, nil
+}
+
+// Morton returns the BPC permutation converting a row-major 2^lg x 2^lg
+// square matrix layout into Morton (Z-order) layout: target address bits
+// interleave the row and column bits. With row-major source address
+// x = (col bits 0..lg-1, row bits lg..2lg-1), the Morton address
+// interleaves them as y_{2t} = col_t, y_{2t+1} = row_t.
+func Morton(lg int) BMMC {
+	n := 2 * lg
+	a := gf2.New(n, n)
+	for t := 0; t < lg; t++ {
+		a.Set(2*t, t, 1)      // y_{2t}   = x_t       (column bit t)
+		a.Set(2*t+1, lg+t, 1) // y_{2t+1} = x_{lg+t}  (row bit t)
+	}
+	return BMMC{A: a}
+}
+
+// MortonInverse returns the permutation converting Morton (Z-order) layout
+// back to row-major layout.
+func MortonInverse(lg int) BMMC {
+	return Morton(lg).Inverse()
+}

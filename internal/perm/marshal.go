@@ -1,0 +1,93 @@
+package perm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gf2"
+)
+
+// Marshal renders the permutation in a line-oriented text format that
+// Parse accepts:
+//
+//	bmmc n=<bits>
+//	c=<n binary digits, component 0 leftmost>
+//	<row 0: n binary digits, column 0 leftmost>
+//	...
+//	<row n-1>
+//
+// The format matches Matrix.String's digit order, so a matrix printed for
+// diagnostics can be pasted into a file and parsed back.
+func (p BMMC) Marshal() []byte {
+	n := p.Bits()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bmmc n=%d\n", n)
+	sb.WriteString("c=")
+	for i := 0; i < n; i++ {
+		sb.WriteByte('0' + byte(p.C.Bit(i)))
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(p.A.String())
+	sb.WriteByte('\n')
+	return []byte(sb.String())
+}
+
+// Parse reads the Marshal format, validating shape and nonsingularity.
+// Blank lines and lines starting with '#' are ignored.
+func Parse(data []byte) (BMMC, error) {
+	var lines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return BMMC{}, fmt.Errorf("perm: empty input")
+	}
+	var n int
+	if _, err := fmt.Sscanf(lines[0], "bmmc n=%d", &n); err != nil {
+		return BMMC{}, fmt.Errorf("perm: bad header %q: %w", lines[0], err)
+	}
+	if n <= 0 || n > gf2.MaxDim {
+		return BMMC{}, fmt.Errorf("perm: n = %d out of range", n)
+	}
+	if len(lines) != 2+n {
+		return BMMC{}, fmt.Errorf("perm: expected complement plus %d rows, got %d lines", n, len(lines)-1)
+	}
+	if !strings.HasPrefix(lines[1], "c=") {
+		return BMMC{}, fmt.Errorf("perm: missing complement line")
+	}
+	c, err := parseBits(strings.TrimPrefix(lines[1], "c="), n)
+	if err != nil {
+		return BMMC{}, fmt.Errorf("perm: complement: %w", err)
+	}
+	a := gf2.New(n, n)
+	for i := 0; i < n; i++ {
+		row, err := parseBits(lines[2+i], n)
+		if err != nil {
+			return BMMC{}, fmt.Errorf("perm: row %d: %w", i, err)
+		}
+		a.SetRow(i, row)
+	}
+	return New(a, c)
+}
+
+// parseBits reads n binary digits with component 0 leftmost.
+func parseBits(s string, n int) (gf2.Vec, error) {
+	if len(s) != n {
+		return 0, fmt.Errorf("want %d digits, got %d", n, len(s))
+	}
+	var v gf2.Vec
+	for i := 0; i < n; i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v |= 1 << uint(i)
+		default:
+			return 0, fmt.Errorf("invalid digit %q", s[i])
+		}
+	}
+	return v, nil
+}

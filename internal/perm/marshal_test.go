@@ -1,0 +1,75 @@
+package perm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(24)
+		p := MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		back, err := Parse(p.Marshal())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("roundtrip changed the permutation (n=%d)", n)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# a Gray code on 3 bits
+bmmc n=3
+
+c=000
+110
+# middle row
+011
+001
+`
+	p, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(GrayCode(3)) {
+		t.Fatalf("parsed wrong matrix:\n%v", p.A)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"bad header", "hello n=3\nc=000\n100\n010\n001"},
+		{"zero n", "bmmc n=0\nc=\n"},
+		{"huge n", "bmmc n=99\nc=0\n"},
+		{"missing rows", "bmmc n=3\nc=000\n100\n010"},
+		{"missing complement", "bmmc n=2\n10\n01\n11"},
+		{"bad digit", "bmmc n=2\nc=00\n1x\n01"},
+		{"wrong row width", "bmmc n=2\nc=00\n100\n01"},
+		{"singular", "bmmc n=2\nc=00\n11\n11"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMarshalHumanReadable(t *testing.T) {
+	out := string(GrayCode(4).Marshal())
+	for _, want := range []string{"bmmc n=4", "c=0000", "1100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("marshal output missing %q:\n%s", want, out)
+		}
+	}
+}
