@@ -52,14 +52,36 @@ const (
 	ClassBMMC     = perm.ClassBMMC
 )
 
+// Option tunes how a Permuter executes permutations (pipelining, scatter
+// workers, concurrent disk dispatch). Options change wall-clock behavior
+// only: the permuted records and the measured parallel-I/O counts are
+// identical for every setting.
+type Option = core.Option
+
+// WithPipeline enables or disables the double-buffered pass pipeline that
+// prefetches the next memoryload while the current one is permuted and
+// written. On by default.
+func WithPipeline(on bool) Option { return core.WithPipeline(on) }
+
+// WithWorkers sets the number of goroutines sharding each in-memory
+// scatter; zero or negative selects runtime.GOMAXPROCS (the default).
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
+
+// WithConcurrentIO dispatches the per-disk transfers of each parallel I/O
+// on one goroutine per disk, so file-backed disks overlap real storage
+// latency like D independent spindles. Off by default.
+func WithConcurrentIO(on bool) Option { return core.WithConcurrentIO(on) }
+
 // NewPermuter creates a RAM-backed disk system holding the canonical
 // records MakeRecord(0..N-1).
-func NewPermuter(cfg Config) (*Permuter, error) { return core.NewPermuter(cfg) }
+func NewPermuter(cfg Config, opts ...Option) (*Permuter, error) {
+	return core.NewPermuter(cfg, opts...)
+}
 
 // NewFilePermuter creates a file-backed disk system (one file per disk in
 // dir) holding the canonical records.
-func NewFilePermuter(cfg Config, dir string) (*Permuter, error) {
-	return core.NewFilePermuter(cfg, dir)
+func NewFilePermuter(cfg Config, dir string, opts ...Option) (*Permuter, error) {
+	return core.NewFilePermuter(cfg, dir, opts...)
 }
 
 // MakeRecord returns the canonical record for a source address.

@@ -1,33 +1,49 @@
 // Command bmmcbench regenerates the paper's evaluation tables on the
 // simulated parallel disk system. With no flags it runs every experiment in
 // DESIGN.md's index on the default geometry and prints the tables that
-// EXPERIMENTS.md archives.
+// EXPERIMENTS.md archives, each stamped with its wall-clock time.
 //
 // Usage:
 //
 //	bmmcbench [-experiment name] [-N n] [-D d] [-B b] [-M m] [-seed s]
+//	          [-json] [-pipeline] [-workers w] [-concurrent]
 //
 // Experiment names: table1, tightbounds, crossover, mld, detect, potential,
-// transpose, scaling, lemma9, or "all".
+// transpose, scaling, lemma9, ablation, inverse, pipeline, or "all".
+//
+// -pipeline, -workers and -concurrent select the execution mode of the
+// pass runner (prefetching, scatter worker pool, per-disk goroutine
+// dispatch). They change wall-clock time only; every parallel-I/O count in
+// the tables is identical across modes. -json emits the tables as a JSON
+// array with per-experiment elapsed time, for archiving perf trajectories
+// (BENCH_*.json) across revisions.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/pdm"
 )
 
 func main() {
 	var (
-		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse)")
+		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline)")
 		n    = flag.Int("N", experiments.DefaultConfig.N, "total records (power of 2)")
 		d    = flag.Int("D", experiments.DefaultConfig.D, "disks (power of 2)")
 		b    = flag.Int("B", experiments.DefaultConfig.B, "records per block (power of 2)")
 		m    = flag.Int("M", experiments.DefaultConfig.M, "records of memory (power of 2)")
 		seed = flag.Int64("seed", 1, "random seed for workload generation")
+
+		jsonOut    = flag.Bool("json", false, "emit tables as JSON with per-experiment wall-clock")
+		pipeline   = flag.Bool("pipeline", true, "prefetch the next memoryload while the current one is permuted")
+		workers    = flag.Int("workers", 0, "scatter worker goroutines (0 = GOMAXPROCS)")
+		concurrent = flag.Bool("concurrent", false, "dispatch per-disk transfers on goroutines (SetConcurrent)")
 	)
 	flag.Parse()
 
@@ -36,23 +52,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("BMMC permutation experiments on %v (seed %d)\n\n", cfg, *seed)
+	experiments.Exec = engine.Options{Pipeline: *pipeline, Workers: *workers}
+	experiments.ConcurrentIO = *concurrent
+	if !*jsonOut {
+		fmt.Printf("BMMC permutation experiments on %v (seed %d, pipeline %v, workers %d, concurrent I/O %v)\n\n",
+			cfg, *seed, *pipeline, *workers, *concurrent)
+	}
 
 	var tables []*experiments.Table
-	if *name == "all" {
-		all, err := experiments.All(cfg, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	timed := func(gen func(pdm.Config, int64) (*experiments.Table, error)) (*experiments.Table, error) {
+		start := time.Now()
+		tbl, err := gen(cfg, *seed)
+		if tbl != nil {
+			tbl.Elapsed = time.Since(start)
 		}
-		tables = all
+		return tbl, err
+	}
+	if *name == "all" {
+		for _, gn := range experiments.Names() {
+			tbl, err := timed(experiments.ByName(gn))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", gn, err)
+				os.Exit(1)
+			}
+			tables = append(tables, tbl)
+		}
 	} else {
 		gen := experiments.ByName(*name)
 		if gen == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *name)
 			os.Exit(2)
 		}
-		tbl, err := gen(cfg, *seed)
+		tbl, err := timed(gen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -61,13 +92,24 @@ func main() {
 	}
 	failed := false
 	for _, tbl := range tables {
-		tbl.Fprint(os.Stdout)
 		for _, row := range tbl.Rows {
 			for _, cell := range row {
 				if cell == "FAIL" {
 					failed = true
 				}
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		for _, tbl := range tables {
+			tbl.Fprint(os.Stdout)
 		}
 	}
 	if failed {

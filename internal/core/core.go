@@ -21,29 +21,70 @@ import (
 // NewFilePermuter (one file per simulated disk).
 type Permuter struct {
 	sys *pdm.System
+	opt engine.Options
+}
+
+// Option configures a Permuter at construction. Options tune execution
+// only — wall-clock speed — and never change the permuted result or the
+// measured parallel-I/O counts.
+type Option func(*settings)
+
+type settings struct {
+	opt          engine.Options
+	concurrentIO bool
+}
+
+func defaultSettings() settings {
+	return settings{opt: engine.DefaultOptions()}
+}
+
+// WithPipeline enables or disables double-buffered prefetching in the pass
+// runner (the next memoryload is read while the current one is permuted and
+// written). On by default.
+func WithPipeline(on bool) Option {
+	return func(s *settings) { s.opt.Pipeline = on }
+}
+
+// WithWorkers sets the number of goroutines sharding each in-memory
+// scatter. Zero or negative selects runtime.GOMAXPROCS. The default is the
+// full GOMAXPROCS pool.
+func WithWorkers(n int) Option {
+	return func(s *settings) { s.opt.Workers = n }
+}
+
+// WithConcurrentIO dispatches the per-disk transfers inside each parallel
+// I/O on one goroutine per disk, letting file-backed disks overlap real
+// storage latency the way D physical spindles would. Off by default.
+func WithConcurrentIO(on bool) Option {
+	return func(s *settings) { s.concurrentIO = on }
 }
 
 // NewPermuter returns a Permuter over a RAM-backed disk system loaded with
 // the canonical records MakeRecord(0..N-1).
-func NewPermuter(cfg pdm.Config) (*Permuter, error) {
-	return newPermuter(cfg, pdm.MemDiskFactory)
+func NewPermuter(cfg pdm.Config, opts ...Option) (*Permuter, error) {
+	return newPermuter(cfg, pdm.MemDiskFactory, opts...)
 }
 
 // NewFilePermuter returns a Permuter whose D disks are files in dir.
-func NewFilePermuter(cfg pdm.Config, dir string) (*Permuter, error) {
-	return newPermuter(cfg, pdm.FileDiskFactory(dir))
+func NewFilePermuter(cfg pdm.Config, dir string, opts ...Option) (*Permuter, error) {
+	return newPermuter(cfg, pdm.FileDiskFactory(dir), opts...)
 }
 
-func newPermuter(cfg pdm.Config, factory pdm.DiskFactory) (*Permuter, error) {
+func newPermuter(cfg pdm.Config, factory pdm.DiskFactory, opts ...Option) (*Permuter, error) {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
 	sys, err := pdm.NewSystem(cfg, factory)
 	if err != nil {
 		return nil, err
 	}
+	sys.SetConcurrent(s.concurrentIO)
 	if err := engine.LoadSequential(sys); err != nil {
 		sys.Close()
 		return nil, err
 	}
-	return &Permuter{sys: sys}, nil
+	return &Permuter{sys: sys, opt: s.opt}, nil
 }
 
 // Close releases the underlying disks.
@@ -67,7 +108,7 @@ func (p *Permuter) ResetStats() { p.sys.ResetStats() }
 // otherwise the factoring algorithm of Section 5). The returned Report
 // carries the measured cost next to the paper's bounds.
 func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
-	res, err := engine.RunAuto(p.sys, bp)
+	res, err := engine.RunAutoOpt(p.sys, bp, p.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +118,7 @@ func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
 // PermuteFactored forces the full Section 5 factoring algorithm even for
 // permutations that have a cheaper class, for measurement purposes.
 func (p *Permuter) PermuteFactored(bp perm.BMMC) (*Report, error) {
-	res, err := engine.RunBMMC(p.sys, bp)
+	res, err := engine.RunBMMCOpt(p.sys, bp, p.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +144,7 @@ func (p *Permuter) PermuteAll(perms ...perm.BMMC) (*Report, error) {
 // PermuteGeneral applies an arbitrary bijection on addresses using the
 // external merge-sort baseline. targetOf must map 0..N-1 onto itself.
 func (p *Permuter) PermuteGeneral(targetOf func(uint64) uint64) (*Report, error) {
-	res, err := engine.GeneralPermute(p.sys, targetOf)
+	res, err := engine.GeneralPermuteOpt(p.sys, targetOf, p.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +163,19 @@ func (p *Permuter) VerifyMapping(targetOf func(uint64) uint64) error {
 }
 
 // Records returns the stored records in address order (diagnostic; not
-// counted as I/O).
+// counted as I/O). It always reads the system's current source portion —
+// the portion holding the output of the most recent permutation. The
+// source and target portions swap roles after every pass, so after an odd
+// number of passes the records physically sit in PortionB; callers never
+// need to track this, but code addressing the System directly does.
 func (p *Permuter) Records() ([]pdm.Record, error) {
 	return p.sys.DumpRecords(p.sys.Source())
 }
 
-// LoadRecords replaces the stored records (diagnostic; not counted as I/O).
+// LoadRecords replaces the stored records (diagnostic; not counted as
+// I/O). Like Records, it targets the current source portion — the records
+// the next Permute call will read — regardless of how many passes have run
+// and which physical portion that currently is.
 func (p *Permuter) LoadRecords(recs []pdm.Record) error {
 	return p.sys.LoadRecords(p.sys.Source(), recs)
 }

@@ -15,6 +15,11 @@ import (
 // result is 2g+2 passes instead of g+1, demonstrating what the MLD class
 // buys: each S_i^{-1} and P^{-1} is MRC, each E_i^{-1} is MLD on its own.
 func RunBMMCUngrouped(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCUngroupedOpt(sys, p, DefaultOptions())
+}
+
+// RunBMMCUngroupedOpt is RunBMMCUngrouped with explicit execution options.
+func RunBMMCUngroupedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -31,9 +36,9 @@ func RunBMMCUngrouped(sys *pdm.System, p perm.BMMC) (*Result, error) {
 	for i, pass := range factors {
 		switch pass.Kind {
 		case perm.ClassMRC:
-			err = RunMRCPass(sys, pass.Perm)
+			err = RunMRCPassOpt(sys, pass.Perm, opt)
 		case perm.ClassMLD:
-			err = RunMLDPass(sys, pass.Perm)
+			err = RunMLDPassOpt(sys, pass.Perm, opt)
 		default:
 			err = fmt.Errorf("engine: ungrouped pass %d has class %v", i, pass.Kind)
 		}

@@ -25,6 +25,12 @@ type Result struct {
 // parallel I/Os (Theorem 21); tests and the experiment harness assert this
 // against Result.ParallelIOs.
 func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCOpt(sys, p, DefaultOptions())
+}
+
+// RunBMMCOpt is RunBMMC with explicit execution options, applied to every
+// pass of the factored sequence.
+func RunBMMCOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -40,9 +46,9 @@ func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
 	for i, pass := range plan.Passes {
 		switch pass.Kind {
 		case perm.ClassMRC:
-			err = RunMRCPass(sys, pass.Perm)
+			err = RunMRCPassOpt(sys, pass.Perm, opt)
 		case perm.ClassMLD:
-			err = RunMLDPass(sys, pass.Perm)
+			err = RunMLDPassOpt(sys, pass.Perm, opt)
 		default:
 			err = fmt.Errorf("engine: pass %d has unexpected class %v", i, pass.Kind)
 		}
@@ -62,6 +68,11 @@ func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
 // permutations run in one pass; everything else goes through the factoring
 // algorithm.
 func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunAutoOpt(sys, p, DefaultOptions())
+}
+
+// RunAutoOpt is RunAuto with explicit execution options.
+func RunAutoOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -71,12 +82,12 @@ func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
 	case perm.ClassIdentity:
 		return &Result{}, nil
 	case perm.ClassMRC:
-		if err := RunMRCPass(sys, p); err != nil {
+		if err := RunMRCPassOpt(sys, p, opt); err != nil {
 			return nil, err
 		}
 		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
 	case perm.ClassMLD:
-		if err := RunMLDPass(sys, p); err != nil {
+		if err := RunMLDPassOpt(sys, p, opt); err != nil {
 			return nil, err
 		}
 		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
@@ -85,11 +96,11 @@ func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
 		// one-pass permutation, so inverses of MLD permutations also run in
 		// a single pass (independent reads, striped writes).
 		if p.Inverse().IsMLD(cfg.LgB(), cfg.LgM()) {
-			if err := RunMLDInversePass(sys, p); err != nil {
+			if err := RunMLDInversePassOpt(sys, p, opt); err != nil {
 				return nil, err
 			}
 			return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
 		}
-		return RunBMMC(sys, p)
+		return RunBMMCOpt(sys, p, opt)
 	}
 }

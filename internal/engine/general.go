@@ -22,6 +22,14 @@ import (
 // Records must carry their source address in Key (see LoadSequential);
 // targetOf maps source to target addresses and must be a bijection.
 func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	return GeneralPermuteOpt(sys, targetOf, DefaultOptions())
+}
+
+// GeneralPermuteOpt is GeneralPermute with explicit execution options. The
+// run-formation pass goes through the pipelined pass runner (prefetching
+// the next memoryload while the current one sorts); the merge passes stream
+// stripes and stay sequential.
+func GeneralPermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	stripeRecs := cfg.B * cfg.D
 	fanIn := cfg.M/stripeRecs - 1
@@ -32,29 +40,15 @@ func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, err
 	passes := 0
 
 	// Run formation: sort each memoryload in memory; one pass.
-	mem := sys.Mem()
-	spm := cfg.StripesPerMemoryload()
-	for ml := 0; ml < cfg.Memoryloads(); ml++ {
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.ReadStripe(sys.Source(), ml*spm+sw, sw*cfg.D); err != nil {
-				return nil, err
-			}
-		}
-		sort.Slice(mem, func(i, j int) bool {
-			return targetOf(mem[i].Key) < targetOf(mem[j].Key)
-		})
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.WriteStripe(sys.Target(), ml*spm+sw, sw*cfg.D); err != nil {
-				return nil, err
-			}
-		}
+	if err := runPass(sys, &sortStrategy{cfg: cfg, targetOf: targetOf}, opt); err != nil {
+		return nil, err
 	}
 	sys.SwapPortions()
 	passes++
 
 	// Merge passes: fanIn-way merges at stripe granularity until one run
 	// spans all stripes.
-	runStripes := spm
+	runStripes := cfg.StripesPerMemoryload()
 	for runStripes < cfg.Stripes() {
 		if err := mergePass(sys, targetOf, runStripes, fanIn); err != nil {
 			return nil, err
@@ -67,6 +61,34 @@ func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, err
 		Passes:      passes,
 		ParallelIOs: sys.Stats().ParallelIOs() - before,
 	}, nil
+}
+
+// sortStrategy is the run-formation stage of the merge sort as a pass
+// strategy: striped reads of each memoryload, an in-memory sort by target
+// address (a single scatter unit — sorting does not shard), and striped
+// writes back to the same memoryload position.
+type sortStrategy struct {
+	cfg      pdm.Config
+	targetOf func(uint64) uint64
+}
+
+func (st *sortStrategy) loads() int { return st.cfg.Memoryloads() }
+
+func (st *sortStrategy) prepare(ml int) (loadPlan, error) {
+	return loadPlan{reads: stripedOps(st.cfg, ml), units: 1}, nil
+}
+
+func (st *sortStrategy) scatter(_ int, _ loadPlan, in, out *pdm.Buffer, _, _ int) (any, error) {
+	recs := out.Records()
+	copy(recs, in.Records())
+	sort.Slice(recs, func(i, j int) bool {
+		return st.targetOf(recs[i].Key) < st.targetOf(recs[j].Key)
+	})
+	return nil, nil
+}
+
+func (st *sortStrategy) writes(ml int, _ loadPlan, _ []any) ([][]pdm.BlockIO, error) {
+	return stripedOps(st.cfg, ml), nil
 }
 
 // mergePass merges every group of fanIn consecutive runs (runStripes

@@ -19,6 +19,11 @@ import (
 //
 // p itself is the permutation to perform; its inverse must be MLD.
 func RunMLDInversePass(sys *pdm.System, p perm.BMMC) error {
+	return RunMLDInversePassOpt(sys, p, DefaultOptions())
+}
+
+// RunMLDInversePassOpt is RunMLDInversePass with explicit execution options.
+func RunMLDInversePassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -28,79 +33,97 @@ func RunMLDInversePass(sys *pdm.System, p perm.BMMC) error {
 	if !inv.IsMLD(b, m) {
 		return fmt.Errorf("engine: inverse is not MLD for b=%d m=%d", b, m)
 	}
-	src, tgt := sys.Source(), sys.Target()
-	mem := sys.Mem()
-	scratch := make([]pdm.Record, cfg.M)
-	spm := cfg.StripesPerMemoryload()
-	invApplier := inv.Compile()
-	applier := p.Compile()
-
-	for tml := 0; tml < cfg.Memoryloads(); tml++ {
-		// The records destined for target memoryload tml have source
-		// addresses inv(base|j) for j = 0..M-1. By the MLD properties of
-		// the inverse (read in reverse), they occupy M/B full source
-		// blocks, M/BD per disk.
-		base := uint64(tml) * uint64(cfg.M)
-		byDisk := make([][]pdm.BlockIO, cfg.D)
-		frameOf := make(map[int]int, cfg.Frames()) // global source block -> frame
-		for j := 0; j < cfg.M; j++ {
-			x := invApplier.Apply(base | uint64(j))
-			sb := cfg.BlockIndex(x)
-			if _, seen := frameOf[sb]; seen {
-				continue
-			}
-			nextFrame := len(frameOf)
-			if nextFrame == cfg.Frames() {
-				return fmt.Errorf("engine: target memoryload %d draws from more than M/B=%d source blocks", tml, cfg.Frames())
-			}
-			frameOf[sb] = nextFrame
-			disk := cfg.DiskOf(x)
-			byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
-				Disk:  disk,
-				Block: cfg.StripeOf(x),
-				Frame: nextFrame,
-			})
-		}
-		if len(frameOf) != cfg.Frames() {
-			return fmt.Errorf("engine: target memoryload %d draws from %d source blocks, want M/B=%d", tml, len(frameOf), cfg.Frames())
-		}
-		for disk, blocks := range byDisk {
-			if len(blocks) != cfg.FramesPerDisk() {
-				return fmt.Errorf("engine: inverse-MLD balance violated: disk %d supplies %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
-			}
-		}
-		// Gather with M/BD independent parallel reads.
-		for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
-			ios := make([]pdm.BlockIO, cfg.D)
-			for disk := range ios {
-				ios[disk] = byDisk[disk][wave]
-			}
-			if err := sys.ParallelRead(src, ios); err != nil {
-				return err
-			}
-		}
-		// Permute in memory: the record read into frame f at offset off has
-		// source address (block base of f) | off; route it to its target
-		// offset within this memoryload.
-		for sb, f := range frameOf {
-			frame := sys.Frame(f)
-			blockBase := uint64(sb) << uint(b)
-			for off, r := range frame {
-				y := applier.Apply(blockBase | uint64(off))
-				if cfg.MemoryloadOf(y) != tml {
-					return fmt.Errorf("engine: record %d escaped target memoryload %d", blockBase|uint64(off), tml)
-				}
-				scratch[y&uint64(cfg.M-1)] = r
-			}
-		}
-		copy(mem, scratch)
-		// Emit the memoryload with striped writes.
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.WriteStripe(tgt, tml*spm+sw, sw*cfg.D); err != nil {
-				return err
-			}
-		}
+	st := &invMLDStrategy{cfg: cfg, applier: p.Compile(), invApplier: inv.Compile()}
+	if err := runPass(sys, st, opt); err != nil {
+		return err
 	}
 	sys.SwapPortions()
 	return nil
+}
+
+// invMLDStrategy is the mirror-image placement rule: loads iterate over
+// target memoryloads, the reads gather the M/B scattered source blocks that
+// feed each one (planned with the inverse map), and the writes are striped.
+type invMLDStrategy struct {
+	cfg        pdm.Config
+	applier    *perm.Compiled // the permutation p itself
+	invApplier *perm.Compiled // p^{-1}, used to plan the gather reads
+}
+
+func (st *invMLDStrategy) loads() int { return st.cfg.Memoryloads() }
+
+func (st *invMLDStrategy) prepare(tml int) (loadPlan, error) {
+	cfg := st.cfg
+	// The records destined for target memoryload tml have source addresses
+	// inv(base|j) for j = 0..M-1. By the MLD properties of the inverse
+	// (read in reverse), they occupy M/B full source blocks, M/BD per disk.
+	base := uint64(tml) * uint64(cfg.M)
+	byDisk := make([][]pdm.BlockIO, cfg.D)
+	frameOf := make(map[int]int, cfg.Frames()) // global source block -> frame
+	blockOf := make([]int, 0, cfg.Frames())    // frame -> global source block
+	for j := 0; j < cfg.M; j++ {
+		x := st.invApplier.Apply(base | uint64(j))
+		sb := cfg.BlockIndex(x)
+		if _, seen := frameOf[sb]; seen {
+			continue
+		}
+		nextFrame := len(frameOf)
+		if nextFrame == cfg.Frames() {
+			return loadPlan{}, fmt.Errorf("engine: target memoryload %d draws from more than M/B=%d source blocks", tml, cfg.Frames())
+		}
+		frameOf[sb] = nextFrame
+		blockOf = append(blockOf, sb)
+		disk := cfg.DiskOf(x)
+		byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
+			Disk:  disk,
+			Block: cfg.StripeOf(x),
+			Frame: nextFrame,
+		})
+	}
+	if len(frameOf) != cfg.Frames() {
+		return loadPlan{}, fmt.Errorf("engine: target memoryload %d draws from %d source blocks, want M/B=%d", tml, len(frameOf), cfg.Frames())
+	}
+	for disk, blocks := range byDisk {
+		if len(blocks) != cfg.FramesPerDisk() {
+			return loadPlan{}, fmt.Errorf("engine: inverse-MLD balance violated: disk %d supplies %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
+		}
+	}
+	// Gather with M/BD independent parallel reads.
+	reads := make([][]pdm.BlockIO, cfg.FramesPerDisk())
+	for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
+		ios := make([]pdm.BlockIO, cfg.D)
+		for disk := range ios {
+			ios[disk] = byDisk[disk][wave]
+		}
+		reads[wave] = ios
+	}
+	return loadPlan{reads: reads, units: cfg.Frames(), ctx: blockOf}, nil
+}
+
+func (st *invMLDStrategy) scatter(tml int, plan loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
+	cfg := st.cfg
+	b := cfg.LgB()
+	mask := uint64(cfg.M - 1)
+	blockOf := plan.ctx.([]int)
+	dst := out.Records()
+	// The record read into frame f at offset off has source address
+	// (block base of f) | off; route it to its target offset within this
+	// memoryload.
+	for f := lo; f < hi; f++ {
+		frame := in.Frame(f)
+		blockBase := uint64(blockOf[f]) << uint(b)
+		for off, r := range frame {
+			y := st.applier.Apply(blockBase | uint64(off))
+			if cfg.MemoryloadOf(y) != tml {
+				return nil, fmt.Errorf("engine: record %d escaped target memoryload %d", blockBase|uint64(off), tml)
+			}
+			dst[y&mask] = r
+		}
+	}
+	return nil, nil
+}
+
+func (st *invMLDStrategy) writes(tml int, _ loadPlan, _ []any) ([][]pdm.BlockIO, error) {
+	// Emit the memoryload with striped writes.
+	return stripedOps(st.cfg, tml), nil
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/pdm"
 )
@@ -16,6 +17,11 @@ import (
 // Memory use: D output frames plus up to D input frames per read wave,
 // which requires M >= 2BD.
 func NaivePermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	return NaivePermuteOpt(sys, targetOf, DefaultOptions())
+}
+
+// NaivePermuteOpt is NaivePermute with explicit execution options.
+func NaivePermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if cfg.Frames() < 2*cfg.D {
 		return nil, fmt.Errorf("engine: naive permute needs M >= 2BD (M=%d, BD=%d)", cfg.M, cfg.B*cfg.D)
@@ -33,77 +39,194 @@ func NaivePermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error
 		srcOf[y] = x
 	}
 
-	src, tgt := sys.Source(), sys.Target()
-	// Process D consecutive target blocks per round; consecutive block
-	// indices land on consecutive disks, so each round writes one block per
-	// disk in a single parallel write.
-	for block0 := 0; block0 < cfg.Blocks(); block0 += cfg.D {
-		// need[sourceBlock] lists (outFrame, outOffset, srcOffset) pulls.
-		type pull struct{ frame, outOff, srcOff int }
-		need := make(map[int][]pull)
-		for t := 0; t < cfg.D; t++ {
-			tb := block0 + t
-			for off := 0; off < cfg.B; off++ {
-				y := uint64(tb)<<uint(cfg.LgB()) | uint64(off)
-				x := srcOf[y]
-				need[cfg.BlockIndex(x)] = append(need[cfg.BlockIndex(x)], pull{
-					frame:  t,
-					outOff: off,
-					srcOff: cfg.Offset(x),
-				})
-			}
-		}
-		// Read the needed source blocks in waves of at most one per disk.
-		pending := make([]int, 0, len(need))
-		for sb := range need {
-			pending = append(pending, sb)
-		}
-		for len(pending) > 0 {
-			var wave []pdm.BlockIO
-			used := make([]bool, cfg.D)
-			rest := pending[:0]
-			for _, sb := range pending {
-				disk := sb & (cfg.D - 1) // low d bits of the block index
-				if used[disk] || len(wave) == cfg.D {
-					rest = append(rest, sb)
-					continue
-				}
-				used[disk] = true
-				wave = append(wave, pdm.BlockIO{
-					Disk:  disk,
-					Block: sb >> uint(cfg.LgD()),
-					Frame: cfg.D + len(wave), // input frames follow output frames
-				})
-			}
-			pending = rest
-			if err := sys.ParallelRead(src, wave); err != nil {
-				return nil, err
-			}
-			for _, io := range wave {
-				sb := io.Block<<uint(cfg.LgD()) | io.Disk
-				in := sys.Frame(io.Frame)
-				for _, p := range need[sb] {
-					sys.Frame(p.frame)[p.outOff] = in[p.srcOff]
-				}
-			}
-		}
-		// Write the D assembled target blocks in one parallel write.
-		ios := make([]pdm.BlockIO, cfg.D)
-		for t := 0; t < cfg.D; t++ {
-			tb := block0 + t
-			ios[t] = pdm.BlockIO{
-				Disk:  tb & (cfg.D - 1),
-				Block: tb >> uint(cfg.LgD()),
-				Frame: t,
-			}
-		}
-		if err := sys.ParallelWrite(tgt, ios); err != nil {
-			return nil, err
-		}
+	if err := runPass(sys, newNaiveStrategy(cfg, srcOf), opt); err != nil {
+		return nil, err
 	}
 	sys.SwapPortions()
 	return &Result{
 		Passes:      1,
 		ParallelIOs: sys.Stats().ParallelIOs() - before,
 	}, nil
+}
+
+// naivePull is one record movement within a round: input-buffer index to
+// output-buffer index.
+type naivePull struct{ inIdx, outIdx int }
+
+// naiveCtx is the per-wave plan handed from prepare to scatter/writes.
+type naiveCtx struct {
+	pulls []naivePull
+	write []pdm.BlockIO // the round's parallel write, on its last wave only
+}
+
+// naiveStrategy treats each read wave of the naive gather as one load of
+// the pass runner. A round assembles D consecutive target blocks
+// (consecutive block indices land on consecutive disks); its source blocks
+// are fetched in waves of at most one block per disk, each wave's records
+// are pulled into the output frames, and after the round's last wave the D
+// assembled blocks go out in a single parallel write.
+type naiveStrategy struct {
+	cfg       pdm.Config
+	srcOf     []uint64
+	wavesIn   []int // waves per round: max per-disk distinct source blocks
+	firstLoad []int // firstLoad[round] = global load index of the round's first wave
+
+	// Reader-local cache of the round currently being planned. prepare is
+	// invoked in load order on a single goroutine, so the cache needs no
+	// locking; scatter and writes see per-wave state only through naiveCtx.
+	round     int
+	waveIOs   [][]pdm.BlockIO
+	wavePulls [][]naivePull
+}
+
+func newNaiveStrategy(cfg pdm.Config, srcOf []uint64) *naiveStrategy {
+	rounds := cfg.Blocks() / cfg.D
+	st := &naiveStrategy{
+		cfg:       cfg,
+		srcOf:     srcOf,
+		wavesIn:   make([]int, rounds),
+		firstLoad: make([]int, rounds+1),
+		round:     -1,
+	}
+	// Count each round's waves up front so loads() is known before any I/O:
+	// a wave drains one source block per disk, so a round needs as many
+	// waves as its most-loaded disk has distinct source blocks.
+	seen := make([]int, cfg.Blocks())
+	for i := range seen {
+		seen[i] = -1
+	}
+	perDisk := make([]int, cfg.D)
+	for round := 0; round < rounds; round++ {
+		for d := range perDisk {
+			perDisk[d] = 0
+		}
+		st.forEachRecord(round, func(_, _ int, x uint64) {
+			sb := cfg.BlockIndex(x)
+			if seen[sb] != round {
+				seen[sb] = round
+				perDisk[sb&(cfg.D-1)]++
+			}
+		})
+		waves := 0
+		for _, c := range perDisk {
+			if c > waves {
+				waves = c
+			}
+		}
+		st.wavesIn[round] = waves
+		st.firstLoad[round+1] = st.firstLoad[round] + waves
+	}
+	return st
+}
+
+// forEachRecord visits every record of the round's D target blocks as
+// (outFrame, outOffset, sourceAddress).
+func (st *naiveStrategy) forEachRecord(round int, visit func(t, off int, x uint64)) {
+	cfg := st.cfg
+	for t := 0; t < cfg.D; t++ {
+		tb := round*cfg.D + t
+		for off := 0; off < cfg.B; off++ {
+			y := uint64(tb)<<uint(cfg.LgB()) | uint64(off)
+			visit(t, off, st.srcOf[y])
+		}
+	}
+}
+
+func (st *naiveStrategy) loads() int { return st.firstLoad[len(st.wavesIn)] }
+
+// buildRound computes the round's wave schedule: ordered per-disk source
+// block lists (first-need order, so the schedule is deterministic), frame
+// assignments within each wave, and the pulls each wave satisfies.
+func (st *naiveStrategy) buildRound(round int) {
+	cfg := st.cfg
+	type blockPulls struct {
+		sb    int
+		pulls []naivePull // outIdx filled in; inIdx relative to block start
+	}
+	byBlock := make(map[int]*blockPulls)
+	perDisk := make([][]*blockPulls, cfg.D)
+	st.forEachRecord(round, func(t, off int, x uint64) {
+		sb := cfg.BlockIndex(x)
+		bp := byBlock[sb]
+		if bp == nil {
+			bp = &blockPulls{sb: sb}
+			byBlock[sb] = bp
+			disk := sb & (cfg.D - 1) // low d bits of the block index
+			perDisk[disk] = append(perDisk[disk], bp)
+		}
+		bp.pulls = append(bp.pulls, naivePull{
+			inIdx:  cfg.Offset(x), // frame base added at wave assembly
+			outIdx: t*cfg.B + off,
+		})
+	})
+	waves := st.wavesIn[round]
+	st.waveIOs = make([][]pdm.BlockIO, waves)
+	st.wavePulls = make([][]naivePull, waves)
+	for w := 0; w < waves; w++ {
+		var ios []pdm.BlockIO
+		var pulls []naivePull
+		for disk := 0; disk < cfg.D; disk++ {
+			if w >= len(perDisk[disk]) {
+				continue
+			}
+			bp := perDisk[disk][w]
+			frame := len(ios)
+			ios = append(ios, pdm.BlockIO{
+				Disk:  disk,
+				Block: bp.sb >> uint(cfg.LgD()),
+				Frame: frame,
+			})
+			for _, p := range bp.pulls {
+				pulls = append(pulls, naivePull{inIdx: frame*cfg.B + p.inIdx, outIdx: p.outIdx})
+			}
+		}
+		st.waveIOs[w] = ios
+		st.wavePulls[w] = pulls
+	}
+	st.round = round
+}
+
+func (st *naiveStrategy) prepare(ml int) (loadPlan, error) {
+	round := sort.SearchInts(st.firstLoad, ml+1) - 1
+	if round != st.round {
+		st.buildRound(round)
+	}
+	wave := ml - st.firstLoad[round]
+	ctx := naiveCtx{pulls: st.wavePulls[wave]}
+	if wave == st.wavesIn[round]-1 {
+		// Write the D assembled target blocks in one parallel write.
+		cfg := st.cfg
+		ios := make([]pdm.BlockIO, cfg.D)
+		for t := 0; t < cfg.D; t++ {
+			tb := round*cfg.D + t
+			ios[t] = pdm.BlockIO{
+				Disk:  tb & (cfg.D - 1),
+				Block: tb >> uint(cfg.LgD()),
+				Frame: t,
+			}
+		}
+		ctx.write = ios
+	}
+	return loadPlan{
+		reads: [][]pdm.BlockIO{st.waveIOs[wave]},
+		units: len(ctx.pulls),
+		ctx:   ctx,
+	}, nil
+}
+
+func (st *naiveStrategy) scatter(_ int, plan loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
+	ctx := plan.ctx.(naiveCtx)
+	src, dst := in.Records(), out.Records()
+	for _, p := range ctx.pulls[lo:hi] {
+		dst[p.outIdx] = src[p.inIdx]
+	}
+	return nil, nil
+}
+
+func (st *naiveStrategy) writes(_ int, plan loadPlan, _ []any) ([][]pdm.BlockIO, error) {
+	ctx := plan.ctx.(naiveCtx)
+	if ctx.write == nil {
+		return nil, nil
+	}
+	return [][]pdm.BlockIO{ctx.write}, nil
 }

@@ -1,12 +1,3 @@
-// Package engine executes permutations on a simulated parallel disk system:
-// the one-pass MRC and MLD algorithms, the asymptotically optimal BMMC
-// driver built on the Section 5 factoring, and two baselines (striped
-// external merge sort for general permutations, and a naive record-gather
-// scheme realizing the N/D term).
-//
-// Every engine reads records from the system's source portion and writes
-// the permuted records to the target portion, then swaps the portion roles,
-// exactly as the paper chains one-pass permutations.
 package engine
 
 import (
@@ -21,6 +12,11 @@ import (
 // memory, and write them to the (possibly different) target memoryload with
 // striped writes. Exactly 2N/BD parallel I/Os.
 func RunMRCPass(sys *pdm.System, p perm.BMMC) error {
+	return RunMRCPassOpt(sys, p, DefaultOptions())
+}
+
+// RunMRCPassOpt is RunMRCPass with explicit execution options.
+func RunMRCPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -29,40 +25,62 @@ func RunMRCPass(sys *pdm.System, p perm.BMMC) error {
 	if !p.IsMRC(m) {
 		return fmt.Errorf("engine: permutation is not MRC for m=%d", m)
 	}
-	src, tgt := sys.Source(), sys.Target()
-	mem := sys.Mem()
-	scratch := make([]pdm.Record, cfg.M)
-	spm := cfg.StripesPerMemoryload()
-	applier := p.Compile()
-
-	for ml := 0; ml < cfg.Memoryloads(); ml++ {
-		base := uint64(ml) * uint64(cfg.M)
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.ReadStripe(src, ml*spm+sw, sw*cfg.D); err != nil {
-				return err
-			}
-		}
-		// mem[i] holds the record with source address base|i; its target
-		// address shares one memoryload number across the whole load.
-		tml := -1
-		for i := range mem {
-			y := applier.Apply(base | uint64(i))
-			if l := cfg.MemoryloadOf(y); tml < 0 {
-				tml = l
-			} else if l != tml {
-				return fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
-			}
-			scratch[y&uint64(cfg.M-1)] = mem[i]
-		}
-		copy(mem, scratch)
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.WriteStripe(tgt, tml*spm+sw, sw*cfg.D); err != nil {
-				return err
-			}
-		}
+	st := &mrcStrategy{cfg: cfg, applier: p.Compile()}
+	if err := runPass(sys, st, opt); err != nil {
+		return err
 	}
 	sys.SwapPortions()
 	return nil
+}
+
+// mrcStrategy is the block-placement rule of an MRC pass: each source
+// memoryload maps onto a single target memoryload, so both the reads and
+// the writes are striped.
+type mrcStrategy struct {
+	cfg     pdm.Config
+	applier *perm.Compiled
+}
+
+func (st *mrcStrategy) loads() int { return st.cfg.Memoryloads() }
+
+func (st *mrcStrategy) prepare(ml int) (loadPlan, error) {
+	return loadPlan{reads: stripedOps(st.cfg, ml), units: st.cfg.M}, nil
+}
+
+func (st *mrcStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
+	cfg := st.cfg
+	base := uint64(ml) * uint64(cfg.M)
+	mask := uint64(cfg.M - 1)
+	src, dst := in.Records(), out.Records()
+	// in[i] holds the record with source address base|i; its target
+	// address shares one memoryload number across the whole load.
+	tml := -1
+	for i := lo; i < hi; i++ {
+		y := st.applier.Apply(base | uint64(i))
+		if l := cfg.MemoryloadOf(y); tml < 0 {
+			tml = l
+		} else if l != tml {
+			return nil, fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
+		}
+		dst[y&mask] = src[i]
+	}
+	return tml, nil
+}
+
+func (st *mrcStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO, error) {
+	tml := -1
+	for _, sh := range shards {
+		l, ok := sh.(int)
+		if !ok {
+			continue
+		}
+		if tml < 0 {
+			tml = l
+		} else if l != tml {
+			return nil, fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
+		}
+	}
+	return stripedOps(st.cfg, tml), nil
 }
 
 // RunMLDPass performs the MLD permutation p in one pass: striped reads of
@@ -73,6 +91,11 @@ func RunMRCPass(sys *pdm.System, p perm.BMMC) error {
 // calling this with a non-MLD permutation returns an error rather than
 // corrupting data.
 func RunMLDPass(sys *pdm.System, p perm.BMMC) error {
+	return RunMLDPassOpt(sys, p, DefaultOptions())
+}
+
+// RunMLDPassOpt is RunMLDPass with explicit execution options.
+func RunMLDPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -81,75 +104,115 @@ func RunMLDPass(sys *pdm.System, p perm.BMMC) error {
 	if !p.IsMLD(b, m) {
 		return fmt.Errorf("engine: permutation is not MLD for b=%d m=%d", b, m)
 	}
-	src, tgt := sys.Source(), sys.Target()
-	mem := sys.Mem()
-	scratch := make([]pdm.Record, cfg.M)
-	fill := make([]int, cfg.Frames())   // records placed per relative block
-	loadOf := make([]int, cfg.Frames()) // target memoryload per relative block
-	spm := cfg.StripesPerMemoryload()
-	applier := p.Compile()
-
-	for ml := 0; ml < cfg.Memoryloads(); ml++ {
-		base := uint64(ml) * uint64(cfg.M)
-		for sw := 0; sw < spm; sw++ {
-			if err := sys.ReadStripe(src, ml*spm+sw, sw*cfg.D); err != nil {
-				return err
-			}
-		}
-		for f := range fill {
-			fill[f] = 0
-			loadOf[f] = -1
-		}
-		// Cluster records into full target blocks keyed by relative block
-		// number (property 1), recording each block's target memoryload
-		// (constant per block by property 2).
-		for i := range mem {
-			y := applier.Apply(base | uint64(i))
-			r := cfg.RelBlock(y)
-			l := cfg.MemoryloadOf(y)
-			if loadOf[r] < 0 {
-				loadOf[r] = l
-			} else if loadOf[r] != l {
-				return fmt.Errorf("engine: MLD property 2 violated: relative block %d maps to memoryloads %d and %d", r, loadOf[r], l)
-			}
-			scratch[r*cfg.B+cfg.Offset(y)] = mem[i]
-			fill[r]++
-		}
-		for r, c := range fill {
-			if c != cfg.B {
-				return fmt.Errorf("engine: MLD property 1 violated: relative block %d holds %d records, want B=%d", r, c, cfg.B)
-			}
-		}
-		copy(mem, scratch)
-		// Group the M/B target blocks by destination disk (property 3:
-		// exactly M/BD per disk) and write them in M/BD independent waves.
-		byDisk := make([][]pdm.BlockIO, cfg.D)
-		for r := 0; r < cfg.Frames(); r++ {
-			y0 := uint64(loadOf[r])<<uint(m) | uint64(r)<<uint(b)
-			disk := cfg.DiskOf(y0)
-			byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
-				Disk:  disk,
-				Block: cfg.StripeOf(y0),
-				Frame: r,
-			})
-		}
-		for disk, blocks := range byDisk {
-			if len(blocks) != cfg.FramesPerDisk() {
-				return fmt.Errorf("engine: MLD property 3 violated: disk %d receives %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
-			}
-		}
-		for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
-			ios := make([]pdm.BlockIO, cfg.D)
-			for disk := range ios {
-				ios[disk] = byDisk[disk][wave]
-			}
-			if err := sys.ParallelWrite(tgt, ios); err != nil {
-				return err
-			}
-		}
+	st := &mldStrategy{cfg: cfg, applier: p.Compile()}
+	if err := runPass(sys, st, opt); err != nil {
+		return err
 	}
 	sys.SwapPortions()
 	return nil
+}
+
+// mldStrategy is the block-placement rule of an MLD pass: records cluster
+// into full target blocks keyed by relative block number (property 1), each
+// block targets one memoryload (property 2), and the blocks spread evenly
+// across the disks (property 3), enabling independent writes.
+type mldStrategy struct {
+	cfg     pdm.Config
+	applier *perm.Compiled
+}
+
+// mldShard carries one scatter shard's clustering observations: records
+// placed per relative block and each block's target memoryload.
+type mldShard struct {
+	fill   []int
+	loadOf []int
+}
+
+func (st *mldStrategy) loads() int { return st.cfg.Memoryloads() }
+
+func (st *mldStrategy) prepare(ml int) (loadPlan, error) {
+	return loadPlan{reads: stripedOps(st.cfg, ml), units: st.cfg.M}, nil
+}
+
+func (st *mldStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
+	cfg := st.cfg
+	base := uint64(ml) * uint64(cfg.M)
+	src, dst := in.Records(), out.Records()
+	sh := mldShard{fill: make([]int, cfg.Frames()), loadOf: make([]int, cfg.Frames())}
+	for f := range sh.loadOf {
+		sh.loadOf[f] = -1
+	}
+	for i := lo; i < hi; i++ {
+		y := st.applier.Apply(base | uint64(i))
+		r := cfg.RelBlock(y)
+		l := cfg.MemoryloadOf(y)
+		if sh.loadOf[r] < 0 {
+			sh.loadOf[r] = l
+		} else if sh.loadOf[r] != l {
+			return nil, fmt.Errorf("engine: MLD property 2 violated: relative block %d maps to memoryloads %d and %d", r, sh.loadOf[r], l)
+		}
+		dst[r*cfg.B+cfg.Offset(y)] = src[i]
+		sh.fill[r]++
+	}
+	return sh, nil
+}
+
+func (st *mldStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO, error) {
+	cfg := st.cfg
+	b, m := cfg.LgB(), cfg.LgM()
+	fill := make([]int, cfg.Frames())
+	loadOf := make([]int, cfg.Frames())
+	for f := range loadOf {
+		loadOf[f] = -1
+	}
+	for _, raw := range shards {
+		sh, ok := raw.(mldShard)
+		if !ok {
+			continue
+		}
+		for r := range fill {
+			fill[r] += sh.fill[r]
+			if sh.loadOf[r] < 0 {
+				continue
+			}
+			if loadOf[r] < 0 {
+				loadOf[r] = sh.loadOf[r]
+			} else if loadOf[r] != sh.loadOf[r] {
+				return nil, fmt.Errorf("engine: MLD property 2 violated: relative block %d maps to memoryloads %d and %d", r, loadOf[r], sh.loadOf[r])
+			}
+		}
+	}
+	for r, c := range fill {
+		if c != cfg.B {
+			return nil, fmt.Errorf("engine: MLD property 1 violated: relative block %d holds %d records, want B=%d", r, c, cfg.B)
+		}
+	}
+	// Group the M/B target blocks by destination disk (property 3: exactly
+	// M/BD per disk) and write them in M/BD independent waves.
+	byDisk := make([][]pdm.BlockIO, cfg.D)
+	for r := 0; r < cfg.Frames(); r++ {
+		y0 := uint64(loadOf[r])<<uint(m) | uint64(r)<<uint(b)
+		disk := cfg.DiskOf(y0)
+		byDisk[disk] = append(byDisk[disk], pdm.BlockIO{
+			Disk:  disk,
+			Block: cfg.StripeOf(y0),
+			Frame: r,
+		})
+	}
+	for disk, blocks := range byDisk {
+		if len(blocks) != cfg.FramesPerDisk() {
+			return nil, fmt.Errorf("engine: MLD property 3 violated: disk %d receives %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
+		}
+	}
+	ops := make([][]pdm.BlockIO, cfg.FramesPerDisk())
+	for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
+		ios := make([]pdm.BlockIO, cfg.D)
+		for disk := range ios {
+			ios[disk] = byDisk[disk][wave]
+		}
+		ops[wave] = ios
+	}
+	return ops, nil
 }
 
 func checkGeometry(cfg pdm.Config, p perm.BMMC) error {

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// These tests pin the pass runner's core invariant: pipelining, scatter
+// sharding, and concurrent per-disk dispatch change wall-clock behavior
+// only. For every workload the final records AND the full Stats() —
+// parallel read/write operation counts and the per-disk block totals —
+// must be identical to a sequential single-threaded run.
+
+// seqOpt is the reference mode: no prefetch, single scatter worker.
+var seqOpt = Options{Pipeline: false, Workers: 1}
+
+// pipeOpt exercises every concurrency feature at once: prefetch reader,
+// a multi-goroutine scatter pool (forced above GOMAXPROCS so sharding
+// happens even on one core).
+var pipeOpt = Options{Pipeline: true, Workers: 4}
+
+// runBoth executes the same workload sequentially on a RAM-backed system
+// and pipelined on a file-backed system with concurrent per-disk dispatch,
+// then asserts records and stats agree.
+func runBoth(t *testing.T, cfg pdm.Config, what string, run func(*pdm.System, Options) error) {
+	t.Helper()
+
+	ram, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ram.Close()
+	if err := LoadSequential(ram); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ram, seqOpt); err != nil {
+		t.Fatalf("%s sequential: %v", what, err)
+	}
+	wantRecs, err := ram.DumpRecords(ram.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := pdm.NewSystem(cfg, pdm.FileDiskFactory(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	file.SetConcurrent(true)
+	if err := LoadSequential(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(file, pipeOpt); err != nil {
+		t.Fatalf("%s pipelined: %v", what, err)
+	}
+	gotRecs, err := file.DumpRecords(file.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range wantRecs {
+		if wantRecs[i] != gotRecs[i] {
+			t.Fatalf("%s: records diverge at address %d (sequential %d, pipelined %d)",
+				what, i, wantRecs[i].Key, gotRecs[i].Key)
+		}
+	}
+	if ws, gs := ram.Stats(), file.Stats(); !reflect.DeepEqual(ws, gs) {
+		t.Errorf("%s: stats diverge:\nsequential: %+v\npipelined:  %+v", what, ws, gs)
+	}
+	if ram.Source() != file.Source() {
+		t.Errorf("%s: portion roles diverge (%v vs %v)", what, ram.Source(), file.Source())
+	}
+}
+
+func TestPipelinedFileBackedMatchesSequentialRAM(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	rng := rand.New(rand.NewSource(321))
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+
+	mrc := perm.MustNew(gf2.RandomMRC(rng, n, m), gf2.RandomVec(rng, n))
+	runBoth(t, cfg, "MRC", func(sys *pdm.System, opt Options) error {
+		return RunMRCPassOpt(sys, mrc, opt)
+	})
+
+	mld := randomMLD(rng, n, b, m)
+	runBoth(t, cfg, "MLD", func(sys *pdm.System, opt Options) error {
+		return RunMLDPassOpt(sys, mld, opt)
+	})
+
+	inv := randomMLD(rng, n, b, m).Inverse()
+	runBoth(t, cfg, "inverse-MLD", func(sys *pdm.System, opt Options) error {
+		return RunMLDInversePassOpt(sys, inv, opt)
+	})
+
+	bmmc := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+	runBoth(t, cfg, "factored BMMC", func(sys *pdm.System, opt Options) error {
+		_, err := RunBMMCOpt(sys, bmmc, opt)
+		return err
+	})
+}
+
+func TestPipelinedBaselinesMatchSequential(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 11, D: 4, B: 8, M: 1 << 8}
+	rng := rand.New(rand.NewSource(322))
+	target := rng.Perm(cfg.N)
+	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
+
+	runBoth(t, cfg, "merge sort", func(sys *pdm.System, opt Options) error {
+		_, err := GeneralPermuteOpt(sys, targetOf, opt)
+		return err
+	})
+	runBoth(t, cfg, "naive gather", func(sys *pdm.System, opt Options) error {
+		_, err := NaivePermuteOpt(sys, targetOf, opt)
+		return err
+	})
+}
+
+// TestPipelinedChainedPasses runs a multi-pass chain (odd and even pass
+// counts, swapping portions) under the pipelined runner and verifies the
+// composite permutation landed correctly.
+func TestPipelinedChainedPasses(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	sys, err := pdm.NewSystem(cfg, pdm.FileDiskFactory(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.SetConcurrent(true)
+	if err := LoadSequential(sys); err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.LgN()
+	p1 := perm.GrayCode(n)
+	p2 := perm.BitReversal(n)
+	if err := RunMRCPassOpt(sys, p1, pipeOpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBMMCOpt(sys, p2, pipeOpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBMMC(sys, sys.Source(), p2.Compose(p1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsPollingDuringPipelinedRun: Stats() may be called from another
+// goroutine while a pipelined pass is in flight (e.g. a progress monitor);
+// under -race this pins that the snapshot path is synchronized with the
+// prefetch reader's counter updates.
+func TestStatsPollingDuringPipelinedRun(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 13, D: 4, B: 8, M: 1 << 8}
+	sys, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := LoadSequential(sys); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunBMMCOpt(sys, perm.BitReversal(cfg.LgN()), pipeOpt)
+		done <- err
+	}()
+	var last int
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sys.Stats().ParallelIOs(); got < last {
+				t.Fatalf("final I/O count %d below observed %d", got, last)
+			}
+			return
+		default:
+			if got := sys.Stats().ParallelIOs(); got < last {
+				t.Fatalf("I/O count went backwards: %d after %d", got, last)
+			} else {
+				last = got
+			}
+		}
+	}
+}
+
+// TestRunnerErrorPropagation: an I/O error raised mid-pass on the prefetch
+// reader surfaces as an error (with the injected-fault sentinel intact)
+// instead of deadlocking or corrupting the pipeline. LoadSequential writes
+// Stripes() blocks per disk before the pass starts, so FailAfter is offset
+// past them to arm the fault at various points of the pass itself.
+func TestRunnerErrorPropagation(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	loadOps := cfg.Stripes() // setup writes per disk, uncounted as I/O
+	for _, failAt := range []int{0, 3, cfg.Stripes() - 1} {
+		var faulty *pdm.FaultyDisk
+		factory := func(disk, numBlocks, blockSize int) (pdm.Disk, error) {
+			inner, _ := pdm.MemDiskFactory(disk, numBlocks, blockSize)
+			if disk == 1 {
+				faulty = pdm.NewFaultyDisk(inner, loadOps+failAt)
+				return faulty, nil
+			}
+			return inner, nil
+		}
+		sys, err := pdm.NewSystem(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadSequential(sys); err != nil {
+			sys.Close()
+			t.Fatal(err)
+		}
+		err = RunMRCPassOpt(sys, perm.GrayCode(cfg.LgN()), pipeOpt)
+		sys.Close()
+		if err == nil {
+			t.Fatalf("failAt=%d: fault did not surface", failAt)
+		}
+	}
+}
+
+// TestRunnerClassChecksUnderOptions: the per-engine class checks still
+// reject wrong-class permutations before any I/O regardless of options.
+func TestRunnerClassChecksUnderOptions(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
+	sys, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := LoadSequential(sys); err != nil {
+		t.Fatal(err)
+	}
+	p := perm.BitReversal(cfg.LgN())
+	for _, opt := range []Options{seqOpt, pipeOpt} {
+		if err := RunMRCPassOpt(sys, p, opt); err == nil {
+			t.Fatal("bit reversal accepted as MRC")
+		}
+		if err := RunMLDPassOpt(sys, p, opt); err == nil {
+			t.Fatal("bit reversal accepted as MLD")
+		}
+		if p.Inverse().IsMLD(cfg.LgB(), cfg.LgM()) {
+			continue
+		}
+		if err := RunMLDInversePassOpt(sys, p, opt); err == nil {
+			t.Fatal("bit reversal accepted as inverse-MLD")
+		}
+	}
+	if got := sys.Stats().ParallelIOs(); got != 0 {
+		t.Errorf("rejected runs consumed %d parallel I/Os", got)
+	}
+}

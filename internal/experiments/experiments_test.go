@@ -32,8 +32,8 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 11 {
-		t.Fatalf("expected 11 experiment tables, got %d", len(tables))
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiment tables, got %d", len(tables))
 	}
 	for _, tbl := range tables {
 		checkAllPass(t, tbl)

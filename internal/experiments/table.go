@@ -9,16 +9,21 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Table is one reproduced experiment: an identifier tying it to DESIGN.md's
 // index, captioned columns, and formatted rows.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Elapsed is the wall-clock time the experiment took, stamped by the
+	// harness (cmd/bmmcbench) so perf trajectories can be tracked across
+	// runs alongside the parallel-I/O counts in the rows.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
 // AddRow appends one formatted row.
@@ -56,6 +61,9 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	if t.Elapsed > 0 {
+		fmt.Fprintf(w, "wall-clock: %.1fms\n", float64(t.Elapsed.Microseconds())/1000)
 	}
 	fmt.Fprintln(w)
 }

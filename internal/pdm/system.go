@@ -3,6 +3,7 @@ package pdm
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Portion selects one of the two record regions on the disk system. As in
@@ -38,10 +39,14 @@ type System struct {
 	cfg        Config
 	disks      []Disk
 	mem        []Record
+	memBuf     *Buffer // wraps mem so all I/O funnels through the buffer path
 	stats      Stats
 	source     Portion
 	concurrent bool     // dispatch per-disk transfers on goroutines
 	observer   Observer // optional per-operation trace hook
+
+	mu     sync.Mutex   // guards stats and observer across overlapping operations
+	diskMu []sync.Mutex // serializes transfers per disk (one I/O channel per disk)
 }
 
 // NewSystem builds a System over the given configuration. factory is called
@@ -57,7 +62,9 @@ func NewSystem(cfg Config, factory DiskFactory) (*System, error) {
 		mem:    make([]Record, cfg.M),
 		stats:  newStats(cfg.D),
 		source: PortionA,
+		diskMu: make([]sync.Mutex, cfg.D),
 	}
+	s.memBuf = &Buffer{b: cfg.B, recs: s.mem}
 	for i := 0; i < cfg.D; i++ {
 		d, err := factory(i, 2*cfg.BlocksPerDisk(), cfg.B)
 		if err != nil {
@@ -94,8 +101,12 @@ func (s *System) Close() error {
 // Config returns the system's model parameters.
 func (s *System) Config() Config { return s.cfg }
 
-// Stats returns a copy of the accumulated I/O statistics.
+// Stats returns a copy of the accumulated I/O statistics. Safe to call
+// concurrently with in-flight parallel I/O (e.g. while a pipelined pass is
+// running); the copy is a consistent snapshot between operations.
 func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := s.stats
 	out.PerDiskReads = append([]int(nil), s.stats.PerDiskReads...)
 	out.PerDiskWrites = append([]int(nil), s.stats.PerDiskWrites...)
@@ -103,7 +114,11 @@ func (s *System) Stats() Stats {
 }
 
 // ResetStats zeroes the I/O counters.
-func (s *System) ResetStats() { s.stats.Reset() }
+func (s *System) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Reset()
+}
 
 // Source returns the portion currently holding the input of the next pass.
 func (s *System) Source() Portion { return s.source }
@@ -170,43 +185,13 @@ func (s *System) physBlock(p Portion, block int) int {
 // per disk) is copied from portion p into its memory frame. It counts as
 // exactly one parallel I/O regardless of how many disks participate.
 func (s *System) ParallelRead(p Portion, ios []BlockIO) error {
-	if err := s.validate(p, ios); err != nil {
-		return err
-	}
-	err := s.dispatch(ios, func(io BlockIO) error {
-		return s.disks[io.Disk].ReadBlock(s.physBlock(p, io.Block), s.Frame(io.Frame))
-	})
-	if err != nil {
-		return err
-	}
-	for _, io := range ios {
-		s.stats.PerDiskReads[io.Disk]++
-	}
-	s.stats.ParallelReads++
-	s.stats.BlocksRead += len(ios)
-	s.notify(IORead, p, ios)
-	return nil
+	return s.ParallelReadInto(p, ios, s.memBuf)
 }
 
 // ParallelWrite performs one parallel write: every listed memory frame is
 // copied to its block (at most one per disk) in portion p. One parallel I/O.
 func (s *System) ParallelWrite(p Portion, ios []BlockIO) error {
-	if err := s.validate(p, ios); err != nil {
-		return err
-	}
-	err := s.dispatch(ios, func(io BlockIO) error {
-		return s.disks[io.Disk].WriteBlock(s.physBlock(p, io.Block), s.Frame(io.Frame))
-	})
-	if err != nil {
-		return err
-	}
-	for _, io := range ios {
-		s.stats.PerDiskWrites[io.Disk]++
-	}
-	s.stats.ParallelWrites++
-	s.stats.BlocksWritten += len(ios)
-	s.notify(IOWrite, p, ios)
-	return nil
+	return s.ParallelWriteFrom(p, ios, s.memBuf)
 }
 
 // ReadStripe reads stripe `stripe` of portion p — one block from every disk
@@ -234,7 +219,8 @@ func (s *System) WriteStripe(p Portion, stripe, frame0 int) error {
 
 // LoadRecords fills portion p with the given N records laid out per
 // Figure 1 (striped, record index varying fastest within a block). Not
-// counted as I/O.
+// counted as I/O. As with DumpRecords, p names a fixed physical portion:
+// pass Source() to replace the records the next pass will read.
 func (s *System) LoadRecords(p Portion, records []Record) error {
 	if len(records) != s.cfg.N {
 		return fmt.Errorf("pdm: LoadRecords got %d records, want N = %d", len(records), s.cfg.N)
@@ -253,7 +239,11 @@ func (s *System) LoadRecords(p Portion, records []Record) error {
 }
 
 // DumpRecords returns the N records of portion p in address order. Not
-// counted as I/O.
+// counted as I/O. Note that p is a fixed physical portion, not a role: the
+// source/target roles swap after every pass (SwapPortions), so after an odd
+// number of passes the permuted output sits in PortionB. Callers that want
+// "the current records" should pass Source(), which always names the
+// portion holding the output of the most recent pass.
 func (s *System) DumpRecords(p Portion) ([]Record, error) {
 	out := make([]Record, s.cfg.N)
 	buf := make([]Record, s.cfg.B)

@@ -62,10 +62,21 @@ func (e TraceEntry) String() string {
 type Observer func(TraceEntry)
 
 // SetObserver installs fn to be called after every successful parallel
-// read or write with a copy of the operation's transfers.
-func (s *System) SetObserver(fn Observer) { s.observer = fn }
+// read or write with a copy of the operation's transfers. When operations
+// overlap (pipelined prefetch), fn is still invoked serially, one operation
+// at a time, in the order the operations completed. fn runs with the
+// system's accounting lock held, so it must not call Stats, ResetStats, or
+// SetObserver itself.
+func (s *System) SetObserver(fn Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
 
-func (s *System) notify(kind IOKind, p Portion, ios []BlockIO) {
+// notifyLocked emits a trace entry; the caller must hold s.mu so that the
+// sequence number and the observer invocation stay consistent under
+// overlapping operations.
+func (s *System) notifyLocked(kind IOKind, p Portion, ios []BlockIO) {
 	if s.observer == nil {
 		return
 	}
