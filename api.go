@@ -41,21 +41,35 @@ type Permuter = core.Permuter
 // Report pairs a run's measured cost with the paper's bounds.
 type Report = core.Report
 
+// BatchReport carries the per-job reports and aggregate cost of a
+// Permuter.PermuteAll batch, including plan-cache effectiveness.
+type BatchReport = core.BatchReport
+
+// CacheStats reports plan-cache hits, misses, and evictions for a
+// Permuter (see Permuter.CacheStats).
+type CacheStats = core.CacheStats
+
 // Detection reports the outcome of run-time BMMC detection (Section 6).
 type Detection = detect.Result
 
-// Exported class constants.
+// Exported class constants. ClassInvMLD marks a permutation dispatched as
+// the inverse of an MLD permutation (one pass, independent reads, striped
+// writes — the Section 7 extension); Report.Class uses it.
 const (
 	ClassIdentity = perm.ClassIdentity
 	ClassMRC      = perm.ClassMRC
 	ClassMLD      = perm.ClassMLD
 	ClassBMMC     = perm.ClassBMMC
+	ClassInvMLD   = perm.ClassInvMLD
 )
 
-// Option tunes how a Permuter executes permutations (pipelining, scatter
-// workers, concurrent disk dispatch). Options change wall-clock behavior
-// only: the permuted records and the measured parallel-I/O counts are
-// identical for every setting.
+// Option tunes how a Permuter plans and executes permutations. The
+// execution options (pipelining, scatter workers, concurrent disk
+// dispatch) change wall-clock behavior only: the permuted records and the
+// measured parallel-I/O counts are identical for every setting. The
+// planning options (pass fusion, plan caching) sit above execution: fusion
+// can only lower the measured parallel-I/O count, and caching only skips
+// repeated factorization work — the permuted records are always identical.
 type Option = core.Option
 
 // WithPipeline enables or disables the double-buffered pass pipeline that
@@ -71,6 +85,22 @@ func WithWorkers(n int) Option { return core.WithWorkers(n) }
 // on one goroutine per disk, so file-backed disks overlap real storage
 // latency like D independent spindles. Off by default.
 func WithConcurrentIO(on bool) Option { return core.WithConcurrentIO(on) }
+
+// WithFusion enables or disables pass fusion: adjacent passes of the
+// Section 5 factorization whose GF(2) composition is still one-pass
+// executable are merged before execution, lowering the measured
+// parallel-I/O count for permutations the greedy factoring over-splits.
+// On by default.
+func WithFusion(on bool) Option { return core.WithFusion(on) }
+
+// DefaultPlanCacheEntries is the plan-cache capacity a Permuter gets when
+// WithPlanCache is not specified.
+const DefaultPlanCacheEntries = core.DefaultPlanCacheEntries
+
+// WithPlanCache sets the capacity (in plans) of the LRU plan cache that
+// lets repeated permutations skip re-factorization; n <= 0 disables
+// caching. The default is DefaultPlanCacheEntries.
+func WithPlanCache(n int) Option { return core.WithPlanCache(n) }
 
 // NewPermuter creates a RAM-backed disk system holding the canonical
 // records MakeRecord(0..N-1).

@@ -167,3 +167,62 @@ func TestPermuteFactoredForcesFullAlgorithm(t *testing.T) {
 		t.Errorf("factored Gray code used %d passes", rep.Passes)
 	}
 }
+
+// TestPlanLayerAPI exercises the public planning surface: the plan cache
+// serves the second Permute of the same permutation without
+// re-factorizing, PermuteAll reports per-job and aggregate costs, and the
+// fusion and cache options are accepted at construction.
+func TestPlanLayerAPI(t *testing.T) {
+	p, err := bmmc.NewPermuter(apiConfig, bmmc.WithFusion(true), bmmc.WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := apiConfig.LgN()
+	rev := bmmc.BitReversal(n)
+
+	first, err := p.Permute(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Permute(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanCached || !second.PlanCached {
+		t.Errorf("PlanCached flags: first %v, second %v", first.PlanCached, second.PlanCached)
+	}
+	if first.Passes != second.Passes || first.ParallelIOs != second.ParallelIOs {
+		t.Errorf("cached run cost diverged: %v vs %v", first, second)
+	}
+	var stats bmmc.CacheStats = p.CacheStats()
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("cache stats %+v", stats)
+	}
+	// Two reversals cancel; the records are back in the identity layout.
+	if err := p.Verify(bmmc.Identity(n)); err != nil {
+		t.Fatal(err)
+	}
+
+	var batch *bmmc.BatchReport
+	batch, err = p.PermuteAll([]bmmc.Permutation{rev, bmmc.GrayCode(n), rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Jobs) != 3 || batch.CacheHits != 2 {
+		t.Errorf("batch jobs %d, cache hits %d; want 3 jobs, 2 hits", len(batch.Jobs), batch.CacheHits)
+	}
+	sum := 0
+	for _, rep := range batch.Jobs {
+		sum += rep.ParallelIOs
+	}
+	if sum != batch.ParallelIOs {
+		t.Errorf("aggregate I/Os %d != job sum %d", batch.ParallelIOs, sum)
+	}
+	g := bmmc.GrayCode(n)
+	if err := p.VerifyMapping(func(x uint64) uint64 {
+		return rev.Apply(g.Apply(rev.Apply(x)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

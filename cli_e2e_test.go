@@ -43,6 +43,18 @@ func TestCLIEndToEnd(t *testing.T) {
 	if strings.Contains(out, "FAIL") || !strings.Contains(out, "PASS") {
 		t.Errorf("bmmcbench output unexpected:\n%s", out)
 	}
+	// The fusion experiment must show a strict saving on at least one
+	// catalog instance (the MLD rows) and no FAIL anywhere, with or
+	// without the -fuse execution flag.
+	out = run("bmmcbench", true, append([]string{"-experiment", "fusion", "-fuse"}, small...)...)
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "50%") {
+		t.Errorf("bmmcbench fusion experiment unexpected:\n%s", out)
+	}
+	// The plancache experiment pins cache hits on repeated permutations.
+	out = run("bmmcbench", true, append([]string{"-experiment", "plancache", "-cache", "4"}, small...)...)
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "plan cache") {
+		t.Errorf("bmmcbench plancache experiment unexpected:\n%s", out)
+	}
 	// Unknown experiment rejected.
 	run("bmmcbench", false, "-experiment", "bogus")
 
@@ -60,6 +72,13 @@ func TestCLIEndToEnd(t *testing.T) {
 	out = run("bmmcplan", true, append([]string{"-perm", "bitrev"}, small...)...)
 	if !strings.Contains(out, "Theorem 21 upper bound") {
 		t.Errorf("bmmcplan output unexpected:\n%s", out)
+	}
+	// -fuse prints the fused plan next to the unfused one. Bit reversal is
+	// BPC, so fusion cannot merge anything and must say so; the fused cost
+	// can never exceed the projected cost.
+	out = run("bmmcplan", true, append([]string{"-perm", "bitrev", "-fuse"}, small...)...)
+	if !strings.Contains(out, "fused cost:") || !strings.Contains(out, "no further merge possible") {
+		t.Errorf("bmmcplan -fuse output unexpected:\n%s", out)
 	}
 	pf := filepath.Join(t.TempDir(), "perm.txt")
 	if err := os.WriteFile(pf, bmmc.MarshalPermutation(bmmc.GrayCode(12)), 0o644); err != nil {
@@ -81,6 +100,38 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "BMMC detected:   false") {
 		t.Errorf("bmmcdetect accepted a corrupted vector:\n%s", out)
 	}
+
+	// bmmcdetect -> bmmcplan round-trip: the detected permutation, written
+	// in marshal format, feeds straight back into the planner and keeps
+	// its class. A Gray-code vector must come back as the one-pass MRC
+	// plan; a random BMMC vector must plan within the Theorem 21 bound.
+	detected := filepath.Join(t.TempDir(), "detected.txt")
+	out = run("bmmcdetect", true, append([]string{"-perm", "gray", "-out", detected}, small...)...)
+	if !strings.Contains(out, "wrote:") {
+		t.Errorf("bmmcdetect -out did not confirm the write:\n%s", out)
+	}
+	want := bmmc.MarshalPermutation(bmmc.GrayCode(12))
+	got, err := os.ReadFile(detected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("detected permutation differs from the Gray code that generated the vector")
+	}
+	out = run("bmmcplan", true, append([]string{"-file", detected}, small...)...)
+	if !strings.Contains(out, "class:     MRC") || !strings.Contains(out, "plan: 1 passes") {
+		t.Errorf("round-tripped Gray code did not plan as one MRC pass:\n%s", out)
+	}
+	out = run("bmmcdetect", true, append([]string{"-perm", "random", "-out", detected}, small...)...)
+	if !strings.Contains(out, "BMMC detected:   true") {
+		t.Errorf("bmmcdetect missed a random BMMC vector:\n%s", out)
+	}
+	out = run("bmmcplan", true, append([]string{"-file", detected, "-fuse"}, small...)...)
+	if !strings.Contains(out, "Theorem 21 upper bound") || !strings.Contains(out, "fused cost:") {
+		t.Errorf("round-tripped random BMMC did not plan:\n%s", out)
+	}
+	// A corrupted vector detects nothing, so -out must fail.
+	run("bmmcdetect", false, append([]string{"-perm", "gray", "-corrupt", "3", "-out", detected}, small...)...)
 
 	// Invalid geometry rejected by all tools.
 	run("bmmcperm", false, "-N", "100")

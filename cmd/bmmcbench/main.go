@@ -6,17 +6,21 @@
 // Usage:
 //
 //	bmmcbench [-experiment name] [-N n] [-D d] [-B b] [-M m] [-seed s]
-//	          [-json] [-pipeline] [-workers w] [-concurrent]
+//	          [-json] [-pipeline] [-workers w] [-concurrent] [-fuse] [-cache c]
 //
 // Experiment names: table1, tightbounds, crossover, mld, detect, potential,
-// transpose, scaling, lemma9, ablation, inverse, pipeline, or "all".
+// transpose, scaling, lemma9, ablation, inverse, pipeline, fusion,
+// plancache, or "all".
 //
 // -pipeline, -workers and -concurrent select the execution mode of the
 // pass runner (prefetching, scatter worker pool, per-disk goroutine
 // dispatch). They change wall-clock time only; every parallel-I/O count in
-// the tables is identical across modes. -json emits the tables as a JSON
-// array with per-experiment elapsed time, for archiving perf trajectories
-// (BENCH_*.json) across revisions.
+// the tables is identical across modes. -fuse runs every factored-driver
+// workload through the plan-fusion optimizer (pass counts may drop below
+// the verbatim Section 5 factoring, never rise); -cache sets the plan-cache
+// capacity used by the plancache experiment. -json emits the tables as a
+// JSON array with per-experiment elapsed time, for archiving perf
+// trajectories (BENCH_*.json) across revisions.
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	var (
-		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline)")
+		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline, fusion, plancache)")
 		n    = flag.Int("N", experiments.DefaultConfig.N, "total records (power of 2)")
 		d    = flag.Int("D", experiments.DefaultConfig.D, "disks (power of 2)")
 		b    = flag.Int("B", experiments.DefaultConfig.B, "records per block (power of 2)")
@@ -44,6 +48,8 @@ func main() {
 		pipeline   = flag.Bool("pipeline", true, "prefetch the next memoryload while the current one is permuted")
 		workers    = flag.Int("workers", 0, "scatter worker goroutines (0 = GOMAXPROCS)")
 		concurrent = flag.Bool("concurrent", false, "dispatch per-disk transfers on goroutines (SetConcurrent)")
+		fuse       = flag.Bool("fuse", false, "run factored-driver workloads through the plan-fusion optimizer")
+		cache      = flag.Int("cache", experiments.PlanCacheSize, "plan-cache capacity for the plancache experiment")
 	)
 	flag.Parse()
 
@@ -54,9 +60,11 @@ func main() {
 	}
 	experiments.Exec = engine.Options{Pipeline: *pipeline, Workers: *workers}
 	experiments.ConcurrentIO = *concurrent
+	experiments.Fuse = *fuse
+	experiments.PlanCacheSize = *cache
 	if !*jsonOut {
-		fmt.Printf("BMMC permutation experiments on %v (seed %d, pipeline %v, workers %d, concurrent I/O %v)\n\n",
-			cfg, *seed, *pipeline, *workers, *concurrent)
+		fmt.Printf("BMMC permutation experiments on %v (seed %d, pipeline %v, workers %d, concurrent I/O %v, fuse %v)\n\n",
+			cfg, *seed, *pipeline, *workers, *concurrent, *fuse)
 	}
 
 	var tables []*experiments.Table

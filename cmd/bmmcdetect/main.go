@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	bmmcdetect [-N n] [-D d] [-B b] [-M m] -perm kind [-corrupt k]
+//	bmmcdetect [-N n] [-D d] [-B b] [-M m] -perm kind [-corrupt k] [-out file]
 //
 // -corrupt k swaps k pairs of targets in the vector before detection, so
-// the tool can show early rejection of near-BMMC inputs.
+// the tool can show early rejection of near-BMMC inputs. -out writes the
+// detected permutation in the marshal text format, so a detected vector
+// round-trips into bmmcplan -file or bmmcperm -file.
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 		m       = flag.Int("M", 1<<11, "records of memory (power of 2)")
 		kind    = flag.String("perm", "bitrev", "underlying permutation: bitrev, gray, random, shuffle")
 		corrupt = flag.Int("corrupt", 0, "swap this many target pairs before detecting")
+		out     = flag.String("out", "", "write the detected permutation to this file in marshal format")
 	)
 	flag.Parse()
 
@@ -98,4 +101,15 @@ func main() {
 	fmt.Printf("candidate reads: %d\n", res.CandidateReads)
 	fmt.Printf("verify reads:    %d\n", res.VerifyReads)
 	fmt.Printf("total reads:     %d (bound %d)\n", res.ParallelReads(), bmmc.DetectionBoundReads(cfg))
+	if *out != "" {
+		if !res.IsBMMC {
+			fmt.Fprintln(os.Stderr, "no BMMC permutation detected; nothing to write")
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, bmmc.MarshalPermutation(res.Perm), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote:           %s\n", *out)
+	}
 }

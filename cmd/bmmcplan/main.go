@@ -6,10 +6,15 @@
 //
 // Usage:
 //
-//	bmmcplan [-N n] [-D d] [-B b] [-M m] -perm kind [-arg k] [-matrices]
+//	bmmcplan [-N n] [-D d] [-B b] [-M m] -perm kind [-arg k] [-matrices] [-fuse]
 //
 // Permutation kinds match cmd/bmmcperm: bitrev, transpose, gray, grayinv,
 // vecrev, rotate, hypercube, random, rank.
+//
+// -fuse additionally prints the pass-fusion result: the factored pass list
+// re-segmented into the fewest adjacent compositions that are still
+// one-pass (MRC/MLD/inverse-MLD) class members, next to the unfused plan
+// and both projected costs.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 		file     = flag.String("file", "", "read the permutation from a marshal-format file instead of -perm")
 		arg      = flag.Int64("arg", 0, "permutation argument")
 		matrices = flag.Bool("matrices", false, "print each pass's characteristic matrix")
+		fuse     = flag.Bool("fuse", false, "also print the fused plan and its projected cost")
 	)
 	flag.Parse()
 
@@ -74,6 +80,17 @@ func main() {
 		ios = 0
 	}
 	fmt.Printf("\nprojected cost: %d parallel I/Os (%d passes x %d)\n", ios, plan.PassCount(), cfg.PassIOs())
+	if *fuse {
+		fused := factor.Fuse(plan, lgB, lgM)
+		fmt.Println()
+		if *matrices {
+			fmt.Println(fused.Describe())
+		} else {
+			fmt.Println(fused)
+		}
+		fusedIOs := fused.PassCount() * cfg.PassIOs()
+		fmt.Printf("\nfused cost:     %d parallel I/Os (%d passes x %d)\n", fusedIOs, fused.PassCount(), cfg.PassIOs())
+	}
 	fmt.Printf("Theorem 3 lower bound:  %.0f\n", bounds.LowerBound(cfg, plan.RankGamma))
 	fmt.Printf("Section 7 refined LB:   %.0f\n", bounds.RefinedLowerBound(cfg, plan.RankGamma))
 	fmt.Printf("Theorem 21 upper bound: %d\n", bounds.UpperBound(cfg, plan.RankGamma))

@@ -31,6 +31,22 @@
 //	fmt.Println(rep)                      // passes, parallel I/Os, bounds
 //	err = p.Verify(bmmc.BitReversal(cfg.LgN()))
 //
+// # Planning
+//
+// Factored permutations pass through a plan-optimization layer before
+// execution. Pass fusion (on by default) re-segments the Section 5 pass
+// list into the fewest adjacent GF(2) compositions that are still one-pass
+// class members (MRC, MLD, or inverse-MLD), which lowers the measured
+// parallel-I/O count for permutations the greedy factoring over-splits —
+// the permuted records are identical either way. An LRU plan cache lets
+// repeated permutations skip re-factorization entirely; PermuteAll plans a
+// whole batch up front through the cache and reports per-job costs:
+//
+//	p, err := bmmc.NewPermuter(cfg,
+//	    bmmc.WithFusion(true),        // pass fusion (default on)
+//	    bmmc.WithPlanCache(64))       // LRU plan cache (default 32 plans)
+//	batch, err := p.PermuteAll([]bmmc.Permutation{rev, gray, rev})
+//
 // # Execution
 //
 // All engines run through a pipelined pass runner: while one memoryload is
@@ -46,7 +62,9 @@
 //
 // Execution options never change what the paper's theorems measure: the
 // permuted result, the parallel-I/O counts, and the per-disk totals are
-// byte-identical in every mode — only wall-clock time differs.
+// byte-identical in every mode — only wall-clock time differs. The
+// planning options sit above that invariant: fusion may lower (never
+// raise) the measured cost, and caching changes nothing but planning time.
 //
 // See the examples directory for out-of-core matrix transposition, FFT
 // input reordering, Gray-code reordering, and run-time detection, and

@@ -12,30 +12,42 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/factor"
 	"repro/internal/pdm"
 	"repro/internal/perm"
 )
+
+// DefaultPlanCacheEntries is the plan-cache capacity a Permuter gets when
+// WithPlanCache is not specified.
+const DefaultPlanCacheEntries = 32
 
 // Permuter owns a parallel disk system holding N records and performs
 // permutations on them. Create one with NewPermuter (RAM-backed) or
 // NewFilePermuter (one file per simulated disk).
 type Permuter struct {
-	sys *pdm.System
-	opt engine.Options
+	sys   *pdm.System
+	opt   engine.Options
+	fuse  bool
+	cache *planCache
 }
 
-// Option configures a Permuter at construction. Options tune execution
-// only — wall-clock speed — and never change the permuted result or the
-// measured parallel-I/O counts.
+// Option configures a Permuter at construction. The execution options
+// (WithPipeline, WithWorkers, WithConcurrentIO) tune wall-clock speed only
+// and never change the permuted result or the measured parallel-I/O
+// counts. The planning options (WithFusion, WithPlanCache) sit above
+// execution: fusion can only lower the measured cost — never the result —
+// and caching only skips repeated planning work.
 type Option func(*settings)
 
 type settings struct {
 	opt          engine.Options
 	concurrentIO bool
+	fuse         bool
+	cacheSize    int
 }
 
 func defaultSettings() settings {
-	return settings{opt: engine.DefaultOptions()}
+	return settings{opt: engine.DefaultOptions(), fuse: true, cacheSize: DefaultPlanCacheEntries}
 }
 
 // WithPipeline enables or disables double-buffered prefetching in the pass
@@ -57,6 +69,24 @@ func WithWorkers(n int) Option {
 // storage latency the way D physical spindles would. Off by default.
 func WithConcurrentIO(on bool) Option {
 	return func(s *settings) { s.concurrentIO = on }
+}
+
+// WithFusion enables or disables pass fusion for factored permutations:
+// adjacent passes of the Section 5 factorization whose GF(2) composition is
+// still one-pass executable (MRC, MLD, or inverse-MLD) are merged before
+// execution, lowering the measured parallel-I/O count for permutations the
+// greedy factoring over-splits. The permuted records are identical either
+// way. On by default.
+func WithFusion(on bool) Option {
+	return func(s *settings) { s.fuse = on }
+}
+
+// WithPlanCache sets the capacity of the LRU plan cache, in plans. A
+// Permute of a factored permutation whose plan is cached skips the GF(2)
+// factorization (and fusion) entirely. n <= 0 disables caching. The default
+// is DefaultPlanCacheEntries.
+func WithPlanCache(n int) Option {
+	return func(s *settings) { s.cacheSize = n }
 }
 
 // NewPermuter returns a Permuter over a RAM-backed disk system loaded with
@@ -84,7 +114,7 @@ func newPermuter(cfg pdm.Config, factory pdm.DiskFactory, opts ...Option) (*Perm
 		sys.Close()
 		return nil, err
 	}
-	return &Permuter{sys: sys, opt: s.opt}, nil
+	return &Permuter{sys: sys, opt: s.opt, fuse: s.fuse, cache: newPlanCache(s.cacheSize)}, nil
 }
 
 // Close releases the underlying disks.
@@ -104,33 +134,89 @@ func (p *Permuter) Stats() pdm.Stats { return p.sys.Stats() }
 func (p *Permuter) ResetStats() { p.sys.ResetStats() }
 
 // Permute applies the BMMC permutation to the stored records using the
-// cheapest applicable algorithm (identity: free; MRC/MLD: one pass;
-// otherwise the factoring algorithm of Section 5). The returned Report
+// cheapest applicable algorithm (identity: free; MRC/MLD/inverse-MLD: one
+// pass; otherwise the factoring algorithm of Section 5, planned through
+// the plan cache and pass fusion when enabled). The returned Report
 // carries the measured cost next to the paper's bounds.
 func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
-	res, err := engine.RunAutoOpt(p.sys, bp, p.opt)
+	cp, hit, err := p.plan(bp)
 	if err != nil {
 		return nil, err
 	}
-	return p.report(bp, res), nil
+	res, err := p.execute(cp)
+	if err != nil {
+		return nil, err
+	}
+	return p.report(bp, cp.class, res, hit), nil
 }
 
+// plan returns the planning result Permute will execute for bp — the
+// dispatched class plus, for factored permutations, the (possibly fused)
+// plan — consulting the plan cache first. A cache hit skips classification
+// and factorization entirely; the boolean reports it.
+func (p *Permuter) plan(bp perm.BMMC) (*cachedPlan, bool, error) {
+	cfg := p.sys.Config()
+	if bp.Bits() != cfg.LgN() {
+		return nil, false, fmt.Errorf("core: permutation on %d-bit addresses, system has n=%d", bp.Bits(), cfg.LgN())
+	}
+	key := planKey(bp, cfg, p.fuse)
+	if cp := p.cache.get(key); cp != nil {
+		return cp, true, nil
+	}
+	b, m := cfg.LgB(), cfg.LgM()
+	cp := &cachedPlan{}
+	switch class, ok := bp.OnePassClass(b, m); {
+	case ok && class == perm.ClassIdentity:
+		cp.class = class
+	case ok:
+		cp.class = class
+		cp.plan = &factor.Plan{Passes: []factor.Pass{{Perm: bp, Kind: class}}}
+	default:
+		cp.class = perm.ClassBMMC
+		plan, err := factor.Factorize(bp, b, m)
+		if err != nil {
+			return nil, false, err
+		}
+		if p.fuse {
+			plan = factor.Fuse(plan, b, m)
+		}
+		cp.plan = plan
+	}
+	p.cache.put(key, cp)
+	return cp, false, nil
+}
+
+// execute runs the prepared plan; the identity (nil plan) is free.
+func (p *Permuter) execute(cp *cachedPlan) (*engine.Result, error) {
+	if cp.plan == nil {
+		return &engine.Result{}, nil
+	}
+	return engine.RunPlanOpt(p.sys, cp.plan, p.opt)
+}
+
+// CacheStats returns the plan cache's hit/miss/eviction counters.
+func (p *Permuter) CacheStats() CacheStats { return p.cache.snapshot() }
+
 // PermuteFactored forces the full Section 5 factoring algorithm even for
-// permutations that have a cheaper class, for measurement purposes.
+// permutations that have a cheaper class, for measurement purposes. It
+// bypasses the plan cache and fusion so the measured cost is exactly the
+// unoptimized Theorem 21 algorithm.
 func (p *Permuter) PermuteFactored(bp perm.BMMC) (*Report, error) {
 	res, err := engine.RunBMMCOpt(p.sys, bp, p.opt)
 	if err != nil {
 		return nil, err
 	}
-	return p.report(bp, res), nil
+	cfg := p.sys.Config()
+	return p.report(bp, bp.Classify(cfg.LgB(), cfg.LgM()), res, false), nil
 }
 
-// PermuteAll applies a sequence of BMMC permutations (perms[0] first) as a
-// single composed permutation, which by Lemma 1 is again BMMC. Because the
-// cost depends only on the composite's rank gamma, batching is never more
-// expensive than running the sequence one call at a time, and is usually
-// much cheaper (e.g. a permutation followed by its inverse costs nothing).
-func (p *Permuter) PermuteAll(perms ...perm.BMMC) (*Report, error) {
+// PermuteComposed applies a sequence of BMMC permutations (perms[0] first)
+// as a single composed permutation, which by Lemma 1 is again BMMC.
+// Because the cost depends only on the composite's rank gamma, composing is
+// never more expensive than running the sequence one call at a time, and is
+// usually much cheaper (e.g. a permutation followed by its inverse costs
+// nothing).
+func (p *Permuter) PermuteComposed(perms ...perm.BMMC) (*Report, error) {
 	if len(perms) == 0 {
 		return p.Permute(perm.Identity(p.sys.Config().LgN()))
 	}
@@ -139,6 +225,62 @@ func (p *Permuter) PermuteAll(perms ...perm.BMMC) (*Report, error) {
 		composite = q.Compose(composite)
 	}
 	return p.Permute(composite)
+}
+
+// BatchReport pairs the per-job reports of a PermuteAll run with the
+// aggregate cost and the plan-cache effectiveness over the batch.
+type BatchReport struct {
+	Jobs        []*Report // one per input permutation, in order
+	Passes      int       // total one-pass permutations performed
+	ParallelIOs int       // total measured parallel I/Os
+	CacheHits   int       // factored jobs whose plan came from the cache
+	Planned     int       // factored jobs that paid for a fresh factorization
+}
+
+func (r *BatchReport) String() string {
+	return fmt.Sprintf("batch: %d jobs, %d passes, %d parallel I/Os (%d plans cached, %d planned)",
+		len(r.Jobs), r.Passes, r.ParallelIOs, r.CacheHits, r.Planned)
+}
+
+// PermuteAll applies each permutation in order — the stored records end up
+// permuted by the composition, with every intermediate state materialized
+// on disk, unlike PermuteComposed. All jobs are planned up front through
+// the plan cache, so a batch with repeated permutations (FFT reorderings,
+// transpose round-trips) factorizes each distinct one once; execution then
+// reuses the prepared plans. The report carries per-job and aggregate
+// costs.
+func (p *Permuter) PermuteAll(perms []perm.BMMC) (*BatchReport, error) {
+	batch := &BatchReport{}
+	type job struct {
+		cp  *cachedPlan
+		hit bool
+	}
+	jobs := make([]job, len(perms))
+	for i, bp := range perms {
+		cp, hit, err := p.plan(bp)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning job %d/%d: %w", i+1, len(perms), err)
+		}
+		jobs[i] = job{cp: cp, hit: hit}
+		if cp.class == perm.ClassBMMC {
+			if hit {
+				batch.CacheHits++
+			} else {
+				batch.Planned++
+			}
+		}
+	}
+	for i, bp := range perms {
+		res, err := p.execute(jobs[i].cp)
+		if err != nil {
+			return nil, fmt.Errorf("core: job %d/%d: %w", i+1, len(perms), err)
+		}
+		rep := p.report(bp, jobs[i].cp.class, res, jobs[i].hit)
+		batch.Jobs = append(batch.Jobs, rep)
+		batch.Passes += rep.Passes
+		batch.ParallelIOs += rep.ParallelIOs
+	}
+	return batch, nil
 }
 
 // PermuteGeneral applies an arbitrary bijection on addresses using the
@@ -180,11 +322,15 @@ func (p *Permuter) LoadRecords(recs []pdm.Record) error {
 	return p.sys.LoadRecords(p.sys.Source(), recs)
 }
 
-// Report pairs a run's measured cost with the paper's bound expressions.
+// Report pairs a run's measured cost with the paper's bound expressions
+// and the planning metadata of the run.
 type Report struct {
-	Class       perm.Class // class the permutation was dispatched as
+	Class       perm.Class // class the permutation was dispatched as (incl. ClassInvMLD)
 	Passes      int        // one-pass permutations performed
 	ParallelIOs int        // measured parallel I/Os
+
+	PlanCached bool // the planning result came from the plan cache
+	FusedFrom  int  // pass count before fusion (0: no fusion applied)
 
 	RankGamma    int     // rank A_{b..n-1,0..b-1}
 	LowerBound   float64 // Theorem 3 expression
@@ -194,13 +340,14 @@ type Report struct {
 	SortBaseline int     // exact parallel I/Os of the merge-sort baseline
 }
 
-func (p *Permuter) report(bp perm.BMMC, res *engine.Result) *Report {
+func (p *Permuter) report(bp perm.BMMC, class perm.Class, res *engine.Result, cached bool) *Report {
 	cfg := p.sys.Config()
 	g := bp.RankGamma(cfg.LgB())
-	return &Report{
-		Class:        bp.Classify(cfg.LgB(), cfg.LgM()),
+	rep := &Report{
+		Class:        class,
 		Passes:       res.Passes,
 		ParallelIOs:  res.ParallelIOs,
+		PlanCached:   cached,
 		RankGamma:    g,
 		LowerBound:   bounds.LowerBound(cfg, g),
 		RefinedLB:    bounds.RefinedLowerBound(cfg, g),
@@ -208,11 +355,22 @@ func (p *Permuter) report(bp perm.BMMC, res *engine.Result) *Report {
 		SortBound:    bounds.SortBound(cfg),
 		SortBaseline: bounds.MergeSortIOs(cfg),
 	}
+	if res.Plan != nil {
+		rep.FusedFrom = res.Plan.FusedFrom
+	}
+	return rep
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("%s: %d passes, %d parallel I/Os (rank gamma %d; LB %.0f, refined LB %.0f, UB %d)",
+	s := fmt.Sprintf("%s: %d passes, %d parallel I/Os (rank gamma %d; LB %.0f, refined LB %.0f, UB %d)",
 		r.Class, r.Passes, r.ParallelIOs, r.RankGamma, r.LowerBound, r.RefinedLB, r.UpperBound)
+	if r.FusedFrom > r.Passes {
+		s += fmt.Sprintf(" [fused from %d passes]", r.FusedFrom)
+	}
+	if r.PlanCached {
+		s += " [plan cached]"
+	}
+	return s
 }
 
 // DetectTargets runs Section 6 detection on a target-address vector,

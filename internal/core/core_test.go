@@ -163,9 +163,7 @@ func TestPermuterInverseMLDDispatch(t *testing.T) {
 	cfg := coreConfig
 	rng := rand.New(rand.NewSource(10))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
-	e := gf2.Identity(n)
-	e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
-	mld := perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+	mld := perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
 	inv := mld.Inverse()
 	if inv.IsMLD(b, m) || inv.IsMRC(m) {
 		t.Skip("inverse degenerated to a forward one-pass class")
@@ -179,21 +177,24 @@ func TestPermuterInverseMLDDispatch(t *testing.T) {
 	if rep.Passes != 1 {
 		t.Errorf("inverse-MLD dispatched to %d passes", rep.Passes)
 	}
+	if rep.Class != perm.ClassInvMLD {
+		t.Errorf("report class %v, want %v", rep.Class, perm.ClassInvMLD)
+	}
 	if err := p.Verify(inv); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestPermuteAllBatching: composing a sequence before running it is never
-// more expensive than running it step by step, and a permutation followed
-// by its inverse is free.
-func TestPermuteAllBatching(t *testing.T) {
+// TestPermuteComposedBatching: composing a sequence before running it is
+// never more expensive than running it step by step, and a permutation
+// followed by its inverse is free.
+func TestPermuteComposedBatching(t *testing.T) {
 	n := coreConfig.LgN()
 	rev := perm.BitReversal(n)
 
 	batched, _ := NewPermuter(coreConfig)
 	defer batched.Close()
-	rep, err := batched.PermuteAll(rev, perm.GrayCode(n), perm.GrayCode(n).Inverse(), rev)
+	rep, err := batched.PermuteComposed(rev, perm.GrayCode(n), perm.GrayCode(n).Inverse(), rev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestPermuteAllBatching(t *testing.T) {
 	b2, _ := NewPermuter(coreConfig)
 	defer b2.Close()
 	seq := []perm.BMMC{perm.GrayCode(n), rev, perm.RotateBits(n, 3)}
-	if _, err := b2.PermuteAll(seq...); err != nil {
+	if _, err := b2.PermuteComposed(seq...); err != nil {
 		t.Fatal(err)
 	}
 	want := seq[2].Compose(seq[1]).Compose(seq[0])
@@ -219,8 +220,56 @@ func TestPermuteAllBatching(t *testing.T) {
 	// Empty batch is the identity.
 	b3, _ := NewPermuter(coreConfig)
 	defer b3.Close()
-	rep, err = b3.PermuteAll()
+	rep, err = b3.PermuteComposed()
 	if err != nil || rep.ParallelIOs != 0 {
 		t.Fatalf("empty batch: %v, %d I/Os", err, rep.ParallelIOs)
+	}
+}
+
+// TestPermuteAllPerJob: PermuteAll materializes every intermediate state,
+// reports per-job costs, and serves repeated plans from the cache.
+func TestPermuteAllPerJob(t *testing.T) {
+	n := coreConfig.LgN()
+	rev := perm.BitReversal(n)
+	gray := perm.GrayCode(n)
+
+	p, _ := NewPermuter(coreConfig)
+	defer p.Close()
+	batch, err := p.PermuteAll([]perm.BMMC{rev, gray, rev, rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Jobs) != 4 {
+		t.Fatalf("got %d job reports, want 4", len(batch.Jobs))
+	}
+	// bitrev is a factored permutation here: three occurrences, one plan.
+	if batch.Planned != 1 || batch.CacheHits != 2 {
+		t.Errorf("planned %d, cache hits %d; want 1 planned, 2 hits", batch.Planned, batch.CacheHits)
+	}
+	if batch.Jobs[0].PlanCached || !batch.Jobs[2].PlanCached || !batch.Jobs[3].PlanCached {
+		t.Errorf("per-job cache flags wrong: %v %v %v",
+			batch.Jobs[0].PlanCached, batch.Jobs[2].PlanCached, batch.Jobs[3].PlanCached)
+	}
+	totalIOs, totalPasses := 0, 0
+	for _, rep := range batch.Jobs {
+		totalIOs += rep.ParallelIOs
+		totalPasses += rep.Passes
+	}
+	if totalIOs != batch.ParallelIOs || totalPasses != batch.Passes {
+		t.Errorf("aggregate (%d IOs, %d passes) != sum of jobs (%d, %d)",
+			batch.ParallelIOs, batch.Passes, totalIOs, totalPasses)
+	}
+	// The stored records reflect the full applied sequence.
+	want := rev.Compose(rev.Compose(gray.Compose(rev)))
+	if err := p.Verify(want); err != nil {
+		t.Fatal(err)
+	}
+	// Two misses: bitrev's factorization plus the cached one-pass
+	// classification of the Gray code.
+	if got := p.CacheStats(); got.Hits != 2 || got.Misses != 2 || got.Size != 2 {
+		t.Errorf("cache stats %+v", got)
+	}
+	if len(batch.String()) == 0 {
+		t.Error("empty batch report string")
 	}
 }

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
 	"repro/internal/factor"
 	"repro/internal/pdm"
 	"repro/internal/perm"
@@ -38,29 +36,11 @@ func RunBMMCOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	if p.IsIdentity() {
 		return &Result{}, nil
 	}
-	before := sys.Stats().ParallelIOs()
 	plan, err := factor.Factorize(p, cfg.LgB(), cfg.LgM())
 	if err != nil {
 		return nil, err
 	}
-	for i, pass := range plan.Passes {
-		switch pass.Kind {
-		case perm.ClassMRC:
-			err = RunMRCPassOpt(sys, pass.Perm, opt)
-		case perm.ClassMLD:
-			err = RunMLDPassOpt(sys, pass.Perm, opt)
-		default:
-			err = fmt.Errorf("engine: pass %d has unexpected class %v", i, pass.Kind)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("engine: pass %d/%d: %w", i+1, len(plan.Passes), err)
-		}
-	}
-	return &Result{
-		Passes:      plan.PassCount(),
-		ParallelIOs: sys.Stats().ParallelIOs() - before,
-		Plan:        plan,
-	}, nil
+	return RunPlanOpt(sys, plan, opt)
 }
 
 // RunAuto performs p with the cheapest applicable algorithm, mirroring the

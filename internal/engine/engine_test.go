@@ -32,9 +32,7 @@ func newLoaded(t *testing.T, cfg pdm.Config) *pdm.System {
 
 // randomMLD constructs a random MLD permutation for the given geometry.
 func randomMLD(rng *rand.Rand, n, b, m int) perm.BMMC {
-	e := gf2.Identity(n)
-	e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
-	return perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+	return perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
 }
 
 func TestMRCPassGrayCode(t *testing.T) {

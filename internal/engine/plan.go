@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/factor"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// RunPlanOpt executes an already-computed factoring plan: each pass is
+// dispatched to the one-pass executor its kind names (MRC, MLD, or
+// inverse-MLD for fused plans), ping-ponging between the two portions. The
+// caller owns the plan — typically it comes from factor.Factorize, an
+// optional factor.Fuse, or a plan cache — so repeated permutations never
+// pay for re-factorization.
+func RunPlanOpt(sys *pdm.System, plan *factor.Plan, opt Options) (*Result, error) {
+	before := sys.Stats().ParallelIOs()
+	for i, pass := range plan.Passes {
+		var err error
+		switch pass.Kind {
+		case perm.ClassMRC:
+			err = RunMRCPassOpt(sys, pass.Perm, opt)
+		case perm.ClassMLD:
+			err = RunMLDPassOpt(sys, pass.Perm, opt)
+		case perm.ClassInvMLD:
+			err = RunMLDInversePassOpt(sys, pass.Perm, opt)
+		default:
+			err = fmt.Errorf("engine: pass %d has unexpected class %v", i, pass.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: pass %d/%d: %w", i+1, len(plan.Passes), err)
+		}
+	}
+	return &Result{
+		Passes:      plan.PassCount(),
+		ParallelIOs: sys.Stats().ParallelIOs() - before,
+		Plan:        plan,
+	}, nil
+}
+
+// RunBMMCFused is RunBMMC with the plan-fusion optimization: the factored
+// pass list is re-segmented over GF(2) into the fewest adjacent-composable
+// one-pass permutations before execution, so permutations the greedy
+// factoring over-splits cost measurably fewer parallel I/Os.
+func RunBMMCFused(sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCFusedOpt(sys, p, DefaultOptions())
+}
+
+// RunBMMCFusedOpt is RunBMMCFused with explicit execution options.
+func RunBMMCFusedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
+	cfg := sys.Config()
+	if err := checkGeometry(cfg, p); err != nil {
+		return nil, err
+	}
+	if p.IsIdentity() {
+		return &Result{}, nil
+	}
+	plan, err := factor.Factorize(p, cfg.LgB(), cfg.LgM())
+	if err != nil {
+		return nil, err
+	}
+	return RunPlanOpt(sys, factor.Fuse(plan, cfg.LgB(), cfg.LgM()), opt)
+}

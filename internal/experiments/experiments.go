@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/engine"
+	"repro/internal/factor"
 	"repro/internal/gf2"
 	"repro/internal/pdm"
 	"repro/internal/perm"
@@ -27,6 +29,17 @@ var Exec = engine.DefaultOptions()
 // ConcurrentIO toggles per-disk goroutine dispatch on the systems the
 // experiments build, matching pdm.System.SetConcurrent.
 var ConcurrentIO bool
+
+// Fuse makes every factored-driver run (runBMMC) execute the fused plan
+// instead of the verbatim Section 5 pass list. Off by default so the
+// tables reproduce the paper's unoptimized algorithm; cmd/bmmcbench's
+// -fuse flag turns it on. The fusion experiment always compares both
+// modes regardless of this setting.
+var Fuse bool
+
+// PlanCacheSize is the plan-cache capacity for experiments that build a
+// core.Permuter; cmd/bmmcbench's -cache flag overrides it.
+var PlanCacheSize = core.DefaultPlanCacheEntries
 
 // newSystem builds a loaded memory-backed system honoring ConcurrentIO.
 func newSystem(cfg pdm.Config) (*pdm.System, error) {
@@ -49,6 +62,9 @@ func runAuto(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
 }
 
 func runBMMC(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
+	if Fuse {
+		return engine.RunBMMCFusedOpt(sys, p, Exec)
+	}
 	return engine.RunBMMCOpt(sys, p, Exec)
 }
 
@@ -226,9 +242,7 @@ func MLDOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 		Columns: []string{"instance", "measured I/Os", "2N/BD", "within"},
 	}
 	for trial := 0; trial < 6; trial++ {
-		e := gf2.Identity(n)
-		e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
-		p := perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+		p := perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
 		sys, err := newSystem(cfg)
 		if err != nil {
 			return nil, err
@@ -434,9 +448,7 @@ func InverseOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 		Columns: []string{"instance", "auto passes", "measured I/Os", "2N/BD", "within"},
 	}
 	for trial := 0; trial < 4; trial++ {
-		e := gf2.Identity(n)
-		e.SetSubmatrix(m, b, gf2.RandomMatrix(rng, n-m, m-b))
-		mld := perm.MustNew(e.Mul(gf2.RandomMRC(rng, n, m)), gf2.RandomVec(rng, n))
+		mld := perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
 		inv := mld.Inverse()
 		res, err := run(cfg, inv, runAuto)
 		if err != nil {
@@ -563,11 +575,187 @@ func PipelineSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// randomNonMRCMLD draws MLD permutations until one falls outside MRC —
+// the family whose factored plan fusion collapses. Requires m > b; the
+// degenerate all-zero erasure block has probability 2^-((n-m)(m-b)), so
+// the retry bound is never hit in practice, and the last draw is still a
+// valid (merely less interesting) MLD instance if it ever is.
+func randomNonMRCMLD(rng *rand.Rand, n, b, m int) perm.BMMC {
+	var p perm.BMMC
+	for try := 0; try < 100; try++ {
+		p = perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
+		if !p.IsMRC(m) {
+			break
+		}
+	}
+	return p
+}
+
+// Fusion measures what the plan-fusion layer buys on the permutation
+// catalog: each instance is factored by the Section 5 algorithm, the pass
+// list is re-segmented by factor.Fuse, and both plans are executed on fresh
+// systems. The fused plan must never use more passes, must produce the
+// byte-identical layout, and for the one-pass families the greedy factoring
+// over-splits (MLD and inverse-MLD permutations, which Factorize has no
+// fast path for, plus a fraction of random BMMC matrices) it strictly
+// reduces the measured parallel-I/O count.
+func Fusion(cfg pdm.Config, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+	t := &Table{
+		ID:      "E16 (plan fusion)",
+		Title:   fmt.Sprintf("fused vs unfused factored plans on %v", cfg),
+		Columns: []string{"instance", "unfused passes", "fused passes", "unfused I/Os", "fused I/Os", "saved", "within"},
+		Notes: []string{
+			"fused passes compose adjacent GF(2) factors that are still one-pass (MRC/MLD/inverse-MLD) class members",
+			"BPC instances never fuse (their MLD members are already MRC), so the catalog rows pin fusion's no-regression side",
+		},
+	}
+	type entry struct {
+		name string
+		p    perm.BMMC
+	}
+	entries := []entry{
+		{"bit reversal", perm.BitReversal(n)},
+		{"transpose (square)", perm.Transpose(n/2, n-n/2)},
+		{"random BPC", perm.BMMC{A: gf2.RandomPermutationMatrix(rng, n)}},
+	}
+	// MLD \ MRC is empty at lg(M/B) = 0, so the strict-win rows only exist
+	// when the geometry has room for an erasure block.
+	if m > b {
+		mld := randomNonMRCMLD(rng, n, b, m)
+		entries = append(entries,
+			entry{"random MLD", mld},
+			entry{"inverse MLD", randomNonMRCMLD(rng, n, b, m).Inverse()})
+	}
+	entries = append(entries,
+		entry{"random BMMC", perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))},
+		entry{"random BMMC #2", perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))})
+	maxG := b
+	if n-b < maxG {
+		maxG = n - b
+	}
+	for g := 1; g <= maxG; g++ {
+		entries = append(entries, entry{fmt.Sprintf("random rank %d", g),
+			perm.MustNew(gf2.RandomNonsingularWithGamma(rng, n, b, g), gf2.RandomVec(rng, n))})
+	}
+	for _, e := range entries {
+		plan, err := factor.Factorize(e.p, b, m)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		fused := factor.Fuse(plan, b, m)
+		if !fused.Composed(n).Equal(e.p) {
+			return nil, fmt.Errorf("%s: fused plan composes to a different permutation", e.name)
+		}
+		exec := func(pl *factor.Plan) (int, error) {
+			sys, err := newSystem(cfg)
+			if err != nil {
+				return 0, err
+			}
+			defer sys.Close()
+			res, err := engine.RunPlanOpt(sys, pl, Exec)
+			if err != nil {
+				return 0, err
+			}
+			if err := engine.VerifyBMMC(sys, sys.Source(), e.p); err != nil {
+				return 0, fmt.Errorf("%s: %w", e.name, err)
+			}
+			return res.ParallelIOs, nil
+		}
+		unfusedIOs, err := exec(plan)
+		if err != nil {
+			return nil, err
+		}
+		fusedIOs, err := exec(fused)
+		if err != nil {
+			return nil, err
+		}
+		saved := "-"
+		if unfusedIOs > fusedIOs {
+			saved = fmt.Sprintf("%.0f%%", 100*float64(unfusedIOs-fusedIOs)/float64(unfusedIOs))
+		}
+		t.AddRow(e.name, itoa(plan.PassCount()), itoa(fused.PassCount()),
+			itoa(unfusedIOs), itoa(fusedIOs), saved,
+			passFail(fused.PassCount() <= plan.PassCount() && fusedIOs <= unfusedIOs))
+	}
+	return t, nil
+}
+
+// PlanCache measures what the core plan cache buys: the same factored
+// permutation is permuted twice through one Permuter, and the second call
+// must be served from the cache — zero re-factorizations — while producing
+// the identical pass structure. The planning-only cost (factorize + fuse,
+// no I/O) is timed directly for the note.
+func PlanCache(cfg pdm.Config, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+	t := &Table{
+		ID:      "E17 (plan cache)",
+		Title:   fmt.Sprintf("plan-cache reuse across repeated permutations on %v", cfg),
+		Columns: []string{"call", "instance", "plan cached", "passes", "parallel I/Os", "within"},
+	}
+	p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+	planStart := time.Now()
+	plan, err := factor.Factorize(p, b, m)
+	if err != nil {
+		return nil, err
+	}
+	factor.Fuse(plan, b, m)
+	planCost := time.Since(planStart)
+
+	pr, err := core.NewPermuter(cfg, core.WithPlanCache(PlanCacheSize))
+	if err != nil {
+		return nil, err
+	}
+	defer pr.Close()
+	// With the cache disabled (-cache 0) every call plans from scratch and
+	// the expected "plan cached" column flips to all-false.
+	caching := PlanCacheSize > 0
+	jobs := []struct {
+		name string
+		p    perm.BMMC
+		hit  bool
+	}{
+		{"random BMMC", p, false},
+		{"random BMMC", p, caching},
+		{"bit reversal", perm.BitReversal(n), false},
+		{"bit reversal", perm.BitReversal(n), caching},
+	}
+	var prev *core.Report
+	for i, job := range jobs {
+		rep, err := pr.Permute(job.p)
+		if err != nil {
+			return nil, err
+		}
+		ok := rep.PlanCached == job.hit
+		if i%2 == 1 && prev != nil {
+			ok = ok && rep.Passes == prev.Passes && rep.ParallelIOs == prev.ParallelIOs
+		}
+		t.AddRow(itoa(i+1), job.name, fmt.Sprintf("%v", rep.PlanCached),
+			itoa(rep.Passes), itoa(rep.ParallelIOs), passFail(ok))
+		prev = rep
+	}
+	stats := pr.CacheStats()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("planning (factorize+fuse, no I/O) costs %.2fms once; %s", float64(planCost.Microseconds())/1000, stats),
+	)
+	wantHits := 0
+	if caching {
+		wantHits = 2
+	}
+	if stats.Hits != wantHits {
+		return nil, fmt.Errorf("plancache: expected %d hits, got %+v", wantHits, stats)
+	}
+	return t, nil
+}
+
 // Names lists every experiment in execution order.
 func Names() []string {
 	return []string{
 		"table1", "tightbounds", "crossover", "mld", "detect", "potential",
 		"transpose", "scaling", "lemma9", "ablation", "inverse", "pipeline",
+		"fusion", "plancache",
 	}
 }
 
@@ -611,6 +799,10 @@ func ByName(name string) func(pdm.Config, int64) (*Table, error) {
 		return InverseOnePass
 	case "pipeline":
 		return PipelineSpeed
+	case "fusion":
+		return Fusion
+	case "plancache":
+		return PlanCache
 	default:
 		return nil
 	}

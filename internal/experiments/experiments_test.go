@@ -32,8 +32,8 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 experiment tables, got %d", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("expected 14 experiment tables, got %d", len(tables))
 	}
 	for _, tbl := range tables {
 		checkAllPass(t, tbl)
@@ -59,7 +59,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "tightbounds", "crossover", "mld", "detect", "potential", "transpose", "scaling", "lemma9", "ablation", "inverse"} {
+	for _, name := range []string{"table1", "tightbounds", "crossover", "mld", "detect", "potential", "transpose", "scaling", "lemma9", "ablation", "inverse", "pipeline", "fusion", "plancache"} {
 		if ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
 		}
@@ -95,6 +95,46 @@ func TestCrossoverShape(t *testing.T) {
 	if lastBMMC < firstBMMC {
 		t.Errorf("cost decreased with rank: %d -> %d", firstBMMC, lastBMMC)
 	}
+}
+
+// TestFusionShowsStrictWin: the fusion table must contain at least one
+// catalog instance where the fused plan strictly beats the unfused one in
+// both pass count and measured parallel I/Os — the MLD and inverse-MLD
+// families guarantee it at every geometry, since Factorize has no fast
+// path for them and emits two passes where fusion needs one.
+func TestFusionShowsStrictWin(t *testing.T) {
+	tbl, err := Fusion(smallConfig, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPass(t, tbl)
+	strict := false
+	for _, row := range tbl.Rows {
+		var unfused, fused, unfusedIOs, fusedIOs int
+		parseInt(row[1], &unfused)
+		parseInt(row[2], &fused)
+		parseInt(row[3], &unfusedIOs)
+		parseInt(row[4], &fusedIOs)
+		if fused > unfused || fusedIOs > unfusedIOs {
+			t.Errorf("fusion regressed %s: passes %d->%d, I/Os %d->%d", row[0], unfused, fused, unfusedIOs, fusedIOs)
+		}
+		if fused < unfused && fusedIOs < unfusedIOs {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no catalog instance strictly improved by fusion")
+	}
+}
+
+// TestPlanCacheTable: the plan-cache experiment's hit/miss pattern holds
+// at the small geometry too.
+func TestPlanCacheTable(t *testing.T) {
+	tbl, err := PlanCache(smallConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPass(t, tbl)
 }
 
 func parseInt(s string, out *int) (int, error) {

@@ -8,10 +8,11 @@ import (
 )
 
 // Pass is one one-pass permutation in a factoring plan: an MRC pass (striped
-// reads and writes) or an MLD pass (striped reads, independent writes).
+// reads and writes), an MLD pass (striped reads, independent writes), or —
+// after fusion — an inverse-MLD pass (independent reads, striped writes).
 type Pass struct {
 	Perm perm.BMMC
-	Kind perm.Class // ClassMRC or ClassMLD
+	Kind perm.Class // ClassMRC, ClassMLD, or ClassInvMLD
 }
 
 // Plan is the result of factoring a BMMC permutation: the passes to perform
@@ -22,6 +23,7 @@ type Plan struct {
 	G          int // swap/erase pairs used (eq. 17)
 	RankGamma  int // rank A_{b..n-1,0..b-1}, the lower-bound rank (Thm 3)
 	RankLambda int // rank A_{m..n-1,0..m-1}, what the loop actually clears
+	FusedFrom  int // pass count before Fuse (0: plan was never fused)
 }
 
 // PassCount returns the number of one-pass permutations in the plan.

@@ -1,0 +1,101 @@
+package factor
+
+import "repro/internal/perm"
+
+// Fuse optimizes a factored plan by composing adjacent passes over GF(2)
+// and merging every run whose composition is still executable in a single
+// pass (MRC, MLD, or inverse-MLD for the geometry, per Lemma 1 the
+// composition of BMMC permutations is BMMC). Runs composing to the identity
+// are dropped outright. The result performs exactly the same permutation —
+// Composed is unchanged — in the provably minimal number of passes
+// reachable by merging adjacent passes of the input plan, found by dynamic
+// programming over all contiguous segmentations rather than greedy pairing.
+//
+// Fusion preserves the paper's Theorem 21 guarantee: every emitted pass is
+// a member of a one-pass class, so the fused plan still costs exactly
+// 2N/BD parallel I/Os per pass, and the pass count never exceeds the
+// unfused plan's (the identity segmentation is always available to the DP).
+// It can only shrink the measured cost, never the correctness envelope.
+func Fuse(plan *Plan, b, m int) *Plan {
+	fused := &Plan{
+		G:          plan.G,
+		RankGamma:  plan.RankGamma,
+		RankLambda: plan.RankLambda,
+		FusedFrom:  plan.PassCount(),
+	}
+	k := len(plan.Passes)
+	if k == 0 {
+		return fused
+	}
+
+	// comp[i][j] is the composition of passes i..j inclusive (pass i applied
+	// first): comp[i][j] = P_j ∘ ... ∘ P_i.
+	comp := make([][]perm.BMMC, k)
+	for i := 0; i < k; i++ {
+		comp[i] = make([]perm.BMMC, k)
+		comp[i][i] = plan.Passes[i].Perm
+		for j := i + 1; j < k; j++ {
+			comp[i][j] = plan.Passes[j].Perm.Compose(comp[i][j-1])
+		}
+	}
+
+	// kind[i][j] is the one-pass class of comp[i][j], or ClassBMMC if the
+	// segment is not one-pass executable; segCost is 0 for identity
+	// segments (dropped), 1 for one-pass segments, unreachable otherwise.
+	// Single passes keep their planned kind so fusion is the identity
+	// transformation on unfusable plans.
+	const inf = 1 << 30
+	kind := make([][]perm.Class, k)
+	segCost := make([][]int, k)
+	for i := 0; i < k; i++ {
+		kind[i] = make([]perm.Class, k)
+		segCost[i] = make([]int, k)
+		for j := i; j < k; j++ {
+			c, ok := comp[i][j].OnePassClass(b, m)
+			switch {
+			case !ok:
+				c, segCost[i][j] = perm.ClassBMMC, inf
+			case c == perm.ClassIdentity:
+				segCost[i][j] = 0
+			default:
+				segCost[i][j] = 1
+				if i == j {
+					c = plan.Passes[i].Kind
+				}
+			}
+			kind[i][j] = c
+		}
+	}
+
+	// best[i] is the minimal pass count for the suffix starting at pass i;
+	// cut[i] the end (inclusive) of the optimal first segment.
+	best := make([]int, k+1)
+	cut := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		best[i] = inf
+		for j := i; j < k; j++ {
+			if c := segCost[i][j] + best[j+1]; c < best[i] {
+				best[i] = c
+				cut[i] = j
+			}
+		}
+	}
+
+	// No valid segmentation means some pass is not one-pass executable at
+	// this (b, m) — a geometry mismatch with the Factorize call. Return
+	// the passes unchanged so the executors report the class error instead
+	// of running a plan with fabricated kinds.
+	if best[0] >= inf {
+		fused.Passes = append(fused.Passes, plan.Passes...)
+		return fused
+	}
+
+	for i := 0; i < k; {
+		j := cut[i]
+		if kind[i][j] != perm.ClassIdentity {
+			fused.Passes = append(fused.Passes, Pass{Perm: comp[i][j], Kind: kind[i][j]})
+		}
+		i = j + 1
+	}
+	return fused
+}

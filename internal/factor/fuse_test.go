@@ -1,0 +1,190 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/perm"
+)
+
+// randomMLDPerm builds an MLD permutation that is not MRC, the family the
+// greedy factoring over-splits (it has no MLD fast path). Requires m > b,
+// where non-MRC draws are overwhelmingly likely.
+func randomMLDPerm(rng *rand.Rand, n, b, m int) perm.BMMC {
+	for try := 0; ; try++ {
+		p := perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
+		if !p.IsMRC(m) {
+			return p
+		}
+		if try > 100 {
+			panic("factor test: no non-MRC MLD instance in 100 draws")
+		}
+	}
+}
+
+// TestFusePreservesPermutation: across random inputs the fused plan must
+// compose to exactly the original permutation (matrix and complement),
+// never use more passes, and every emitted pass must be a member of the
+// class its kind claims.
+func TestFusePreservesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for _, geo := range []struct{ n, b, m int }{
+		{10, 2, 6}, {11, 3, 7}, {12, 3, 8}, {12, 2, 10}, {14, 4, 9},
+	} {
+		for trial := 0; trial < 25; trial++ {
+			p := perm.MustNew(gf2.RandomNonsingular(rng, geo.n), gf2.RandomVec(rng, geo.n))
+			plan, err := Factorize(p, geo.b, geo.m)
+			if err != nil {
+				t.Fatalf("n=%d b=%d m=%d: %v", geo.n, geo.b, geo.m, err)
+			}
+			fused := Fuse(plan, geo.b, geo.m)
+			if !fused.Composed(geo.n).Equal(p) {
+				t.Fatalf("n=%d b=%d m=%d trial=%d: fused plan composes to a different permutation", geo.n, geo.b, geo.m, trial)
+			}
+			if fused.PassCount() > plan.PassCount() {
+				t.Fatalf("fusion increased passes: %d -> %d", plan.PassCount(), fused.PassCount())
+			}
+			if fused.FusedFrom != plan.PassCount() {
+				t.Fatalf("FusedFrom = %d, want %d", fused.FusedFrom, plan.PassCount())
+			}
+			for i, pass := range fused.Passes {
+				ok := false
+				switch pass.Kind {
+				case perm.ClassMRC:
+					ok = pass.Perm.IsMRC(geo.m)
+				case perm.ClassMLD:
+					ok = pass.Perm.IsMLD(geo.b, geo.m)
+				case perm.ClassInvMLD:
+					ok = pass.Perm.Inverse().IsMLD(geo.b, geo.m)
+				}
+				if !ok {
+					t.Fatalf("fused pass %d claims %v but fails the class check", i, pass.Kind)
+				}
+			}
+		}
+	}
+}
+
+// TestFuseCollapsesMLD: an MLD (but not MRC) permutation has no fast path
+// in Factorize and comes out as two passes; fusion must collapse it to the
+// single MLD pass Theorem 15 promises. The inverse family collapses to a
+// single inverse-MLD pass (Section 7).
+func TestFuseCollapsesMLD(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	n, b, m := 12, 3, 8
+	for trial := 0; trial < 10; trial++ {
+		mld := randomMLDPerm(rng, n, b, m)
+		plan, err := Factorize(mld, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.PassCount() < 2 {
+			t.Fatalf("expected the greedy factoring to over-split an MLD permutation, got %d passes", plan.PassCount())
+		}
+		fused := Fuse(plan, b, m)
+		if fused.PassCount() != 1 || fused.Passes[0].Kind != perm.ClassMLD {
+			t.Fatalf("MLD permutation fused to %d passes (kind %v), want 1 MLD pass",
+				fused.PassCount(), fused.Passes[0].Kind)
+		}
+
+		inv := mld.Inverse()
+		if inv.IsMLD(b, m) {
+			continue // inverse degenerated to a forward one-pass class
+		}
+		invPlan, err := Factorize(inv, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invFused := Fuse(invPlan, b, m)
+		if invFused.PassCount() != 1 || invFused.Passes[0].Kind != perm.ClassInvMLD {
+			t.Fatalf("inverse-MLD permutation fused to %d passes (kind %v), want 1 inverse-MLD pass",
+				invFused.PassCount(), invFused.Passes[0].Kind)
+		}
+	}
+}
+
+// TestFuseSinglePassUnchanged: a plan that is already one pass (the MRC
+// fast path) survives fusion untouched.
+func TestFuseSinglePassUnchanged(t *testing.T) {
+	n, b, m := 12, 3, 8
+	plan, err := Factorize(perm.GrayCode(n), b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PassCount() != 1 {
+		t.Fatalf("Gray code plan has %d passes", plan.PassCount())
+	}
+	fused := Fuse(plan, b, m)
+	if fused.PassCount() != 1 || fused.Passes[0].Kind != perm.ClassMRC {
+		t.Fatalf("fused MRC fast path: %d passes, kind %v", fused.PassCount(), fused.Passes[0].Kind)
+	}
+	if !fused.Passes[0].Perm.Equal(plan.Passes[0].Perm) {
+		t.Fatal("fusion rewrote a single-pass plan")
+	}
+}
+
+// TestFuseDropsIdentitySegments: a hand-built plan containing a pass and
+// its inverse fuses to the empty plan — the identity costs zero I/Os.
+func TestFuseDropsIdentitySegments(t *testing.T) {
+	n, b, m := 12, 3, 8
+	g := perm.GrayCode(n)
+	plan := &Plan{Passes: []Pass{
+		{Perm: g, Kind: perm.ClassMRC},
+		{Perm: g.Inverse(), Kind: perm.ClassMRC},
+	}}
+	fused := Fuse(plan, b, m)
+	if fused.PassCount() != 0 {
+		t.Fatalf("self-cancelling plan fused to %d passes, want 0", fused.PassCount())
+	}
+	if !fused.Composed(n).IsIdentity() {
+		t.Fatal("empty fused plan does not compose to the identity")
+	}
+}
+
+// TestFuseFindsStrictWinOnRandomBMMC: at a geometry where the greedy
+// factoring is known to over-split a fraction of random matrices, the DP
+// segmentation must find at least one strict pass-count reduction.
+func TestFuseFindsStrictWinOnRandomBMMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	n, b, m := 12, 2, 11
+	for trial := 0; trial < 200; trial++ {
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+		plan, err := Factorize(p, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := Fuse(plan, b, m)
+		if fused.PassCount() < plan.PassCount() {
+			if !fused.Composed(n).Equal(p) {
+				t.Fatal("winning fused plan composes to a different permutation")
+			}
+			return
+		}
+	}
+	t.Fatal("no strict fusion win in 200 random trials; expected ~1 in 5 at this geometry")
+}
+
+// TestFuseGeometryMismatchKeepsPlan: fusing a plan at a different (b, m)
+// than it was factored for cannot produce executable segments; Fuse must
+// hand the passes back unchanged (with their original kinds) rather than
+// emit fabricated segment kinds.
+func TestFuseGeometryMismatchKeepsPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	n := 12
+	p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+	plan, err := Factorize(p, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := Fuse(plan, 3, 4) // wrong m: the factored passes are not one-pass here
+	if fused.PassCount() != plan.PassCount() {
+		t.Fatalf("mismatched-geometry fusion changed the pass count: %d -> %d",
+			plan.PassCount(), fused.PassCount())
+	}
+	for i := range plan.Passes {
+		if fused.Passes[i].Kind != plan.Passes[i].Kind || !fused.Passes[i].Perm.Equal(plan.Passes[i].Perm) {
+			t.Fatalf("mismatched-geometry fusion rewrote pass %d", i)
+		}
+	}
+}

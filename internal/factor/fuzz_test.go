@@ -1,0 +1,69 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/perm"
+)
+
+// FuzzFactorizeFuseCompose fuzzes the factorize → fuse → compose round
+// trip: for an arbitrary seeded random nonsingular matrix and an arbitrary
+// (n, b, m) geometry derived from the fuzzed bytes, both the verbatim
+// Section 5 plan and its fused form must compose back to exactly the input
+// permutation, the fused plan must never use more passes, and every pass
+// must satisfy its claimed one-pass class predicate. The checked-in seed
+// corpus in testdata/fuzz covers each dispatch regime (MRC fast path, MLD
+// collapse, multi-round swap/erase, near-degenerate m = b+1).
+func FuzzFactorizeFuseCompose(f *testing.F) {
+	f.Add(uint64(1), byte(6), byte(2), byte(3))
+	f.Add(uint64(42), byte(8), byte(0), byte(7))
+	f.Add(uint64(7), byte(4), byte(1), byte(1))
+	f.Add(uint64(99), byte(9), byte(3), byte(5))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, bRaw, spanRaw byte) {
+		// Derive a valid geometry: 2 <= n <= 16, 0 <= b < m < n.
+		n := 2 + int(nRaw)%15
+		b := int(bRaw) % n
+		if b == n-1 {
+			b = n - 2
+		}
+		m := b + 1 + int(spanRaw)%(n-1-b)
+
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
+
+		plan, err := Factorize(p, b, m)
+		if err != nil {
+			// The only legitimate failure: a non-MRC permutation on a
+			// geometry with lg(M/B) = 0 — impossible here since m > b.
+			t.Fatalf("Factorize(n=%d b=%d m=%d): %v", n, b, m, err)
+		}
+		if !plan.Composed(n).Equal(p) {
+			t.Fatalf("plan composes to a different permutation (n=%d b=%d m=%d)", n, b, m)
+		}
+		fused := Fuse(plan, b, m)
+		if !fused.Composed(n).Equal(p) {
+			t.Fatalf("fused plan composes to a different permutation (n=%d b=%d m=%d)", n, b, m)
+		}
+		if fused.PassCount() > plan.PassCount() {
+			t.Fatalf("fusion increased passes %d -> %d (n=%d b=%d m=%d)",
+				plan.PassCount(), fused.PassCount(), n, b, m)
+		}
+		for i, pass := range fused.Passes {
+			ok := false
+			switch pass.Kind {
+			case perm.ClassMRC:
+				ok = pass.Perm.IsMRC(m)
+			case perm.ClassMLD:
+				ok = pass.Perm.IsMLD(b, m)
+			case perm.ClassInvMLD:
+				ok = pass.Perm.Inverse().IsMLD(b, m)
+			}
+			if !ok {
+				t.Fatalf("fused pass %d/%d claims %v but fails the class predicate (n=%d b=%d m=%d)",
+					i+1, fused.PassCount(), pass.Kind, n, b, m)
+			}
+		}
+	})
+}

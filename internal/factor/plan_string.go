@@ -10,8 +10,16 @@ import (
 // cmd/bmmcplan uses it to explain a factorization.
 func (p *Plan) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "plan: %d passes (g = %d swap/erase rounds; rank gamma = %d, rank lambda = %d)\n",
+	fmt.Fprintf(&sb, "plan: %d passes (g = %d swap/erase rounds; rank gamma = %d, rank lambda = %d)",
 		p.PassCount(), p.G, p.RankGamma, p.RankLambda)
+	if p.FusedFrom > 0 {
+		if p.FusedFrom > p.PassCount() {
+			fmt.Fprintf(&sb, " [fused from %d passes]", p.FusedFrom)
+		} else {
+			sb.WriteString(" [fusion: no further merge possible]")
+		}
+	}
+	sb.WriteByte('\n')
 	for i, pass := range p.Passes {
 		fmt.Fprintf(&sb, "  pass %d: %s", i+1, pass.Kind)
 		if pass.Perm.C != 0 {

@@ -138,3 +138,17 @@ func RandomMRC(rng *rand.Rand, n, m int) Matrix {
 	a.SetSubmatrix(m, m, RandomNonsingular(rng, n-m))
 	return a
 }
+
+// RandomMLD returns the characteristic matrix of a random MLD permutation
+// for block size 2^b and memory size 2^m: an erasure-shaped factor
+// (identity plus a random lower block in rows m..n-1, columns b..m-1)
+// times a random MRC matrix. With m == b the erasure block is empty and
+// the result degenerates to plain MRC — MLD \ MRC is empty at lg(M/B) = 0.
+func RandomMLD(rng *rand.Rand, n, b, m int) Matrix {
+	if b < 0 || b > m || m > n {
+		panic("gf2: RandomMLD geometry out of range")
+	}
+	e := Identity(n)
+	e.SetSubmatrix(m, b, RandomMatrix(rng, n-m, m-b))
+	return e.Mul(RandomMRC(rng, n, m))
+}

@@ -19,6 +19,11 @@ const (
 	ClassMLD
 	// ClassBMMC is the general case, requiring the factoring algorithm.
 	ClassBMMC
+	// ClassInvMLD marks a permutation whose inverse is MLD: one pass with
+	// independent reads and striped writes (the Section 7 extension).
+	// Classify never returns it — it refines ClassBMMC and is used as a
+	// pass kind by the plan layer and the engine dispatch.
+	ClassInvMLD
 )
 
 func (c Class) String() string {
@@ -29,6 +34,8 @@ func (c Class) String() string {
 		return "MRC"
 	case ClassMLD:
 		return "MLD"
+	case ClassInvMLD:
+		return "inverse-MLD"
 	default:
 		return "BMMC"
 	}
@@ -94,6 +101,26 @@ func (p BMMC) CheckMLDKernelCondition(b, m int) bool {
 		}
 	}
 	return true
+}
+
+// OnePassClass returns the cheapest class that executes p in a single pass
+// for block size 2^b and memory size 2^m: identity (zero I/Os), MRC, MLD,
+// or inverse-MLD (the Section 7 extension). If p needs the factoring
+// algorithm it returns (ClassBMMC, false). The plan-fusion layer uses this
+// predicate to decide whether a composition of factored passes is still
+// one-pass executable.
+func (p BMMC) OnePassClass(b, m int) (Class, bool) {
+	switch {
+	case p.IsIdentity():
+		return ClassIdentity, true
+	case p.IsMRC(m):
+		return ClassMRC, true
+	case p.IsMLD(b, m):
+		return ClassMLD, true
+	case p.Inverse().IsMLD(b, m):
+		return ClassInvMLD, true
+	}
+	return ClassBMMC, false
 }
 
 // Classify returns the most specific class of p for block size 2^b and
