@@ -102,20 +102,33 @@ const DefaultPlanCacheEntries = core.DefaultPlanCacheEntries
 // caching. The default is DefaultPlanCacheEntries.
 func WithPlanCache(n int) Option { return core.WithPlanCache(n) }
 
-// NewPermuter creates a RAM-backed disk system holding the canonical
-// records MakeRecord(0..N-1).
+// NewPermuter creates a disk system holding the canonical records
+// MakeRecord(0..N-1). Storage defaults to RAM; select files, sharded
+// directories, or custom storage with WithBackend. Replace the canonical
+// records with your own data via Permuter.Load.
 func NewPermuter(cfg Config, opts ...Option) (*Permuter, error) {
 	return core.NewPermuter(cfg, opts...)
 }
 
 // NewFilePermuter creates a file-backed disk system (one file per disk in
 // dir) holding the canonical records.
+//
+// Deprecated: use NewPermuter(cfg, WithBackend(FileBackend(dir))). Kept as
+// a thin wrapper for v1 callers.
 func NewFilePermuter(cfg Config, dir string, opts ...Option) (*Permuter, error) {
 	return core.NewFilePermuter(cfg, dir, opts...)
 }
 
 // MakeRecord returns the canonical record for a source address.
 func MakeRecord(key uint64) Record { return pdm.MakeRecord(key) }
+
+// RecordBytes is the wire size of one record: the unit of Permuter.Load,
+// Permuter.Dump, and the file backends' on-disk layout.
+const RecordBytes = pdm.RecordBytes
+
+// DecodeRecord reads a record from RecordBytes little-endian bytes — the
+// inverse of Record.Encode and the format Permuter.Dump emits.
+func DecodeRecord(src []byte) Record { return pdm.DecodeRecord(src) }
 
 // New validates a characteristic matrix and complement vector and returns
 // the permutation y = Ax XOR c.
@@ -152,8 +165,15 @@ func BitPermutation(pi []int, c uint64) (Permutation, error) {
 	return perm.BitPermutation(pi, c)
 }
 
+// NewRand returns a seeded random source for the Random* generators. The
+// library never touches the global math/rand state: every random choice is
+// drawn from a *rand.Rand the caller owns and seeds, so concurrent callers
+// get reproducible, race-free permutation generation by giving each
+// goroutine its own source.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // RandomPermutation returns a uniformly random BMMC permutation on n-bit
-// addresses drawn from rng.
+// addresses drawn from rng (see NewRand).
 func RandomPermutation(rng *rand.Rand, n int) Permutation {
 	return perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
 }

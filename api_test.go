@@ -1,6 +1,7 @@
 package bmmc_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestPermuteGeneral(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	target := rng.Perm(apiConfig.N)
 	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
-	if _, err := p.PermuteGeneral(targetOf); err != nil {
+	if _, err := p.PermuteGeneral(context.Background(), targetOf); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.VerifyMapping(targetOf); err != nil {
@@ -156,7 +157,7 @@ func TestPermuteFactoredForcesFullAlgorithm(t *testing.T) {
 	p, _ := bmmc.NewPermuter(apiConfig)
 	defer p.Close()
 	g := bmmc.GrayCode(apiConfig.LgN())
-	rep, err := p.PermuteFactored(g)
+	rep, err := p.PermuteFactored(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestPlanLayerAPI(t *testing.T) {
 	}
 
 	var batch *bmmc.BatchReport
-	batch, err = p.PermuteAll([]bmmc.Permutation{rev, bmmc.GrayCode(n), rev})
+	batch, err = p.PermuteAll(context.Background(), []bmmc.Permutation{rev, bmmc.GrayCode(n), rev})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+package bmmc
+
+import (
+	"repro/internal/core"
+	"repro/internal/pdm"
+)
+
+// Backend abstracts the storage a Permuter's D simulated disks live on, at
+// parallel-block granularity: every counted parallel I/O reaches the
+// backend as one ReadBlocks or WriteBlocks call carrying at most one block
+// per disk. Implement it to put the record store on anything — object
+// storage, a network block service, compressed files — without touching
+// the permutation engines; the disk system above the backend performs all
+// validation and cost accounting.
+//
+// Implementations must tolerate ReadBlocks/WriteBlocks calls from distinct
+// goroutines (the pipelined pass runner overlaps a prefetch read with an
+// in-flight write) and must serialize per-disk access themselves; see the
+// interface documentation in internal/pdm for the full contract. The three
+// built-in backends — MemBackend, FileBackend, ShardedBackend — cover RAM,
+// single-directory, and multi-volume layouts.
+type Backend = pdm.Backend
+
+// BlockXfer is one block transfer within a Backend batch: physical block
+// Block of disk Disk moves to or from the Data slice.
+type BlockXfer = pdm.BlockXfer
+
+// MemBackend returns the RAM storage backend — the default for
+// NewPermuter, and the fastest way to simulate.
+func MemBackend() Backend { return pdm.MemBackend() }
+
+// FileBackend returns the file storage backend: one file per simulated
+// disk inside dir. Parallel-I/O counts are identical to MemBackend runs
+// (the model counts operations, not seconds), but wall-clock measurements
+// then include genuine storage latency; combine with WithConcurrentIO to
+// overlap the per-disk transfers.
+func FileBackend(dir string) Backend { return pdm.FileBackend(dir) }
+
+// ShardedBackend returns the multi-volume file backend: disk i's file
+// lives in dirs[i mod len(dirs)], spreading the D simulated disks
+// round-robin across the given directories. Mount each directory on a
+// separate physical volume and the model's "D independent disks" become D
+// independently seeking spindles.
+func ShardedBackend(dirs ...string) Backend { return pdm.ShardedFileBackend(dirs...) }
+
+// WithBackend selects the Permuter's storage backend. The Permuter opens
+// and owns it: Close closes it. The default is MemBackend().
+func WithBackend(b Backend) Option { return core.WithBackend(b) }

@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline, fusion, plancache)")
+		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline, fusion, plancache, backend)")
 		n    = flag.Int("N", experiments.DefaultConfig.N, "total records (power of 2)")
 		d    = flag.Int("D", experiments.DefaultConfig.D, "disks (power of 2)")
 		b    = flag.Int("B", experiments.DefaultConfig.B, "records per block (power of 2)")

@@ -16,7 +16,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	bmmc "repro"
@@ -43,6 +42,7 @@ func main() {
 		kind    = flag.String("perm", "bitrev", "underlying permutation: bitrev, gray, random, shuffle")
 		corrupt = flag.Int("corrupt", 0, "swap this many target pairs before detecting")
 		out     = flag.String("out", "", "write the detected permutation to this file in marshal format")
+		seed    = flag.Int64("seed", 1, "seed for the random/shuffle inputs")
 	)
 	flag.Parse()
 
@@ -65,19 +65,19 @@ func main() {
 			targets[x] = p.Apply(uint64(x))
 		}
 	case "random":
-		p := bmmc.RandomPermutation(rand.New(rand.NewSource(1)), cfg.LgN())
+		p := bmmc.RandomPermutation(bmmc.NewRand(*seed), cfg.LgN())
 		for x := range targets {
 			targets[x] = p.Apply(uint64(x))
 		}
 	case "shuffle":
-		for i, v := range rand.New(rand.NewSource(1)).Perm(cfg.N) {
+		for i, v := range bmmc.NewRand(*seed).Perm(cfg.N) {
 			targets[i] = uint64(v)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown permutation kind %q\n", *kind)
 		os.Exit(2)
 	}
-	rng := rand.New(rand.NewSource(99))
+	rng := bmmc.NewRand(*seed + 98) // corruption stream, distinct from the input stream
 	for i := 0; i < *corrupt; i++ {
 		x1, x2 := rng.Intn(cfg.N), rng.Intn(cfg.N)
 		targets[x1], targets[x2] = targets[x2], targets[x1]

@@ -3,24 +3,36 @@
 //
 // Usage:
 //
-//	bmmcperm [-N n] [-D d] [-B b] [-M m] [-dir path] -perm kind [-arg k] [-force-factored]
+//	bmmcperm [-N n] [-D d] [-B b] [-M m] [-dir path | -shards p1,p2] \
+//	         -perm kind [-arg k] [-seed s] [-in file] [-out file] \
+//	         [-concurrent] [-progress] [-force-factored]
 //
 // Permutation kinds: bitrev, transpose (arg = lg R), gray, grayinv,
-// vecrev, rotate (arg = k), hypercube (arg = mask), random (arg = seed),
-// rank (arg = rank gamma).
+// vecrev, rotate (arg = k), hypercube (arg = mask), random (seed = -seed),
+// rank (arg = rank gamma, drawn with -seed).
 //
-// With -dir the D disks are real files in that directory; otherwise the
-// run is RAM-backed. The tool verifies every record's final location before
-// reporting success.
+// Storage: RAM by default; -dir puts the D disks in one directory,
+// -shards spreads them round-robin across a comma-separated directory
+// list (one per physical volume). -in loads caller records (16-byte
+// little-endian Key,Tag pairs) before permuting; -out dumps the permuted
+// records in the same format.
+//
+// The tool plans first (printing the inspectable plan), then executes the
+// plan under a SIGINT-cancelable context. With canonical records it
+// verifies every record's final location; a failed verification prints a
+// diff summary and exits nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
 
 	bmmc "repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -30,9 +42,15 @@ func main() {
 		b        = flag.Int("B", 16, "records per block (power of 2)")
 		m        = flag.Int("M", 1<<11, "records of memory (power of 2)")
 		dir      = flag.String("dir", "", "directory for file-backed disks (empty: RAM)")
+		shards   = flag.String("shards", "", "comma-separated directories for a sharded multi-volume backend")
 		kind     = flag.String("perm", "bitrev", "permutation: bitrev, transpose, gray, grayinv, vecrev, rotate, hypercube, random, rank")
 		file     = flag.String("file", "", "read the permutation from a marshal-format file instead of -perm")
-		arg      = flag.Int64("arg", 0, "permutation argument (lgR / k / mask / seed / rank)")
+		arg      = flag.Int64("arg", 0, "permutation argument (lgR / k / mask / rank; also accepted as seed for -perm random)")
+		seed     = flag.Int64("seed", 1, "seed for the random permutation generators")
+		inFile   = flag.String("in", "", "load records from this file before permuting (16-byte little-endian records)")
+		concur   = flag.Bool("concurrent", false, "dispatch per-disk transfers on goroutines (file/sharded backends)")
+		outFile  = flag.String("out", "", "dump permuted records to this file afterwards")
+		progress = flag.Bool("progress", false, "print per-pass progress while executing")
 		factored = flag.Bool("force-factored", false, "skip one-pass dispatch; always run the factoring algorithm")
 	)
 	flag.Parse()
@@ -41,96 +59,138 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	p, err := buildPerm(cfg, *kind, *arg)
+	p, err := cliutil.BuildPerm(cfg, *kind, *arg, *seed)
 	if *file != "" {
-		p, err = loadPermFile(*file, cfg.LgN())
+		p, err = cliutil.LoadPermFile(*file, cfg.LgN())
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	var pm *bmmc.Permuter
-	if *dir == "" {
-		pm, err = bmmc.NewPermuter(cfg)
-	} else {
-		pm, err = bmmc.NewFilePermuter(cfg, *dir)
+	opts := []bmmc.Option{bmmc.WithConcurrentIO(*concur)}
+	switch {
+	case *shards != "":
+		opts = append(opts, bmmc.WithBackend(bmmc.ShardedBackend(strings.Split(*shards, ",")...)))
+	case *dir != "":
+		opts = append(opts, bmmc.WithBackend(bmmc.FileBackend(*dir)))
 	}
+	if *progress {
+		opts = append(opts, bmmc.WithProgress(func(ev bmmc.PassEvent) {
+			if ev.Load == 0 || ev.Load == ev.Loads {
+				fmt.Fprintf(os.Stderr, "  pass %d/%d [%s]: memoryload %d/%d\n",
+					ev.Pass, ev.Passes, ev.Kind, ev.Load, ev.Loads)
+			}
+		}))
+	}
+	pm, err := bmmc.NewPermuter(cfg, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer pm.Close()
 
+	// Ctrl-C cancels between memoryloads, leaving the store consistent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	userData := *inFile != ""
+	if userData {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		err = pm.Load(ctx, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	var rep *bmmc.Report
 	if *factored {
-		rep, err = pm.PermuteFactored(p)
+		rep, err = pm.PermuteFactored(ctx, p)
+		if err != nil {
+			fatal(err)
+		}
 	} else {
-		rep, err = pm.Permute(p)
+		plan, perr := pm.Plan(p)
+		if perr != nil {
+			fatal(perr)
+		}
+		fmt.Printf("plan:     %v\n", plan)
+		rep, err = pm.Execute(ctx, plan)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fatal(err)
-	}
-	if err := pm.Verify(p); err != nil {
-		fatal(fmt.Errorf("verification failed: %w", err))
-	}
+
 	fmt.Printf("machine:  %v\n", cfg)
 	fmt.Printf("perm:     %s (rank gamma %d)\n", *kind, rep.RankGamma)
 	fmt.Printf("result:   %v\n", rep)
 	fmt.Printf("stats:    %v\n", pm.Stats())
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pm.Dump(ctx, f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote:    %s (%d records)\n", *outFile, cfg.N)
+	}
+
+	if userData {
+		fmt.Println("loaded records: canonical verification skipped (use -out to inspect)")
+		return
+	}
+	if err := pm.Verify(p); err != nil {
+		fmt.Fprintf(os.Stderr, "verification FAILED: %v\n", err)
+		printDiffSummary(pm, p)
+		os.Exit(1)
+	}
 	fmt.Println("verified: all records in place")
 }
 
-func buildPerm(cfg bmmc.Config, kind string, arg int64) (bmmc.Permutation, error) {
-	n := cfg.LgN()
-	switch kind {
-	case "bitrev":
-		return bmmc.BitReversal(n), nil
-	case "transpose":
-		lgR := int(arg)
-		if lgR <= 0 || lgR >= n {
-			lgR = n / 2
-		}
-		return bmmc.Transpose(lgR, n-lgR), nil
-	case "gray":
-		return bmmc.GrayCode(n), nil
-	case "grayinv":
-		return bmmc.GrayCodeInverse(n), nil
-	case "vecrev":
-		return bmmc.VectorReversal(n), nil
-	case "rotate":
-		return bmmc.RotateBits(n, int(arg)), nil
-	case "hypercube":
-		return bmmc.Hypercube(n, uint64(arg)), nil
-	case "random":
-		return bmmc.RandomPermutation(rand.New(rand.NewSource(arg)), n), nil
-	case "rank":
-		g := int(arg)
-		if g < 0 || g > cfg.LgB() || g > n-cfg.LgB() {
-			return bmmc.Permutation{}, fmt.Errorf("rank gamma %d out of range [0, %d]", g, cfg.LgB())
-		}
-		return bmmc.RandomWithRankGamma(rand.New(rand.NewSource(1)), n, cfg.LgB(), g), nil
-	default:
-		return bmmc.Permutation{}, fmt.Errorf("unknown permutation kind %q", kind)
+// diffExamples caps how many individual mismatches the diff summary lists.
+const diffExamples = 5
+
+// printDiffSummary compares every stored record against the expected image
+// of the canonical layout under p and prints where and how they diverge.
+func printDiffSummary(pm *bmmc.Permuter, p bmmc.Permutation) {
+	recs, err := pm.Records()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diff summary unavailable: %v\n", err)
+		return
 	}
+	inv := p.Inverse()
+	misplaced, corrupted, shown := 0, 0, 0
+	for y, r := range recs {
+		bad := false
+		if !r.CheckIntegrity() {
+			corrupted++
+			bad = true
+		} else if p.Apply(r.Key) != uint64(y) {
+			misplaced++
+			bad = true
+		}
+		if bad && shown < diffExamples {
+			fmt.Fprintf(os.Stderr, "  addr %d: holds key %d, want key %d\n",
+				y, r.Key, inv.Apply(uint64(y)))
+			shown++
+		}
+	}
+	if total := misplaced + corrupted; total > shown {
+		fmt.Fprintf(os.Stderr, "  ... and %d more\n", total-shown)
+	}
+	fmt.Fprintf(os.Stderr, "diff summary: %d/%d records misplaced, %d corrupted\n",
+		misplaced, len(recs), corrupted)
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
-}
-
-// loadPermFile parses a permutation from a Marshal-format file and checks
-// it matches the machine's address width.
-func loadPermFile(path string, n int) (bmmc.Permutation, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return bmmc.Permutation{}, err
-	}
-	p, err := bmmc.ParsePermutation(data)
-	if err != nil {
-		return bmmc.Permutation{}, err
-	}
-	if p.Bits() != n {
-		return bmmc.Permutation{}, fmt.Errorf("permutation is on %d-bit addresses, machine has n=%d", p.Bits(), n)
-	}
-	return p, nil
 }

@@ -20,11 +20,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	bmmc "repro"
 	"repro/internal/bounds"
+	"repro/internal/cliutil"
 	"repro/internal/factor"
 )
 
@@ -36,7 +36,8 @@ func main() {
 		m        = flag.Int("M", 1<<11, "records of memory (power of 2)")
 		kind     = flag.String("perm", "bitrev", "permutation kind")
 		file     = flag.String("file", "", "read the permutation from a marshal-format file instead of -perm")
-		arg      = flag.Int64("arg", 0, "permutation argument")
+		arg      = flag.Int64("arg", 0, "permutation argument (also accepted as seed for -perm random)")
+		seed     = flag.Int64("seed", 1, "seed for the random permutation generators")
 		matrices = flag.Bool("matrices", false, "print each pass's characteristic matrix")
 		fuse     = flag.Bool("fuse", false, "also print the fused plan and its projected cost")
 	)
@@ -46,9 +47,9 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	p, err := buildPerm(cfg, *kind, *arg)
+	p, err := cliutil.BuildPerm(cfg, *kind, *arg, *seed)
 	if *file != "" {
-		p, err = loadPermFile(*file, cfg.LgN())
+		p, err = cliutil.LoadPermFile(*file, cfg.LgN())
 	}
 	if err != nil {
 		fatal(err)
@@ -97,58 +98,7 @@ func main() {
 	fmt.Printf("merge-sort baseline:    %d\n", bounds.MergeSortIOs(cfg))
 }
 
-func buildPerm(cfg bmmc.Config, kind string, arg int64) (bmmc.Permutation, error) {
-	n := cfg.LgN()
-	switch kind {
-	case "bitrev":
-		return bmmc.BitReversal(n), nil
-	case "transpose":
-		lgR := int(arg)
-		if lgR <= 0 || lgR >= n {
-			lgR = n / 2
-		}
-		return bmmc.Transpose(lgR, n-lgR), nil
-	case "gray":
-		return bmmc.GrayCode(n), nil
-	case "grayinv":
-		return bmmc.GrayCodeInverse(n), nil
-	case "vecrev":
-		return bmmc.VectorReversal(n), nil
-	case "rotate":
-		return bmmc.RotateBits(n, int(arg)), nil
-	case "hypercube":
-		return bmmc.Hypercube(n, uint64(arg)), nil
-	case "random":
-		return bmmc.RandomPermutation(rand.New(rand.NewSource(arg)), n), nil
-	case "rank":
-		g := int(arg)
-		if g < 0 || g > cfg.LgB() || g > n-cfg.LgB() {
-			return bmmc.Permutation{}, fmt.Errorf("rank gamma %d out of range [0, %d]", g, cfg.LgB())
-		}
-		return bmmc.RandomWithRankGamma(rand.New(rand.NewSource(1)), n, cfg.LgB(), g), nil
-	default:
-		return bmmc.Permutation{}, fmt.Errorf("unknown permutation kind %q", kind)
-	}
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
-}
-
-// loadPermFile parses a permutation from a Marshal-format file and checks
-// it matches the machine's address width.
-func loadPermFile(path string, n int) (bmmc.Permutation, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return bmmc.Permutation{}, err
-	}
-	p, err := bmmc.ParsePermutation(data)
-	if err != nil {
-		return bmmc.Permutation{}, err
-	}
-	if p.Bits() != n {
-		return bmmc.Permutation{}, fmt.Errorf("permutation is on %d-bit addresses, machine has n=%d", p.Bits(), n)
-	}
-	return p, nil
 }

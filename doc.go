@@ -31,6 +31,35 @@
 //	fmt.Println(rep)                      // passes, parallel I/Os, bounds
 //	err = p.Verify(bmmc.BitReversal(cfg.LgN()))
 //
+// # The v2 API: Plans, Backends, context, user data
+//
+// The public API separates the paper's two phases. Permuter.Plan returns
+// a first-class *Plan — the dispatched class, the (possibly fused)
+// one-pass sequence, and the Theorem 3 / Theorem 21 cost bounds — and
+// Permuter.Execute runs a prepared plan under a context.Context, so
+// callers plan once and execute many times:
+//
+//	plan, err := p.Plan(bmmc.Transpose(9, 7))
+//	fmt.Println(plan)                     // passes, exact cost, LB/UB
+//	rep, err := p.Execute(ctx, plan)      // repeatable; never re-plans
+//
+// Storage is pluggable behind the Backend interface at parallel-block
+// granularity — MemBackend (default), FileBackend (one file per disk),
+// ShardedBackend (disks spread round-robin over directories, one per
+// physical volume), or any caller implementation:
+//
+//	p, err := bmmc.NewPermuter(cfg,
+//	    bmmc.WithBackend(bmmc.ShardedBackend("/vol1", "/vol2")))
+//
+// Long runs are cancelable and observable: context cancellation lands
+// between memoryloads (no counted parallel I/O is cut short, the
+// prefetch goroutine is drained, and the records remain the state after
+// the last completed pass), and WithProgress streams PassEvents. Caller
+// data moves in and out with Permuter.Load and Permuter.Dump (16-byte
+// little-endian records, see RecordBytes), replacing the canonical
+// MakeRecord(0..N-1) layout; examples/userdata shows the full
+// Load -> Plan -> Execute -> Dump loop.
+//
 // # Planning
 //
 // Factored permutations pass through a plan-optimization layer before
@@ -45,7 +74,7 @@
 //	p, err := bmmc.NewPermuter(cfg,
 //	    bmmc.WithFusion(true),        // pass fusion (default on)
 //	    bmmc.WithPlanCache(64))       // LRU plan cache (default 32 plans)
-//	batch, err := p.PermuteAll([]bmmc.Permutation{rev, gray, rev})
+//	batch, err := p.PermuteAll(ctx, []bmmc.Permutation{rev, gray, rev})
 //
 // # Execution
 //
@@ -55,7 +84,8 @@
 // buffer. Pipelining is on by default and is configured per Permuter with
 // functional options:
 //
-//	p, err := bmmc.NewFilePermuter(cfg, dir,
+//	p, err := bmmc.NewPermuter(cfg,
+//	    bmmc.WithBackend(bmmc.FileBackend(dir)),
 //	    bmmc.WithPipeline(true),      // double-buffered prefetch (default)
 //	    bmmc.WithWorkers(8),          // scatter goroutines (default GOMAXPROCS)
 //	    bmmc.WithConcurrentIO(true))  // per-disk dispatch (default off)

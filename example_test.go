@@ -1,6 +1,7 @@
 package bmmc_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,37 @@ func Example() {
 	fmt.Println(p.Verify(bmmc.BitReversal(cfg.LgN())) == nil)
 	// Output:
 	// passes=2 ios=512 rank=3
+	// true
+}
+
+// ExamplePermuter_Plan shows the v2 separation of planning from
+// execution: the plan is inspected before any data moves and executed
+// repeatedly without re-planning.
+func ExamplePermuter_Plan() {
+	cfg := bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	p, err := bmmc.NewPermuter(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	plan, err := p.Plan(bmmc.BitReversal(cfg.LgN()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class=%v passes=%d cost=%d (UB %d)\n",
+		plan.Class(), plan.PassCount(), plan.CostIOs(), plan.UpperBoundIOs())
+
+	// Bit reversal is an involution: executing the plan twice restores
+	// the layout. Both runs reuse the factorization computed above.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Execute(context.Background(), plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(p.Verify(bmmc.Identity(cfg.LgN())) == nil)
+	// Output:
+	// class=BMMC passes=2 cost=512 (UB 768)
 	// true
 }
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,4 +49,19 @@ func main() {
 	fmt.Printf("\nall %d records verified in place after %d parallel I/Os total\n",
 		cfg.N, p.Stats().ParallelIOs())
 	fmt.Printf("(a full pass over the data costs %d parallel I/Os)\n", cfg.PassIOs())
+
+	// v2: plan once, inspect, execute many times. The plan is computed
+	// (classified and, for general BMMC, factorized) exactly once here;
+	// each Execute just runs the prepared passes.
+	plan, err := p.Plan(bmmc.BitReversal(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanned: %v\n", plan)
+	for i := 0; i < 2; i++ {
+		if _, err := p.Execute(context.Background(), plan); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("executed the same plan twice (bit reversal is an involution: layout restored)")
 }

@@ -1,9 +1,10 @@
 // Out-of-core matrix transpose: the motivating workload of the paper's
 // introduction. A 512 x 128 matrix too large for memory lives across 8
-// file-backed disks; transposing it is the BMMC permutation
-// Transpose(lgR, lgS), and the measured cost lands between the Theorem 3
-// lower bound and the Theorem 21 guarantee — far below the sorting cost a
-// general-permutation routine would pay.
+// disks sharded over two directories (stand-ins for two physical
+// volumes); transposing it is the BMMC permutation Transpose(lgR, lgS),
+// and the measured cost lands between the Theorem 3 lower bound and the
+// Theorem 21 guarantee — far below the sorting cost a general-permutation
+// routine would pay.
 package main
 
 import (
@@ -18,18 +19,27 @@ func main() {
 	const lgR, lgS = 9, 7 // 512 rows, 128 columns
 	cfg := bmmc.Config{N: 1 << (lgR + lgS), D: 8, B: 16, M: 1 << 10}
 
-	dir, err := os.MkdirTemp("", "bmmc-transpose-*")
+	// Two directories, four disk files each: mount each on its own volume
+	// and the simulated spindles seek independently.
+	vol1, err := os.MkdirTemp("", "bmmc-transpose-vol1-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(vol1)
+	vol2, err := os.MkdirTemp("", "bmmc-transpose-vol2-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(vol2)
 
-	p, err := bmmc.NewFilePermuter(cfg, dir)
+	p, err := bmmc.NewPermuter(cfg,
+		bmmc.WithBackend(bmmc.ShardedBackend(vol1, vol2)),
+		bmmc.WithConcurrentIO(true))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
-	fmt.Printf("machine: %v (disks are files in %s)\n", cfg, dir)
+	fmt.Printf("machine: %v (disks sharded across %s and %s)\n", cfg, vol1, vol2)
 	fmt.Printf("matrix:  %d x %d row-major, element (i,j) at address i*%d+j\n\n",
 		1<<lgR, 1<<lgS, 1<<lgS)
 

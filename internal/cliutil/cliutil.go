@@ -1,0 +1,71 @@
+// Package cliutil holds the helpers the command-line tools share: the
+// named permutation catalog behind every -perm flag and the loader for
+// marshal-format permutation files, so bmmcperm and bmmcplan cannot
+// drift apart.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	bmmc "repro"
+)
+
+// BuildPerm resolves a -perm kind plus its -arg/-seed flags into a
+// permutation on the machine's address width. Kinds: bitrev, transpose
+// (arg = lg R), gray, grayinv, vecrev, rotate (arg = k), hypercube
+// (arg = mask), random (seeded; a nonzero arg doubles as the seed for v1
+// compatibility), rank (arg = rank gamma, drawn with seed).
+func BuildPerm(cfg bmmc.Config, kind string, arg, seed int64) (bmmc.Permutation, error) {
+	n := cfg.LgN()
+	switch kind {
+	case "bitrev":
+		return bmmc.BitReversal(n), nil
+	case "transpose":
+		lgR := int(arg)
+		if lgR <= 0 || lgR >= n {
+			lgR = n / 2
+		}
+		return bmmc.Transpose(lgR, n-lgR), nil
+	case "gray":
+		return bmmc.GrayCode(n), nil
+	case "grayinv":
+		return bmmc.GrayCodeInverse(n), nil
+	case "vecrev":
+		return bmmc.VectorReversal(n), nil
+	case "rotate":
+		return bmmc.RotateBits(n, int(arg)), nil
+	case "hypercube":
+		return bmmc.Hypercube(n, uint64(arg)), nil
+	case "random":
+		if arg != 0 { // v1 compatibility: -arg doubled as the seed
+			seed = arg
+		}
+		return bmmc.RandomPermutation(bmmc.NewRand(seed), n), nil
+	case "rank":
+		g := int(arg)
+		if g < 0 || g > cfg.LgB() || g > n-cfg.LgB() {
+			return bmmc.Permutation{}, fmt.Errorf("rank gamma %d out of range [0, %d]", g, cfg.LgB())
+		}
+		return bmmc.RandomWithRankGamma(bmmc.NewRand(seed), n, cfg.LgB(), g), nil
+	default:
+		return bmmc.Permutation{}, fmt.Errorf("unknown permutation kind %q", kind)
+	}
+}
+
+// LoadPermFile parses a permutation from a marshal-format file and checks
+// it matches the machine's address width.
+func LoadPermFile(path string, n int) (bmmc.Permutation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bmmc.Permutation{}, err
+	}
+	p, err := bmmc.ParsePermutation(data)
+	if err != nil {
+		return bmmc.Permutation{}, err
+	}
+	if p.Bits() != n {
+		return bmmc.Permutation{}, fmt.Errorf("permutation is on %d-bit addresses, machine has n=%d", p.Bits(), n)
+	}
+	return p, nil
+}

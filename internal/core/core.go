@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -44,6 +45,7 @@ type settings struct {
 	concurrentIO bool
 	fuse         bool
 	cacheSize    int
+	backend      pdm.Backend
 }
 
 func defaultSettings() settings {
@@ -89,23 +91,34 @@ func WithPlanCache(n int) Option {
 	return func(s *settings) { s.cacheSize = n }
 }
 
-// NewPermuter returns a Permuter over a RAM-backed disk system loaded with
-// the canonical records MakeRecord(0..N-1).
+// WithBackend selects the storage backend the Permuter's disk system lives
+// on: pdm.MemBackend() (the default), pdm.FileBackend(dir),
+// pdm.ShardedFileBackend(dirs...), or any user implementation of
+// pdm.Backend. The Permuter opens and owns the backend; Close closes it.
+func WithBackend(b pdm.Backend) Option {
+	return func(s *settings) { s.backend = b }
+}
+
+// WithProgress installs a per-pass/per-memoryload progress callback,
+// invoked on the executing goroutine between counted parallel I/Os. It
+// must be cheap; it observes execution without altering it.
+func WithProgress(fn func(engine.PassEvent)) Option {
+	return func(s *settings) { s.opt.Progress = fn }
+}
+
+// NewPermuter returns a Permuter loaded with the canonical records
+// MakeRecord(0..N-1). The storage defaults to RAM; pass WithBackend to
+// put the records on files, sharded directories, or custom storage.
 func NewPermuter(cfg pdm.Config, opts ...Option) (*Permuter, error) {
-	return newPermuter(cfg, pdm.MemDiskFactory, opts...)
-}
-
-// NewFilePermuter returns a Permuter whose D disks are files in dir.
-func NewFilePermuter(cfg pdm.Config, dir string, opts ...Option) (*Permuter, error) {
-	return newPermuter(cfg, pdm.FileDiskFactory(dir), opts...)
-}
-
-func newPermuter(cfg pdm.Config, factory pdm.DiskFactory, opts ...Option) (*Permuter, error) {
 	s := defaultSettings()
 	for _, o := range opts {
 		o(&s)
 	}
-	sys, err := pdm.NewSystem(cfg, factory)
+	be := s.backend
+	if be == nil {
+		be = pdm.MemBackend()
+	}
+	sys, err := pdm.NewSystemBackend(cfg, be)
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +130,18 @@ func newPermuter(cfg pdm.Config, factory pdm.DiskFactory, opts ...Option) (*Perm
 	return &Permuter{sys: sys, opt: s.opt, fuse: s.fuse, cache: newPlanCache(s.cacheSize)}, nil
 }
 
-// Close releases the underlying disks.
+// NewFilePermuter returns a Permuter whose D disks are files in dir. It
+// is the v1 constructor the root package keeps as a deprecated wrapper;
+// new code uses NewPermuter with WithBackend(pdm.FileBackend(dir)).
+func NewFilePermuter(cfg pdm.Config, dir string, opts ...Option) (*Permuter, error) {
+	return NewPermuter(cfg, append([]Option{WithBackend(pdm.FileBackend(dir))}, opts...)...)
+}
+
+// Close releases the underlying storage backend.
 func (p *Permuter) Close() error { return p.sys.Close() }
+
+// Sync flushes the storage backend's buffered writes to stable storage.
+func (p *Permuter) Sync() error { return p.sys.Sync() }
 
 // Config returns the machine geometry.
 func (p *Permuter) Config() pdm.Config { return p.sys.Config() }
@@ -139,11 +162,20 @@ func (p *Permuter) ResetStats() { p.sys.ResetStats() }
 // the plan cache and pass fusion when enabled). The returned Report
 // carries the measured cost next to the paper's bounds.
 func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
+	return p.PermuteContext(context.Background(), bp)
+}
+
+// PermuteContext is Permute with a context checked between memoryloads.
+// Cancellation aborts the run with ctx's error before the next memoryload
+// is read: no counted parallel I/O is cut short, the pipeline's prefetch
+// goroutine is drained, and the stored records are exactly the state after
+// the last completed pass, so the Permuter remains usable.
+func (p *Permuter) PermuteContext(ctx context.Context, bp perm.BMMC) (*Report, error) {
 	cp, hit, err := p.plan(bp)
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.execute(cp)
+	res, err := p.execute(ctx, cp)
 	if err != nil {
 		return nil, err
 	}
@@ -187,11 +219,11 @@ func (p *Permuter) plan(bp perm.BMMC) (*cachedPlan, bool, error) {
 }
 
 // execute runs the prepared plan; the identity (nil plan) is free.
-func (p *Permuter) execute(cp *cachedPlan) (*engine.Result, error) {
+func (p *Permuter) execute(ctx context.Context, cp *cachedPlan) (*engine.Result, error) {
 	if cp.plan == nil {
 		return &engine.Result{}, nil
 	}
-	return engine.RunPlanOpt(p.sys, cp.plan, p.opt)
+	return engine.RunPlanOpt(ctx, p.sys, cp.plan, p.opt)
 }
 
 // CacheStats returns the plan cache's hit/miss/eviction counters.
@@ -200,9 +232,10 @@ func (p *Permuter) CacheStats() CacheStats { return p.cache.snapshot() }
 // PermuteFactored forces the full Section 5 factoring algorithm even for
 // permutations that have a cheaper class, for measurement purposes. It
 // bypasses the plan cache and fusion so the measured cost is exactly the
-// unoptimized Theorem 21 algorithm.
-func (p *Permuter) PermuteFactored(bp perm.BMMC) (*Report, error) {
-	res, err := engine.RunBMMCOpt(p.sys, bp, p.opt)
+// unoptimized Theorem 21 algorithm. ctx follows the PermuteContext
+// cancellation contract.
+func (p *Permuter) PermuteFactored(ctx context.Context, bp perm.BMMC) (*Report, error) {
+	res, err := engine.RunBMMCOpt(ctx, p.sys, bp, p.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -248,8 +281,9 @@ func (r *BatchReport) String() string {
 // the plan cache, so a batch with repeated permutations (FFT reorderings,
 // transpose round-trips) factorizes each distinct one once; execution then
 // reuses the prepared plans. The report carries per-job and aggregate
-// costs.
-func (p *Permuter) PermuteAll(perms []perm.BMMC) (*BatchReport, error) {
+// costs. ctx follows the PermuteContext cancellation contract; on error
+// the records hold the state after the last completed pass.
+func (p *Permuter) PermuteAll(ctx context.Context, perms []perm.BMMC) (*BatchReport, error) {
 	batch := &BatchReport{}
 	type job struct {
 		cp  *cachedPlan
@@ -271,7 +305,7 @@ func (p *Permuter) PermuteAll(perms []perm.BMMC) (*BatchReport, error) {
 		}
 	}
 	for i, bp := range perms {
-		res, err := p.execute(jobs[i].cp)
+		res, err := p.execute(ctx, jobs[i].cp)
 		if err != nil {
 			return nil, fmt.Errorf("core: job %d/%d: %w", i+1, len(perms), err)
 		}
@@ -285,8 +319,9 @@ func (p *Permuter) PermuteAll(perms []perm.BMMC) (*BatchReport, error) {
 
 // PermuteGeneral applies an arbitrary bijection on addresses using the
 // external merge-sort baseline. targetOf must map 0..N-1 onto itself.
-func (p *Permuter) PermuteGeneral(targetOf func(uint64) uint64) (*Report, error) {
-	res, err := engine.GeneralPermuteOpt(p.sys, targetOf, p.opt)
+// ctx follows the PermuteContext cancellation contract.
+func (p *Permuter) PermuteGeneral(ctx context.Context, targetOf func(uint64) uint64) (*Report, error) {
+	res, err := engine.GeneralPermuteOpt(ctx, p.sys, targetOf, p.opt)
 	if err != nil {
 		return nil, err
 	}

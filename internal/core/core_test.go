@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"strings"
@@ -147,7 +148,7 @@ func TestPermuteGeneralRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	target := rng.Perm(coreConfig.N)
 	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
-	rep, err := p.PermuteGeneral(targetOf)
+	rep, err := p.PermuteGeneral(context.Background(), targetOf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestPermuteAllPerJob(t *testing.T) {
 
 	p, _ := NewPermuter(coreConfig)
 	defer p.Close()
-	batch, err := p.PermuteAll([]perm.BMMC{rev, gray, rev, rev})
+	batch, err := p.PermuteAll(context.Background(), []perm.BMMC{rev, gray, rev, rev})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/factor"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// Plan is a first-class execution plan: the complete, inspectable answer
+// to "how will this Permuter perform this permutation on this geometry".
+// It carries the dispatched class, the (possibly fused) one-pass sequence,
+// and the paper's cost bounds. A Plan is immutable and reusable — plan
+// once with Permuter.Plan, execute many times with Permuter.Execute, and
+// the factorization/classification work is paid exactly once.
+type Plan struct {
+	perm   perm.BMMC
+	cfg    pdm.Config
+	class  perm.Class
+	fplan  *factor.Plan // nil only for the identity
+	cached bool
+}
+
+// Plan classifies and (for full BMMC permutations) factorizes bp for this
+// Permuter's geometry, consulting the plan cache, and returns the plan
+// without executing it. The returned Plan stays valid for the life of the
+// process and may be executed any number of times, on this Permuter or on
+// any other with the same Config.
+func (p *Permuter) Plan(bp perm.BMMC) (*Plan, error) {
+	cp, hit, err := p.plan(bp)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{perm: bp, cfg: p.sys.Config(), class: cp.class, fplan: cp.plan, cached: hit}, nil
+}
+
+// Execute runs a prepared plan against the stored records and reports the
+// measured cost. No planning happens here: the pass list is taken from pl
+// as-is, so N Execute calls of one Plan factorize exactly once (at Plan
+// time) and yield records and Stats identical to N Permute calls.
+//
+// ctx is checked between memoryloads; see PermuteContext for the
+// cancellation contract. The plan's geometry must equal the Permuter's.
+func (p *Permuter) Execute(ctx context.Context, pl *Plan) (*Report, error) {
+	if pl == nil {
+		return nil, errors.New("core: Execute of a nil plan")
+	}
+	if pl.cfg != p.sys.Config() {
+		return nil, fmt.Errorf("core: plan built for geometry %v, Permuter has %v", pl.cfg, p.sys.Config())
+	}
+	res, err := p.execute(ctx, &cachedPlan{class: pl.class, plan: pl.fplan})
+	if err != nil {
+		return nil, err
+	}
+	return p.report(pl.perm, pl.class, res, pl.cached), nil
+}
+
+// Permutation returns the permutation the plan performs.
+func (pl *Plan) Permutation() perm.BMMC { return pl.perm }
+
+// Geometry returns the machine configuration the plan was built for; a
+// plan only executes on Permuters with this exact Config.
+func (pl *Plan) Geometry() pdm.Config { return pl.cfg }
+
+// Class returns the class the permutation was dispatched as (identity,
+// MRC, MLD, inverse-MLD, or full BMMC).
+func (pl *Plan) Class() perm.Class { return pl.class }
+
+// Passes returns the one-pass permutations the plan executes, in order.
+// The identity returns an empty slice. The slice is a copy; mutating it
+// does not affect the plan.
+func (pl *Plan) Passes() []factor.Pass {
+	if pl.fplan == nil {
+		return nil
+	}
+	return append([]factor.Pass(nil), pl.fplan.Passes...)
+}
+
+// PassCount returns the number of one-pass permutations the plan performs
+// (0 for the identity).
+func (pl *Plan) PassCount() int {
+	if pl.fplan == nil {
+		return 0
+	}
+	return pl.fplan.PassCount()
+}
+
+// FusedFrom returns the pass count before fusion, or 0 if the plan never
+// went through the fusion stage.
+func (pl *Plan) FusedFrom() int {
+	if pl.fplan == nil {
+		return 0
+	}
+	return pl.fplan.FusedFrom
+}
+
+// Cached reports whether planning was served from the Permuter's plan
+// cache rather than paying for classification and factorization.
+func (pl *Plan) Cached() bool { return pl.cached }
+
+// RankGamma returns rank A_{b..n-1,0..b-1}, the quantity the paper's
+// bounds are stated in.
+func (pl *Plan) RankGamma() int { return pl.perm.RankGamma(pl.cfg.LgB()) }
+
+// CostIOs returns the exact parallel-I/O count executing the plan will
+// measure: 2N/BD per pass.
+func (pl *Plan) CostIOs() int { return pl.PassCount() * pl.cfg.PassIOs() }
+
+// LowerBoundIOs returns the Theorem 3 lower bound
+// (N/BD)(1 + rank(gamma)/lg(M/B)) for the plan's permutation.
+func (pl *Plan) LowerBoundIOs() float64 { return bounds.LowerBound(pl.cfg, pl.RankGamma()) }
+
+// UpperBoundIOs returns the Theorem 21 guarantee
+// (2N/BD)(ceil(rank(gamma)/lg(M/B)) + 2); CostIOs never exceeds it.
+func (pl *Plan) UpperBoundIOs() int { return bounds.UpperBound(pl.cfg, pl.RankGamma()) }
+
+// String renders the plan in one line: class, pass structure, and how the
+// exact cost sits between the paper's bounds.
+func (pl *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan[%s]: %d passes, %d parallel I/Os (LB %.0f, UB %d)",
+		pl.class, pl.PassCount(), pl.CostIOs(), pl.LowerBoundIOs(), pl.UpperBoundIOs())
+	if ff := pl.FusedFrom(); ff > pl.PassCount() {
+		fmt.Fprintf(&sb, " [fused from %d passes]", ff)
+	}
+	if pl.cached {
+		sb.WriteString(" [cached]")
+	}
+	return sb.String()
+}
+
+// Describe renders the full pass list (kinds and complements) beneath the
+// one-line summary, for diagnostics and the bmmcplan tool.
+func (pl *Plan) Describe() string {
+	if pl.fplan == nil {
+		return pl.String() + "\n  (identity: nothing to do)"
+	}
+	return pl.String() + "\n" + pl.fplan.String()
+}
+
+// ExecuteAll runs a prepared plan sequence in order with one context and
+// aggregates the per-plan reports, stopping at the first error. It is the
+// plan-level analogue of PermuteAll for callers that separate planning
+// from execution. Because all planning happened at Plan time, no planning
+// work occurs in the batch: the report's CacheHits/Planned counters stay
+// zero (they describe planning done by the call itself).
+func (p *Permuter) ExecuteAll(ctx context.Context, plans []*Plan) (*BatchReport, error) {
+	batch := &BatchReport{}
+	for i, pl := range plans {
+		rep, err := p.Execute(ctx, pl)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing plan %d/%d: %w", i+1, len(plans), err)
+		}
+		batch.Jobs = append(batch.Jobs, rep)
+		batch.Passes += rep.Passes
+		batch.ParallelIOs += rep.ParallelIOs
+	}
+	return batch, nil
+}

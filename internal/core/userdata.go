@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/pdm"
+)
+
+// loadChunkRecords is how many records Load/Dump move per context check —
+// large enough that the encoding loop dominates, small enough that
+// cancellation is prompt.
+const loadChunkRecords = 1 << 12
+
+// Load replaces the Permuter's stored records with exactly N records read
+// from r in the library's wire format (pdm.RecordBytes bytes per record,
+// Key then Tag, little-endian — the same layout the file backends store).
+// This is how callers permute their own data instead of the canonical
+// MakeRecord(0..N-1) layout: encode each fixed-size payload into a Record,
+// Load, Permute or Execute, then Dump.
+//
+// The reader is consumed exactly N*pdm.RecordBytes bytes; fewer is an
+// error (io.ErrUnexpectedEOF). Loading is not counted as parallel I/O —
+// it models the data already residing on the disks. Note that Verify
+// assumes canonical records; user data is checked by Dumping and
+// inspecting. ctx cancellation aborts between chunks with the Permuter's
+// stored records unchanged.
+func (p *Permuter) Load(ctx context.Context, r io.Reader) error {
+	cfg := p.sys.Config()
+	recs := make([]pdm.Record, cfg.N)
+	buf := make([]byte, loadChunkRecords*pdm.RecordBytes)
+	for off := 0; off < cfg.N; off += loadChunkRecords {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: Load canceled at record %d/%d: %w", off, cfg.N, err)
+		}
+		nrec := min(loadChunkRecords, cfg.N-off)
+		chunk := buf[:nrec*pdm.RecordBytes]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("core: Load: reading records %d..%d of %d: %w", off, off+nrec-1, cfg.N, err)
+		}
+		for i := 0; i < nrec; i++ {
+			recs[off+i] = pdm.DecodeRecord(chunk[i*pdm.RecordBytes:])
+		}
+	}
+	return p.sys.LoadRecords(p.sys.Source(), recs)
+}
+
+// Dump writes the stored records to w in address order, in the same wire
+// format Load reads (N*pdm.RecordBytes bytes total). It always reads the
+// current source portion — the output of the most recent permutation —
+// regardless of how many passes have run. Not counted as parallel I/O.
+// ctx cancellation aborts between chunks; w may have received a prefix.
+func (p *Permuter) Dump(ctx context.Context, w io.Writer) error {
+	cfg := p.sys.Config()
+	recs, err := p.sys.DumpRecords(p.sys.Source())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, loadChunkRecords*pdm.RecordBytes)
+	for off := 0; off < cfg.N; off += loadChunkRecords {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: Dump canceled at record %d/%d: %w", off, cfg.N, err)
+		}
+		nrec := min(loadChunkRecords, cfg.N-off)
+		chunk := buf[:nrec*pdm.RecordBytes]
+		for i := 0; i < nrec; i++ {
+			recs[off+i].Encode(chunk[i*pdm.RecordBytes:])
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return fmt.Errorf("core: Dump: writing records %d..%d of %d: %w", off, off+nrec-1, cfg.N, err)
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/factor"
@@ -15,11 +16,12 @@ import (
 // result is 2g+2 passes instead of g+1, demonstrating what the MLD class
 // buys: each S_i^{-1} and P^{-1} is MRC, each E_i^{-1} is MLD on its own.
 func RunBMMCUngrouped(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCUngroupedOpt(sys, p, DefaultOptions())
+	return RunBMMCUngroupedOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunBMMCUngroupedOpt is RunBMMCUngrouped with explicit execution options.
-func RunBMMCUngroupedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
+// RunBMMCUngroupedOpt is RunBMMCUngrouped with explicit execution options
+// and a context checked between memoryloads.
+func RunBMMCUngroupedOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -36,9 +38,9 @@ func RunBMMCUngroupedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, er
 	for i, pass := range factors {
 		switch pass.Kind {
 		case perm.ClassMRC:
-			err = RunMRCPassOpt(sys, pass.Perm, opt)
+			err = RunMRCPassOpt(ctx, sys, pass.Perm, opt)
 		case perm.ClassMLD:
-			err = RunMLDPassOpt(sys, pass.Perm, opt)
+			err = RunMLDPassOpt(ctx, sys, pass.Perm, opt)
 		default:
 			err = fmt.Errorf("engine: ungrouped pass %d has class %v", i, pass.Kind)
 		}

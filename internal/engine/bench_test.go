@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func benchmarkFileBMMC(b *testing.B, opt Options, concurrent bool) {
 	b.SetBytes(int64(benchCfg.N) * pdm.RecordBytes)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := RunBMMCOpt(sys, p, opt)
+		res, err := RunBMMCOpt(context.Background(), sys, p, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func benchmarkMemBMMC(b *testing.B, opt Options) {
 	b.SetBytes(int64(benchCfg.N) * pdm.RecordBytes)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBMMCOpt(sys, p, opt); err != nil {
+		if _, err := RunBMMCOpt(context.Background(), sys, p, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/factor"
 	"repro/internal/pdm"
 	"repro/internal/perm"
@@ -23,12 +25,13 @@ type Result struct {
 // parallel I/Os (Theorem 21); tests and the experiment harness assert this
 // against Result.ParallelIOs.
 func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCOpt(sys, p, DefaultOptions())
+	return RunBMMCOpt(context.Background(), sys, p, DefaultOptions())
 }
 
 // RunBMMCOpt is RunBMMC with explicit execution options, applied to every
-// pass of the factored sequence.
-func RunBMMCOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
+// pass of the factored sequence, and a context checked between
+// memoryloads.
+func RunBMMCOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -40,7 +43,7 @@ func RunBMMCOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunPlanOpt(sys, plan, opt)
+	return RunPlanOpt(ctx, sys, plan, opt)
 }
 
 // RunAuto performs p with the cheapest applicable algorithm, mirroring the
@@ -48,11 +51,12 @@ func RunBMMCOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 // permutations run in one pass; everything else goes through the factoring
 // algorithm.
 func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunAutoOpt(sys, p, DefaultOptions())
+	return RunAutoOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunAutoOpt is RunAuto with explicit execution options.
-func RunAutoOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
+// RunAutoOpt is RunAuto with explicit execution options and a context
+// checked between memoryloads.
+func RunAutoOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -62,12 +66,12 @@ func RunAutoOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	case perm.ClassIdentity:
 		return &Result{}, nil
 	case perm.ClassMRC:
-		if err := RunMRCPassOpt(sys, p, opt); err != nil {
+		if err := RunMRCPassOpt(ctx, sys, p, opt); err != nil {
 			return nil, err
 		}
 		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
 	case perm.ClassMLD:
-		if err := RunMLDPassOpt(sys, p, opt); err != nil {
+		if err := RunMLDPassOpt(ctx, sys, p, opt); err != nil {
 			return nil, err
 		}
 		return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
@@ -76,11 +80,11 @@ func RunAutoOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 		// one-pass permutation, so inverses of MLD permutations also run in
 		// a single pass (independent reads, striped writes).
 		if p.Inverse().IsMLD(cfg.LgB(), cfg.LgM()) {
-			if err := RunMLDInversePassOpt(sys, p, opt); err != nil {
+			if err := RunMLDInversePassOpt(ctx, sys, p, opt); err != nil {
 				return nil, err
 			}
 			return &Result{Passes: 1, ParallelIOs: sys.Stats().ParallelIOs() - before}, nil
 		}
-		return RunBMMCOpt(sys, p, opt)
+		return RunBMMCOpt(ctx, sys, p, opt)
 	}
 }

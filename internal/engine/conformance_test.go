@@ -9,6 +9,7 @@ package engine_test
 // fail the suite, including the fused plans and the core plan-cache path.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -117,37 +118,37 @@ func TestDifferentialConformance(t *testing.T) {
 				run  func(*pdm.System) error
 			}{
 				{"auto", true, func(s *pdm.System) error {
-					_, err := engine.RunAutoOpt(s, p, opt)
+					_, err := engine.RunAutoOpt(context.Background(), s, p, opt)
 					return err
 				}},
 				{"factored-unfused", true, func(s *pdm.System) error {
-					_, err := engine.RunBMMCOpt(s, p, opt)
+					_, err := engine.RunBMMCOpt(context.Background(), s, p, opt)
 					return err
 				}},
 				{"factored-fused", true, func(s *pdm.System) error {
-					_, err := engine.RunBMMCFusedOpt(s, p, opt)
+					_, err := engine.RunBMMCFusedOpt(context.Background(), s, p, opt)
 					return err
 				}},
 				{"factored-ungrouped", true, func(s *pdm.System) error {
-					_, err := engine.RunBMMCUngroupedOpt(s, p, opt)
+					_, err := engine.RunBMMCUngroupedOpt(context.Background(), s, p, opt)
 					return err
 				}},
 				{"merge-sort", true, func(s *pdm.System) error {
-					_, err := engine.GeneralPermuteOpt(s, p.Apply, opt)
+					_, err := engine.GeneralPermuteOpt(context.Background(), s, p.Apply, opt)
 					return err
 				}},
 				{"naive-oracle", true, func(s *pdm.System) error {
-					_, err := engine.NaivePermuteOpt(s, p.Apply, opt)
+					_, err := engine.NaivePermuteOpt(context.Background(), s, p.Apply, opt)
 					return err
 				}},
 				{"mrc-pass", p.IsMRC(m), func(s *pdm.System) error {
-					return engine.RunMRCPassOpt(s, p, opt)
+					return engine.RunMRCPassOpt(context.Background(), s, p, opt)
 				}},
 				{"mld-pass", p.IsMLD(b, m), func(s *pdm.System) error {
-					return engine.RunMLDPassOpt(s, p, opt)
+					return engine.RunMLDPassOpt(context.Background(), s, p, opt)
 				}},
 				{"inverse-mld-pass", p.Inverse().IsMLD(b, m), func(s *pdm.System) error {
-					return engine.RunMLDInversePassOpt(s, p, opt)
+					return engine.RunMLDInversePassOpt(context.Background(), s, p, opt)
 				}},
 			}
 			for _, path := range paths {
@@ -243,7 +244,7 @@ func TestBoundsConformance(t *testing.T) {
 				}{{"unfused", plan}, {"fused", fused}} {
 					var ios int
 					runEngine(t, cfg, func(s *pdm.System) error {
-						res, err := engine.RunPlanOpt(s, mode.pl, engine.DefaultOptions())
+						res, err := engine.RunPlanOpt(context.Background(), s, mode.pl, engine.DefaultOptions())
 						if err == nil {
 							ios = res.ParallelIOs
 							err = engine.VerifyBMMC(s, s.Source(), p)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -143,7 +144,7 @@ func traceRun(t *testing.T, cfg pdm.Config, plan *factor.Plan, opt Options, conc
 	sys := newLoaded(t, cfg)
 	sys.SetConcurrent(concurrent)
 	tr := new(pdm.Trace).Attach(sys)
-	if _, err := RunPlanOpt(sys, plan, opt); err != nil {
+	if _, err := RunPlanOpt(context.Background(), sys, plan, opt); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := sys.DumpRecords(sys.Source())

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,14 +23,14 @@ import (
 // Records must carry their source address in Key (see LoadSequential);
 // targetOf maps source to target addresses and must be a bijection.
 func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
-	return GeneralPermuteOpt(sys, targetOf, DefaultOptions())
+	return GeneralPermuteOpt(context.Background(), sys, targetOf, DefaultOptions())
 }
 
 // GeneralPermuteOpt is GeneralPermute with explicit execution options. The
 // run-formation pass goes through the pipelined pass runner (prefetching
 // the next memoryload while the current one sorts); the merge passes stream
 // stripes and stay sequential.
-func GeneralPermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
+func GeneralPermuteOpt(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	stripeRecs := cfg.B * cfg.D
 	fanIn := cfg.M/stripeRecs - 1
@@ -38,9 +39,26 @@ func GeneralPermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Option
 	}
 	before := sys.Stats().ParallelIOs()
 	passes := 0
+	totalPasses := 1
+	for rs := cfg.StripesPerMemoryload(); rs < cfg.Stripes(); rs *= fanIn {
+		totalPasses++
+	}
+	// stamp fixes a pass's coordinates onto its progress events, so the
+	// sort pass and every merge pass report against the same run total.
+	stamp := func(pass int) Options {
+		o := opt
+		if opt.Progress != nil {
+			base := opt.Progress
+			o.Progress = func(ev PassEvent) {
+				ev.Pass, ev.Passes = pass, totalPasses
+				base(ev)
+			}
+		}
+		return o
+	}
 
 	// Run formation: sort each memoryload in memory; one pass.
-	if err := runPass(sys, &sortStrategy{cfg: cfg, targetOf: targetOf}, opt); err != nil {
+	if err := runPass(ctx, sys, &sortStrategy{cfg: cfg, targetOf: targetOf}, stamp(1)); err != nil {
 		return nil, err
 	}
 	sys.SwapPortions()
@@ -50,7 +68,10 @@ func GeneralPermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Option
 	// spans all stripes.
 	runStripes := cfg.StripesPerMemoryload()
 	for runStripes < cfg.Stripes() {
-		if err := mergePass(sys, targetOf, runStripes, fanIn); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := mergePass(ctx, sys, targetOf, runStripes, fanIn, stamp(passes+1)); err != nil {
 			return nil, err
 		}
 		sys.SwapPortions()
@@ -71,6 +92,8 @@ type sortStrategy struct {
 	cfg      pdm.Config
 	targetOf func(uint64) uint64
 }
+
+func (st *sortStrategy) kind() string { return "sort" }
 
 func (st *sortStrategy) loads() int { return st.cfg.Memoryloads() }
 
@@ -93,10 +116,22 @@ func (st *sortStrategy) writes(ml int, _ loadPlan, _ []any) ([][]pdm.BlockIO, er
 
 // mergePass merges every group of fanIn consecutive runs (runStripes
 // stripes each) from the source portion into single runs in the target
-// portion, reading and writing each stripe exactly once.
-func mergePass(sys *pdm.System, targetOf func(uint64) uint64, runStripes, fanIn int) error {
+// portion, reading and writing each stripe exactly once. ctx is checked
+// and a progress event emitted between merge groups — the "memoryload"
+// of a merge pass, so WithProgress keeps reporting through the merge
+// phase of a general permutation.
+func mergePass(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64, runStripes, fanIn int, opt Options) error {
 	cfg := sys.Config()
+	// One group consumes fanIn*runStripes stripes (the loop steps `group`
+	// by fanIn); the last group may be partial, so round up once over the
+	// whole stripe range — runStripes need not divide Stripes evenly.
+	groups := (cfg.Stripes() + runStripes*fanIn - 1) / (runStripes * fanIn)
+	opt.emit("merge", 0, groups)
+	done := 0
 	for group := 0; group*runStripes < cfg.Stripes(); group += fanIn {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		first := group * runStripes
 		var runs []*runCursor
 		for r := 0; r < fanIn; r++ {
@@ -113,6 +148,8 @@ func mergePass(sys *pdm.System, targetOf func(uint64) uint64, runStripes, fanIn 
 		if err := mergeRuns(sys, targetOf, runs, first); err != nil {
 			return err
 		}
+		done++
+		opt.emit("merge", done, groups)
 	}
 	return nil
 }

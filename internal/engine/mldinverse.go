@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pdm"
@@ -19,11 +20,12 @@ import (
 //
 // p itself is the permutation to perform; its inverse must be MLD.
 func RunMLDInversePass(sys *pdm.System, p perm.BMMC) error {
-	return RunMLDInversePassOpt(sys, p, DefaultOptions())
+	return RunMLDInversePassOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunMLDInversePassOpt is RunMLDInversePass with explicit execution options.
-func RunMLDInversePassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
+// RunMLDInversePassOpt is RunMLDInversePass with explicit execution
+// options and a context checked between memoryloads.
+func RunMLDInversePassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -34,7 +36,7 @@ func RunMLDInversePassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 		return fmt.Errorf("engine: inverse is not MLD for b=%d m=%d", b, m)
 	}
 	st := &invMLDStrategy{cfg: cfg, applier: p.Compile(), invApplier: inv.Compile()}
-	if err := runPass(sys, st, opt); err != nil {
+	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
 	sys.SwapPortions()
@@ -49,6 +51,8 @@ type invMLDStrategy struct {
 	applier    *perm.Compiled // the permutation p itself
 	invApplier *perm.Compiled // p^{-1}, used to plan the gather reads
 }
+
+func (st *invMLDStrategy) kind() string { return "MLD^-1" }
 
 func (st *invMLDStrategy) loads() int { return st.cfg.Memoryloads() }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -17,11 +18,12 @@ import (
 // Memory use: D output frames plus up to D input frames per read wave,
 // which requires M >= 2BD.
 func NaivePermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
-	return NaivePermuteOpt(sys, targetOf, DefaultOptions())
+	return NaivePermuteOpt(context.Background(), sys, targetOf, DefaultOptions())
 }
 
-// NaivePermuteOpt is NaivePermute with explicit execution options.
-func NaivePermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
+// NaivePermuteOpt is NaivePermute with explicit execution options and a
+// context checked between rounds.
+func NaivePermuteOpt(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if cfg.Frames() < 2*cfg.D {
 		return nil, fmt.Errorf("engine: naive permute needs M >= 2BD (M=%d, BD=%d)", cfg.M, cfg.B*cfg.D)
@@ -39,7 +41,7 @@ func NaivePermuteOpt(sys *pdm.System, targetOf func(uint64) uint64, opt Options)
 		srcOf[y] = x
 	}
 
-	if err := runPass(sys, newNaiveStrategy(cfg, srcOf), opt); err != nil {
+	if err := runPass(ctx, sys, newNaiveStrategy(cfg, srcOf), opt); err != nil {
 		return nil, err
 	}
 	sys.SwapPortions()
@@ -131,6 +133,8 @@ func (st *naiveStrategy) forEachRecord(round int, visit func(t, off int, x uint6
 		}
 	}
 }
+
+func (st *naiveStrategy) kind() string { return "naive" }
 
 func (st *naiveStrategy) loads() int { return st.firstLoad[len(st.wavesIn)] }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/pdm"
@@ -12,11 +13,12 @@ import (
 // memory, and write them to the (possibly different) target memoryload with
 // striped writes. Exactly 2N/BD parallel I/Os.
 func RunMRCPass(sys *pdm.System, p perm.BMMC) error {
-	return RunMRCPassOpt(sys, p, DefaultOptions())
+	return RunMRCPassOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunMRCPassOpt is RunMRCPass with explicit execution options.
-func RunMRCPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
+// RunMRCPassOpt is RunMRCPass with explicit execution options and a
+// context checked between memoryloads.
+func RunMRCPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -26,7 +28,7 @@ func RunMRCPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 		return fmt.Errorf("engine: permutation is not MRC for m=%d", m)
 	}
 	st := &mrcStrategy{cfg: cfg, applier: p.Compile()}
-	if err := runPass(sys, st, opt); err != nil {
+	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
 	sys.SwapPortions()
@@ -40,6 +42,8 @@ type mrcStrategy struct {
 	cfg     pdm.Config
 	applier *perm.Compiled
 }
+
+func (st *mrcStrategy) kind() string { return "MRC" }
 
 func (st *mrcStrategy) loads() int { return st.cfg.Memoryloads() }
 
@@ -91,11 +95,12 @@ func (st *mrcStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO
 // calling this with a non-MLD permutation returns an error rather than
 // corrupting data.
 func RunMLDPass(sys *pdm.System, p perm.BMMC) error {
-	return RunMLDPassOpt(sys, p, DefaultOptions())
+	return RunMLDPassOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunMLDPassOpt is RunMLDPass with explicit execution options.
-func RunMLDPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
+// RunMLDPassOpt is RunMLDPass with explicit execution options and a
+// context checked between memoryloads.
+func RunMLDPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return err
@@ -105,7 +110,7 @@ func RunMLDPassOpt(sys *pdm.System, p perm.BMMC, opt Options) error {
 		return fmt.Errorf("engine: permutation is not MLD for b=%d m=%d", b, m)
 	}
 	st := &mldStrategy{cfg: cfg, applier: p.Compile()}
-	if err := runPass(sys, st, opt); err != nil {
+	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
 	sys.SwapPortions()
@@ -127,6 +132,8 @@ type mldShard struct {
 	fill   []int
 	loadOf []int
 }
+
+func (st *mldStrategy) kind() string { return "MLD" }
 
 func (st *mldStrategy) loads() int { return st.cfg.Memoryloads() }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/factor"
@@ -14,17 +15,29 @@ import (
 // caller owns the plan — typically it comes from factor.Factorize, an
 // optional factor.Fuse, or a plan cache — so repeated permutations never
 // pay for re-factorization.
-func RunPlanOpt(sys *pdm.System, plan *factor.Plan, opt Options) (*Result, error) {
+//
+// ctx is checked between memoryloads; cancellation mid-pass leaves the
+// portion roles unswapped, so the stored records are exactly the state
+// after the last completed pass.
+func RunPlanOpt(ctx context.Context, sys *pdm.System, plan *factor.Plan, opt Options) (*Result, error) {
 	before := sys.Stats().ParallelIOs()
 	for i, pass := range plan.Passes {
+		popt := opt
+		if opt.Progress != nil {
+			i, base := i, opt.Progress
+			popt.Progress = func(ev PassEvent) {
+				ev.Pass, ev.Passes = i+1, len(plan.Passes)
+				base(ev)
+			}
+		}
 		var err error
 		switch pass.Kind {
 		case perm.ClassMRC:
-			err = RunMRCPassOpt(sys, pass.Perm, opt)
+			err = RunMRCPassOpt(ctx, sys, pass.Perm, popt)
 		case perm.ClassMLD:
-			err = RunMLDPassOpt(sys, pass.Perm, opt)
+			err = RunMLDPassOpt(ctx, sys, pass.Perm, popt)
 		case perm.ClassInvMLD:
-			err = RunMLDInversePassOpt(sys, pass.Perm, opt)
+			err = RunMLDInversePassOpt(ctx, sys, pass.Perm, popt)
 		default:
 			err = fmt.Errorf("engine: pass %d has unexpected class %v", i, pass.Kind)
 		}
@@ -44,11 +57,12 @@ func RunPlanOpt(sys *pdm.System, plan *factor.Plan, opt Options) (*Result, error
 // one-pass permutations before execution, so permutations the greedy
 // factoring over-splits cost measurably fewer parallel I/Os.
 func RunBMMCFused(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCFusedOpt(sys, p, DefaultOptions())
+	return RunBMMCFusedOpt(context.Background(), sys, p, DefaultOptions())
 }
 
-// RunBMMCFusedOpt is RunBMMCFused with explicit execution options.
-func RunBMMCFusedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
+// RunBMMCFusedOpt is RunBMMCFused with explicit execution options and a
+// context checked between memoryloads.
+func RunBMMCFusedOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
 		return nil, err
@@ -60,5 +74,5 @@ func RunBMMCFusedOpt(sys *pdm.System, p perm.BMMC, opt Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return RunPlanOpt(sys, factor.Fuse(plan, cfg.LgB(), cfg.LgM()), opt)
+	return RunPlanOpt(ctx, sys, factor.Fuse(plan, cfg.LgB(), cfg.LgM()), opt)
 }

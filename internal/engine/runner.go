@@ -35,12 +35,26 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/pdm"
 )
+
+// PassEvent is one progress report from the pass runner: load Load of
+// Loads in pass Pass of Passes has completed (Load 0 marks the start of a
+// pass). Kind names the pass's algorithm ("MRC", "MLD", "MLD^-1", "sort",
+// "naive"). Multi-pass drivers stamp Pass/Passes; a directly-invoked
+// single pass reports Pass = Passes = 1.
+type PassEvent struct {
+	Pass   int    // 1-based pass number within the run
+	Passes int    // total passes in the run
+	Kind   string // pass algorithm name
+	Load   int    // memoryloads completed so far in this pass
+	Loads  int    // total loads in the pass
+}
 
 // Options control how the pass runner executes, without affecting what it
 // computes: results and parallel-I/O counts are identical for every
@@ -54,6 +68,11 @@ type Options struct {
 	// Workers is the number of goroutines sharding each in-memory scatter.
 	// Zero or negative selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Progress, when non-nil, receives a PassEvent at the start of every
+	// pass and after every completed memoryload. Callbacks run on the
+	// pass's main goroutine between counted parallel I/Os, so they must be
+	// cheap; they never run concurrently with each other for one run.
+	Progress func(PassEvent)
 }
 
 // DefaultOptions returns the default execution mode: pipelined, with one
@@ -82,6 +101,8 @@ type loadPlan struct {
 // loads there are, which blocks each load reads, how records scatter from
 // the input buffer to the output buffer, and which blocks to write.
 type passStrategy interface {
+	// kind names the pass's algorithm for progress reporting.
+	kind() string
 	// loads returns the number of loads in the pass.
 	loads() int
 	// prepare plans load ml. It runs on the reader goroutine when
@@ -101,14 +122,24 @@ type passStrategy interface {
 // runPass executes a full pass of st over sys: every load is read from the
 // source portion, scattered, and written to the target portion. The caller
 // remains responsible for SwapPortions.
-func runPass(sys *pdm.System, st passStrategy, opt Options) error {
+//
+// Cancellation: ctx is checked between memoryloads (a pass never aborts a
+// counted parallel I/O halfway). On cancellation the prefetch reader is
+// unblocked and drained before returning, so no goroutine or buffer
+// outlives the call, the source portion is untouched, and — because the
+// caller only swaps portions on success — the system remains usable.
+func runPass(ctx context.Context, sys *pdm.System, st passStrategy, opt Options) error {
 	src, tgt := sys.Source(), sys.Target()
 	loads := st.loads()
 	out := sys.AcquireBuffer()
+	opt.emit(st.kind(), 0, loads)
 
 	if !opt.Pipeline {
 		in := sys.AcquireBuffer()
 		for ml := 0; ml < loads; ml++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			plan, err := st.prepare(ml)
 			if err != nil {
 				return err
@@ -119,6 +150,7 @@ func runPass(sys *pdm.System, st passStrategy, opt Options) error {
 			if err := scatterAndWrite(sys, tgt, st, ml, plan, in, out, opt); err != nil {
 				return err
 			}
+			opt.emit(st.kind(), ml+1, loads)
 		}
 		return nil
 	}
@@ -138,6 +170,13 @@ func runPass(sys *pdm.System, st passStrategy, opt Options) error {
 	go func() {
 		defer close(ch)
 		for ml := 0; ml < loads; ml++ {
+			if err := ctx.Err(); err != nil {
+				select {
+				case ch <- fetched{loadPlan{}, err}:
+				case <-stop:
+				}
+				return
+			}
 			plan, err := st.prepare(ml)
 			if err == nil {
 				err = readLoad(sys, src, plan, ins[ml&1])
@@ -159,6 +198,10 @@ func runPass(sys *pdm.System, st passStrategy, opt Options) error {
 		}
 	}
 	for ml := 0; ml < loads; ml++ {
+		if err := ctx.Err(); err != nil {
+			abort()
+			return err
+		}
 		f, ok := <-ch
 		if !ok {
 			return fmt.Errorf("engine: prefetcher exited before load %d", ml)
@@ -171,8 +214,18 @@ func runPass(sys *pdm.System, st passStrategy, opt Options) error {
 			abort()
 			return err
 		}
+		opt.emit(st.kind(), ml+1, loads)
 	}
 	return nil
+}
+
+// emit delivers one progress event, defaulting the pass coordinates to a
+// single-pass run; multi-pass drivers override them by wrapping Progress.
+func (o Options) emit(kind string, load, loads int) {
+	if o.Progress == nil {
+		return
+	}
+	o.Progress(PassEvent{Pass: 1, Passes: 1, Kind: kind, Load: load, Loads: loads})
 }
 
 func readLoad(sys *pdm.System, src pdm.Portion, plan loadPlan, in *pdm.Buffer) error {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -58,18 +59,18 @@ func newSystem(cfg pdm.Config) (*pdm.System, error) {
 // runAuto, runBMMC, and runUngrouped adapt the engine entry points to the
 // experiment-wide execution mode.
 func runAuto(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
-	return engine.RunAutoOpt(sys, p, Exec)
+	return engine.RunAutoOpt(context.Background(), sys, p, Exec)
 }
 
 func runBMMC(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
 	if Fuse {
-		return engine.RunBMMCFusedOpt(sys, p, Exec)
+		return engine.RunBMMCFusedOpt(context.Background(), sys, p, Exec)
 	}
-	return engine.RunBMMCOpt(sys, p, Exec)
+	return engine.RunBMMCOpt(context.Background(), sys, p, Exec)
 }
 
 func runUngrouped(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
-	return engine.RunBMMCUngroupedOpt(sys, p, Exec)
+	return engine.RunBMMCUngroupedOpt(context.Background(), sys, p, Exec)
 }
 
 // run executes p on a fresh memory-backed system, verifies every record
@@ -213,7 +214,7 @@ func Crossover(cfg pdm.Config, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sortRes, err := engine.GeneralPermuteOpt(sys, p.Apply, Exec)
+		sortRes, err := engine.GeneralPermuteOpt(context.Background(), sys, p.Apply, Exec)
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -247,7 +248,7 @@ func MLDOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := engine.RunMLDPassOpt(sys, p, Exec); err != nil {
+		if err := engine.RunMLDPassOpt(context.Background(), sys, p, Exec); err != nil {
 			sys.Close()
 			return nil, err
 		}
@@ -543,7 +544,7 @@ func PipelineSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 				return err
 			}
 			start := time.Now()
-			res, err := engine.RunBMMCOpt(sys, p, mode.opt)
+			res, err := engine.RunBMMCOpt(context.Background(), sys, p, mode.opt)
 			if err != nil {
 				return err
 			}
@@ -654,7 +655,7 @@ func Fusion(cfg pdm.Config, seed int64) (*Table, error) {
 				return 0, err
 			}
 			defer sys.Close()
-			res, err := engine.RunPlanOpt(sys, pl, Exec)
+			res, err := engine.RunPlanOpt(context.Background(), sys, pl, Exec)
 			if err != nil {
 				return 0, err
 			}
@@ -750,12 +751,97 @@ func PlanCache(cfg pdm.Config, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// BackendSpeed (E18) compares the storage backends of the v2 API on the
+// identical factored workload: RAM, single-directory files, and a sharded
+// two-directory layout. The parallel-I/O counts — the model's only cost —
+// must match across all three (the PASS column asserts it); wall-clock
+// shows what each backend's real I/O path costs.
+func BackendSpeed(cfg pdm.Config, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, b := cfg.LgN(), cfg.LgB()
+	g := b
+	if n-b < g {
+		g = n - b
+	}
+	p := perm.MustNew(gf2.RandomNonsingularWithGamma(rng, n, b, g), gf2.RandomVec(rng, n))
+	t := &Table{
+		ID:      "E18 (storage backends)",
+		Title:   fmt.Sprintf("mem vs file vs sharded backends, rank gamma %d on %v", g, cfg),
+		Columns: []string{"backend", "wall-clock", "parallel I/Os", "passes", "within"},
+		Notes: []string{
+			"identical factored BMMC workload on every backend; the model's I/O counts must match exactly",
+		},
+	}
+	type mode struct {
+		name    string
+		backend func(dirs []string) pdm.Backend
+		ndirs   int
+	}
+	modes := []mode{
+		{"mem", func([]string) pdm.Backend { return pdm.MemBackend() }, 0},
+		{"file", func(dirs []string) pdm.Backend { return pdm.FileBackend(dirs[0]) }, 1},
+		{"sharded x2", func(dirs []string) pdm.Backend { return pdm.ShardedFileBackend(dirs...) }, 2},
+	}
+	var ios, passes [3]int
+	var elapsed [3]time.Duration
+	for i, mode := range modes {
+		dirs := make([]string, mode.ndirs)
+		var err error
+		for j := range dirs {
+			if dirs[j], err = os.MkdirTemp("", "bmmc-backend-"); err != nil {
+				return nil, err
+			}
+		}
+		run := func(timed bool) error {
+			sys, err := pdm.NewSystemBackend(cfg, mode.backend(dirs))
+			if err != nil {
+				return err
+			}
+			defer sys.Close()
+			sys.SetConcurrent(ConcurrentIO)
+			if err := engine.LoadSequential(sys); err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := engine.RunBMMCOpt(context.Background(), sys, p, Exec)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(start); timed && (elapsed[i] == 0 || d < elapsed[i]) {
+				elapsed[i] = d
+			}
+			ios[i] = res.ParallelIOs
+			passes[i] = res.Passes
+			if err := sys.Sync(); err != nil {
+				return err
+			}
+			return engine.VerifyBMMC(sys, sys.Source(), p)
+		}
+		for rep := 0; rep < 4 && err == nil; rep++ {
+			err = run(rep > 0)
+		}
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s backend: %w", mode.name, err)
+		}
+	}
+	for i, mode := range modes {
+		t.AddRow(mode.name,
+			fmt.Sprintf("%.1fms", float64(elapsed[i].Microseconds())/1000),
+			itoa(ios[i]), itoa(passes[i]),
+			passFail(ios[i] == ios[0] && passes[i] == passes[0]))
+	}
+	return t, nil
+}
+
 // Names lists every experiment in execution order.
 func Names() []string {
 	return []string{
 		"table1", "tightbounds", "crossover", "mld", "detect", "potential",
 		"transpose", "scaling", "lemma9", "ablation", "inverse", "pipeline",
-		"fusion", "plancache",
+		"fusion", "plancache", "backend",
 	}
 }
 
@@ -803,6 +889,8 @@ func ByName(name string) func(pdm.Config, int64) (*Table, error) {
 		return Fusion
 	case "plancache":
 		return PlanCache
+	case "backend":
+		return BackendSpeed
 	default:
 		return nil
 	}

@@ -1,0 +1,211 @@
+package pdm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockXfer names one block transfer within a batch handed to a Backend:
+// the physical block Block of disk Disk moves to or from Data (exactly one
+// block, len(Data) == blockSize). Block numbers are physical — the System
+// resolves portion-relative positions before calling the backend.
+type BlockXfer struct {
+	Disk  int
+	Block int
+	Data  []Record
+}
+
+// Backend abstracts the storage a System's D disks live on, at
+// parallel-block granularity: each ReadBlocks/WriteBlocks call carries the
+// per-disk transfers of one parallel I/O, so a backend sees exactly the
+// operations the model counts and may service the transfers of one call in
+// any order or in parallel (they touch distinct disks by construction).
+//
+// Implementations must tolerate concurrent ReadBlocks/WriteBlocks calls
+// from distinct goroutines: the pipelined pass runner overlaps a prefetch
+// read with an in-flight write. Concurrent calls never touch the same
+// (disk, block) pair in conflicting ways during a correctly synchronized
+// pass, but they may touch the same disk, so per-disk serialization is the
+// backend's responsibility.
+//
+// The System layered on top performs all validation (one block per disk
+// per operation, bounds) and all cost accounting; a Backend only moves
+// bytes.
+type Backend interface {
+	// Open sizes the backend before any transfer: numDisks disks, each
+	// holding numBlocks blocks of blockSize records. Called exactly once.
+	Open(numDisks, numBlocks, blockSize int) error
+	// ReadBlocks fills each transfer's Data from its (Disk, Block).
+	ReadBlocks(xfers []BlockXfer) error
+	// WriteBlocks stores each transfer's Data at its (Disk, Block).
+	WriteBlocks(xfers []BlockXfer) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the backend's resources. No transfers follow.
+	Close() error
+}
+
+// concurrentSetter is implemented by backends that can toggle concurrent
+// per-disk dispatch within one batch; System.SetConcurrent forwards to it.
+type concurrentSetter interface {
+	SetConcurrent(on bool)
+}
+
+// syncer is the optional flush hook a Disk may implement (FileDisk does);
+// diskBackend.Sync calls it on every disk that has one.
+type syncer interface {
+	Sync() error
+}
+
+// diskBackend adapts the per-disk Disk/DiskFactory abstraction to the
+// batch-level Backend interface. It owns the per-disk serialization (the
+// model has one I/O channel per disk) and the optional concurrent dispatch
+// of a batch's transfers across goroutines.
+type diskBackend struct {
+	factory    DiskFactory
+	disks      []Disk
+	mu         []sync.Mutex
+	concurrent bool
+}
+
+// NewDiskBackend returns a Backend whose disks are created one at a time by
+// factory — the bridge that lets every per-disk Disk implementation
+// (MemDisk, FileDisk, FaultyDisk wrappers, ...) serve as a storage backend.
+func NewDiskBackend(factory DiskFactory) Backend {
+	return &diskBackend{factory: factory}
+}
+
+// MemBackend returns the RAM storage backend: one in-memory block array per
+// disk. It is the default backend of a Permuter.
+func MemBackend() Backend { return NewDiskBackend(MemDiskFactory) }
+
+// FileBackend returns the single-directory file storage backend: one file
+// per disk inside dir, named disk0000.dat, disk0001.dat, ....
+func FileBackend(dir string) Backend { return NewDiskBackend(FileDiskFactory(dir)) }
+
+// ShardedFileBackend returns a multi-volume file storage backend: disk i's
+// file lives in dirs[i mod len(dirs)], so the D simulated disks spread
+// round-robin across the given directories — mount each on a separate
+// physical volume and the model's "D independent disks" become D
+// independently seeking spindles.
+func ShardedFileBackend(dirs ...string) Backend {
+	return NewDiskBackend(ShardedFileFactory(dirs...))
+}
+
+// ShardedFileFactory returns a DiskFactory placing disk i's file in
+// dirs[i mod len(dirs)]. File names stay globally unique (disk%04d.dat with
+// the global disk number), so distinct dirs may share a filesystem.
+func ShardedFileFactory(dirs ...string) DiskFactory {
+	return func(disk, numBlocks, blockSize int) (Disk, error) {
+		if len(dirs) == 0 {
+			return nil, fmt.Errorf("pdm: sharded file backend needs at least one directory")
+		}
+		return FileDiskFactory(dirs[disk%len(dirs)])(disk, numBlocks, blockSize)
+	}
+}
+
+// Open implements Backend.
+func (b *diskBackend) Open(numDisks, numBlocks, blockSize int) error {
+	if b.disks != nil {
+		return fmt.Errorf("pdm: backend opened twice")
+	}
+	b.disks = make([]Disk, numDisks)
+	b.mu = make([]sync.Mutex, numDisks)
+	for i := 0; i < numDisks; i++ {
+		d, err := b.factory(i, numBlocks, blockSize)
+		if err != nil {
+			b.Close()
+			return fmt.Errorf("pdm: disk %d: %w", i, err)
+		}
+		if d.NumBlocks() < numBlocks {
+			d.Close()
+			b.Close()
+			return fmt.Errorf("pdm: disk %d too small: %d blocks, need %d", i, d.NumBlocks(), numBlocks)
+		}
+		b.disks[i] = d
+	}
+	return nil
+}
+
+// SetConcurrent toggles per-disk goroutine dispatch within one batch.
+func (b *diskBackend) SetConcurrent(on bool) { b.concurrent = on }
+
+// ReadBlocks implements Backend.
+func (b *diskBackend) ReadBlocks(xfers []BlockXfer) error {
+	return b.dispatch(xfers, func(x BlockXfer) error {
+		b.mu[x.Disk].Lock()
+		defer b.mu[x.Disk].Unlock()
+		return b.disks[x.Disk].ReadBlock(x.Block, x.Data)
+	})
+}
+
+// WriteBlocks implements Backend.
+func (b *diskBackend) WriteBlocks(xfers []BlockXfer) error {
+	return b.dispatch(xfers, func(x BlockXfer) error {
+		b.mu[x.Disk].Lock()
+		defer b.mu[x.Disk].Unlock()
+		return b.disks[x.Disk].WriteBlock(x.Block, x.Data)
+	})
+}
+
+// dispatch runs one transfer per BlockXfer, sequentially or on one
+// goroutine per disk, and returns the first error. The batch's transfers
+// touch distinct disks (System.validate enforces it), so they commute.
+func (b *diskBackend) dispatch(xfers []BlockXfer, op func(BlockXfer) error) error {
+	if b.disks == nil {
+		return fmt.Errorf("pdm: backend not opened")
+	}
+	if !b.concurrent || len(xfers) == 1 {
+		for _, x := range xfers {
+			if err := op(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(xfers))
+	var wg sync.WaitGroup
+	for i, x := range xfers {
+		wg.Add(1)
+		go func(i int, x BlockXfer) {
+			defer wg.Done()
+			errs[i] = op(x)
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync implements Backend, flushing every disk that supports it.
+func (b *diskBackend) Sync() error {
+	var firstErr error
+	for _, d := range b.disks {
+		s, ok := d.(syncer)
+		if !ok {
+			continue
+		}
+		if err := s.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Backend.
+func (b *diskBackend) Close() error {
+	var firstErr error
+	for _, d := range b.disks {
+		if d == nil {
+			continue
+		}
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -14,6 +14,7 @@ package pdm
 type Buffer struct {
 	b    int // records per frame (block size B)
 	recs []Record
+	xbuf []BlockXfer // per-buffer scratch for backend transfer batches
 }
 
 // AcquireBuffer returns a fresh zeroed memoryload-sized buffer (M records,
@@ -52,12 +53,7 @@ func (s *System) ParallelReadInto(p Portion, ios []BlockIO, buf *Buffer) error {
 	if err := s.validate(p, ios); err != nil {
 		return err
 	}
-	err := s.dispatch(ios, func(io BlockIO) error {
-		s.diskMu[io.Disk].Lock()
-		defer s.diskMu[io.Disk].Unlock()
-		return s.disks[io.Disk].ReadBlock(s.physBlock(p, io.Block), buf.Frame(io.Frame))
-	})
-	if err != nil {
+	if err := s.be.ReadBlocks(s.xfers(p, ios, buf)); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -83,12 +79,7 @@ func (s *System) ParallelWriteFrom(p Portion, ios []BlockIO, buf *Buffer) error 
 	if err := s.validate(p, ios); err != nil {
 		return err
 	}
-	err := s.dispatch(ios, func(io BlockIO) error {
-		s.diskMu[io.Disk].Lock()
-		defer s.diskMu[io.Disk].Unlock()
-		return s.disks[io.Disk].WriteBlock(s.physBlock(p, io.Block), buf.Frame(io.Frame))
-	})
-	if err != nil {
+	if err := s.be.WriteBlocks(s.xfers(p, ios, buf)); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -100,6 +91,23 @@ func (s *System) ParallelWriteFrom(p Portion, ios []BlockIO, buf *Buffer) error 
 	s.notifyLocked(IOWrite, p, ios)
 	s.mu.Unlock()
 	return nil
+}
+
+// xfers resolves one validated parallel I/O into the physical block
+// transfers handed to the storage backend: portion-relative positions
+// become physical block numbers, frame indices become record slices. The
+// batch lives in the buffer's scratch slice — safe because a Buffer never
+// serves two parallel I/Os concurrently (its frames would race first),
+// and it keeps the per-operation hot path allocation-free.
+func (s *System) xfers(p Portion, ios []BlockIO, buf *Buffer) []BlockXfer {
+	if cap(buf.xbuf) < len(ios) {
+		buf.xbuf = make([]BlockXfer, s.cfg.D)
+	}
+	xs := buf.xbuf[:len(ios)]
+	for i, io := range ios {
+		xs[i] = BlockXfer{Disk: io.Disk, Block: s.physBlock(p, io.Block), Data: buf.Frame(io.Frame)}
+	}
+	return xs
 }
 
 // ReadStripeInto reads stripe `stripe` of portion p — one block from every

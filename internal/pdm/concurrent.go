@@ -1,40 +1,15 @@
 package pdm
 
-import "sync"
-
-// SetConcurrent switches the System between sequential and concurrent
-// dispatch of the per-disk transfers inside one parallel I/O. The model
-// semantics and the I/O counts are identical either way — the D disks of a
-// parallel I/O touch disjoint disks and disjoint memory frames, so the
-// transfers commute — but concurrent dispatch lets file-backed disks
+// SetConcurrent switches the storage backend between sequential and
+// concurrent dispatch of the per-disk transfers inside one parallel I/O,
+// when the backend supports the toggle (the built-in disk-array backends
+// do; custom backends may ignore it and choose their own dispatch). The
+// model semantics and the I/O counts are identical either way — the D
+// transfers of a parallel I/O touch disjoint disks and disjoint memory
+// frames, so they commute — but concurrent dispatch lets file-backed disks
 // overlap real storage latency the way D physical spindles would.
-func (s *System) SetConcurrent(on bool) { s.concurrent = on }
-
-// dispatch runs one block transfer per BlockIO, sequentially or on one
-// goroutine per disk, and returns the first error.
-func (s *System) dispatch(ios []BlockIO, op func(BlockIO) error) error {
-	if !s.concurrent || len(ios) == 1 {
-		for _, io := range ios {
-			if err := op(io); err != nil {
-				return err
-			}
-		}
-		return nil
+func (s *System) SetConcurrent(on bool) {
+	if cs, ok := s.be.(concurrentSetter); ok {
+		cs.SetConcurrent(on)
 	}
-	errs := make([]error, len(ios))
-	var wg sync.WaitGroup
-	for i, io := range ios {
-		wg.Add(1)
-		go func(i int, io BlockIO) {
-			defer wg.Done()
-			errs[i] = op(io)
-		}(i, io)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }

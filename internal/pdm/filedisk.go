@@ -48,7 +48,7 @@ func (d *FileDisk) ReadBlock(blockNum int, dst []Record) error {
 		return fmt.Errorf("pdm: read block %d: %w", blockNum, err)
 	}
 	for i := range dst {
-		dst[i] = decodeRecord(d.buf[i*RecordBytes:])
+		dst[i] = DecodeRecord(d.buf[i*RecordBytes:])
 	}
 	return nil
 }
@@ -59,7 +59,7 @@ func (d *FileDisk) WriteBlock(blockNum int, src []Record) error {
 		return err
 	}
 	for i, r := range src {
-		r.encode(d.buf[i*RecordBytes:])
+		r.Encode(d.buf[i*RecordBytes:])
 	}
 	off := int64(blockNum) * int64(d.blockSize) * RecordBytes
 	if _, err := d.f.WriteAt(d.buf, off); err != nil {
@@ -70,6 +70,10 @@ func (d *FileDisk) WriteBlock(blockNum int, src []Record) error {
 
 // NumBlocks implements Disk.
 func (d *FileDisk) NumBlocks() int { return d.numBlocks }
+
+// Sync flushes the file's buffered writes to stable storage; the file
+// backends surface it through Backend.Sync.
+func (d *FileDisk) Sync() error { return d.f.Sync() }
 
 // Close implements Disk, closing the underlying file.
 func (d *FileDisk) Close() error { return d.f.Close() }

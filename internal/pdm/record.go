@@ -33,14 +33,16 @@ func MakeRecord(key uint64) Record {
 // CheckIntegrity reports whether the record's tag matches its key.
 func (r Record) CheckIntegrity() bool { return r.Tag == TagFor(r.Key) }
 
-// encode writes the record into 16 bytes, little-endian.
-func (r Record) encode(dst []byte) {
+// Encode writes the record into dst (at least RecordBytes long),
+// little-endian — the wire format of the file backends and of
+// Permuter.Load/Dump.
+func (r Record) Encode(dst []byte) {
 	binary.LittleEndian.PutUint64(dst[0:8], r.Key)
 	binary.LittleEndian.PutUint64(dst[8:16], r.Tag)
 }
 
-// decodeRecord reads a record from 16 bytes.
-func decodeRecord(src []byte) Record {
+// DecodeRecord reads a record from RecordBytes little-endian bytes.
+func DecodeRecord(src []byte) Record {
 	return Record{
 		Key: binary.LittleEndian.Uint64(src[0:8]),
 		Tag: binary.LittleEndian.Uint64(src[8:16]),

@@ -35,48 +35,47 @@ type BlockIO struct {
 // portions of N/BD blocks, plus an M-record memory. All block transfers go
 // through ParallelRead/ParallelWrite (or the striped wrappers), which
 // enforce the model's one-block-per-disk rule and count every operation.
+// The bytes themselves live in a pluggable storage Backend.
 type System struct {
-	cfg        Config
-	disks      []Disk
-	mem        []Record
-	memBuf     *Buffer // wraps mem so all I/O funnels through the buffer path
-	stats      Stats
-	source     Portion
-	concurrent bool     // dispatch per-disk transfers on goroutines
-	observer   Observer // optional per-operation trace hook
+	cfg      Config
+	be       Backend
+	mem      []Record
+	memBuf   *Buffer // wraps mem so all I/O funnels through the buffer path
+	stats    Stats
+	source   Portion
+	observer Observer // optional per-operation trace hook
 
-	mu     sync.Mutex   // guards stats and observer across overlapping operations
-	diskMu []sync.Mutex // serializes transfers per disk (one I/O channel per disk)
+	mu sync.Mutex // guards stats and observer across overlapping operations
 }
 
 // NewSystem builds a System over the given configuration. factory is called
 // once per disk; pass MemDiskFactory for RAM-backed simulation or
-// FileDiskFactory(dir) for file-backed disks.
+// FileDiskFactory(dir) for file-backed disks. It is shorthand for
+// NewSystemBackend with the disk-array backend over factory.
 func NewSystem(cfg Config, factory DiskFactory) (*System, error) {
+	return NewSystemBackend(cfg, NewDiskBackend(factory))
+}
+
+// NewSystemBackend builds a System whose block storage is the given
+// Backend. The backend is opened here (D disks, 2N/BD blocks each) and
+// owned by the System from then on: Close closes it.
+func NewSystemBackend(cfg Config, be Backend) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if be == nil {
+		return nil, fmt.Errorf("pdm: nil backend")
+	}
 	s := &System{
 		cfg:    cfg,
-		disks:  make([]Disk, cfg.D),
+		be:     be,
 		mem:    make([]Record, cfg.M),
 		stats:  newStats(cfg.D),
 		source: PortionA,
-		diskMu: make([]sync.Mutex, cfg.D),
 	}
 	s.memBuf = &Buffer{b: cfg.B, recs: s.mem}
-	for i := 0; i < cfg.D; i++ {
-		d, err := factory(i, 2*cfg.BlocksPerDisk(), cfg.B)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("pdm: disk %d: %w", i, err)
-		}
-		if d.NumBlocks() < 2*cfg.BlocksPerDisk() {
-			s.Close()
-			return nil, fmt.Errorf("pdm: disk %d too small: %d blocks, need %d",
-				i, d.NumBlocks(), 2*cfg.BlocksPerDisk())
-		}
-		s.disks[i] = d
+	if err := be.Open(cfg.D, 2*cfg.BlocksPerDisk(), cfg.B); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -84,19 +83,11 @@ func NewSystem(cfg Config, factory DiskFactory) (*System, error) {
 // NewMemSystem is shorthand for NewSystem(cfg, MemDiskFactory).
 func NewMemSystem(cfg Config) (*System, error) { return NewSystem(cfg, MemDiskFactory) }
 
-// Close closes all disks. The System must not be used afterwards.
-func (s *System) Close() error {
-	var firstErr error
-	for _, d := range s.disks {
-		if d == nil {
-			continue
-		}
-		if err := d.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
-}
+// Close closes the storage backend. The System must not be used afterwards.
+func (s *System) Close() error { return s.be.Close() }
+
+// Sync flushes the storage backend's buffered writes to stable storage.
+func (s *System) Sync() error { return s.be.Sync() }
 
 // Config returns the system's model parameters.
 func (s *System) Config() Config { return s.cfg }
@@ -230,7 +221,8 @@ func (s *System) LoadRecords(p Portion, records []Record) error {
 		for disk := 0; disk < s.cfg.D; disk++ {
 			base := s.cfg.Addr(stripe, disk, 0)
 			copy(buf, records[base:base+uint64(s.cfg.B)])
-			if err := s.disks[disk].WriteBlock(s.physBlock(p, stripe), buf); err != nil {
+			x := []BlockXfer{{Disk: disk, Block: s.physBlock(p, stripe), Data: buf}}
+			if err := s.be.WriteBlocks(x); err != nil {
 				return err
 			}
 		}
@@ -249,7 +241,8 @@ func (s *System) DumpRecords(p Portion) ([]Record, error) {
 	buf := make([]Record, s.cfg.B)
 	for stripe := 0; stripe < s.cfg.Stripes(); stripe++ {
 		for disk := 0; disk < s.cfg.D; disk++ {
-			if err := s.disks[disk].ReadBlock(s.physBlock(p, stripe), buf); err != nil {
+			x := []BlockXfer{{Disk: disk, Block: s.physBlock(p, stripe), Data: buf}}
+			if err := s.be.ReadBlocks(x); err != nil {
 				return nil, err
 			}
 			base := s.cfg.Addr(stripe, disk, 0)
@@ -264,7 +257,8 @@ func (s *System) DumpRecords(p Portion) ([]Record, error) {
 func (s *System) RecordAt(p Portion, x uint64) (Record, error) {
 	buf := make([]Record, s.cfg.B)
 	disk := s.cfg.DiskOf(x)
-	if err := s.disks[disk].ReadBlock(s.physBlock(p, s.cfg.StripeOf(x)), buf); err != nil {
+	xf := []BlockXfer{{Disk: disk, Block: s.physBlock(p, s.cfg.StripeOf(x)), Data: buf}}
+	if err := s.be.ReadBlocks(xf); err != nil {
 		return Record{}, err
 	}
 	return buf[s.cfg.Offset(x)], nil

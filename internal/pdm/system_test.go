@@ -271,8 +271,8 @@ func TestRecordIntegrity(t *testing.T) {
 func TestRecordEncodeDecode(t *testing.T) {
 	var buf [RecordBytes]byte
 	r := Record{Key: 0xdeadbeefcafe, Tag: 0x0123456789abcdef}
-	r.encode(buf[:])
-	if got := decodeRecord(buf[:]); got != r {
+	r.Encode(buf[:])
+	if got := DecodeRecord(buf[:]); got != r {
 		t.Fatalf("encode/decode roundtrip: %+v", got)
 	}
 }

@@ -1,0 +1,41 @@
+package bmmc
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/factor"
+)
+
+// Plan is a first-class execution plan for one permutation on one machine
+// geometry: the dispatched class, the (possibly fused) one-pass sequence,
+// and the paper's cost bounds, as an inspectable, immutable value.
+//
+// Plans separate the paper's two phases in the public API: Permuter.Plan
+// pays for classification and GF(2) factorization once, Permuter.Execute
+// runs the prepared passes as many times as the caller likes — on the
+// planning Permuter or any other with the same Config — with records and
+// Stats identical to the fused Permute call.
+//
+//	pl, err := p.Plan(bmmc.BitReversal(cfg.LgN()))
+//	fmt.Println(pl)                  // passes, exact cost, Thm 3 / Thm 21 bounds
+//	for _, pass := range pl.Passes() // inspect each one-pass permutation
+//	    ...
+//	rep, err := p.Execute(ctx, pl)   // run it; plan again never
+type Plan = core.Plan
+
+// PlanPass is one one-pass permutation within a Plan: the permutation to
+// apply and the class (MRC, MLD, or inverse-MLD) whose executor runs it.
+type PlanPass = factor.Pass
+
+// PassEvent is one progress report from a running permutation: memoryload
+// Load of Loads within pass Pass of Passes has completed (Load 0 marks a
+// pass starting). Kind names the pass algorithm ("MRC", "MLD", "MLD^-1",
+// "sort", "naive").
+type PassEvent = engine.PassEvent
+
+// WithProgress installs a callback receiving a PassEvent at every pass
+// start and after every completed memoryload, for long-run reporting and
+// instrumentation. The callback runs on the executing goroutine between
+// counted parallel I/Os, so it must be cheap, and it observes execution
+// without altering results or I/O counts.
+func WithProgress(fn func(PassEvent)) Option { return core.WithProgress(fn) }
