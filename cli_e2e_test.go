@@ -1,13 +1,20 @@
 package bmmc_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	bmmc "repro"
+	"repro/client"
+	"repro/internal/service"
 )
 
 // TestCLIEndToEnd builds each command-line tool once and exercises its
@@ -80,6 +87,29 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "fused cost:") || !strings.Contains(out, "no further merge possible") {
 		t.Errorf("bmmcplan -fuse output unexpected:\n%s", out)
 	}
+	// -json emits the machine-readable plan summary — the same PlanSummary
+	// struct the bmmcd service returns — honoring -fuse and the class
+	// dispatch (one-pass classes are never factored).
+	out = run("bmmcplan", true, append([]string{"-perm", "bitrev", "-json"}, small...)...)
+	var sum service.PlanSummary
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("bmmcplan -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	cfgSmall := bmmc.Config{N: 4096, D: 4, B: 8, M: 256}
+	if sum.Class != "BMMC" || sum.PassCount < 1 || sum.CostIOs != sum.PassCount*cfgSmall.PassIOs() {
+		t.Errorf("bmmcplan -json summary unexpected: %+v", sum)
+	}
+	if sum.UpperBoundIOs < sum.CostIOs || len(sum.Passes) != sum.PassCount {
+		t.Errorf("bmmcplan -json bounds/passes inconsistent: %+v", sum)
+	}
+	out = run("bmmcplan", true, append([]string{"-perm", "gray", "-json", "-fuse"}, small...)...)
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("bmmcplan -json -fuse: %v\n%s", err, out)
+	}
+	if sum.Class != "MRC" || sum.PassCount != 1 {
+		t.Errorf("bmmcplan -json classified gray as %+v, want one MRC pass", sum)
+	}
+
 	pf := filepath.Join(t.TempDir(), "perm.txt")
 	if err := os.WriteFile(pf, bmmc.MarshalPermutation(bmmc.GrayCode(12)), 0o644); err != nil {
 		t.Fatal(err)
@@ -132,6 +162,55 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	// A corrupted vector detects nothing, so -out must fail.
 	run("bmmcdetect", false, append([]string{"-perm", "gray", "-corrupt", "3", "-out", detected}, small...)...)
+
+	// bmmcdetect -out -> client.Submit: the detected permutation's marshal
+	// file feeds straight into the permutation service and executes there.
+	// A random BMMC vector carries a random affine offset, so this pins the
+	// complement through detect -> file -> HTTP submit -> execution.
+	out = run("bmmcdetect", true, append([]string{"-perm", "random", "-seed", "7", "-out", detected}, small...)...)
+	if !strings.Contains(out, "wrote:") {
+		t.Fatalf("bmmcdetect -out did not write:\n%s", out)
+	}
+	permText, err := os.ReadFile(detected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := service.NewManager(service.ManagerConfig{Workers: 1, QueueDepth: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(mgr, nil))
+	defer func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	}()
+	c := client.New(srv.URL)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, client.SubmitRequest{Config: cfgSmall, Perm: string(permText)})
+	if err != nil {
+		t.Fatalf("submitting the detected permutation: %v", err)
+	}
+	final, err := c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
+		t.Fatalf("detected-permutation job finished %s: %s", final.State, final.Error)
+	}
+	// The daemon's output must match the generating permutation exactly.
+	gen := bmmc.RandomPermutation(bmmc.NewRand(7), cfgSmall.LgN())
+	var outBuf bytes.Buffer
+	if err := c.Download(ctx, st.ID, &outBuf); err != nil {
+		t.Fatal(err)
+	}
+	data := outBuf.Bytes()
+	for x := uint64(0); x < uint64(cfgSmall.N); x++ {
+		if got := bmmc.DecodeRecord(data[gen.Apply(x)*bmmc.RecordBytes:]); got.Key != x {
+			t.Fatalf("address %d holds key %d, want %d: detect->submit round trip corrupted the permutation", gen.Apply(x), got.Key, x)
+		}
+	}
 
 	// Invalid geometry rejected by all tools.
 	run("bmmcperm", false, "-N", "100")

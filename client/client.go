@@ -1,0 +1,270 @@
+// Package client is the Go client for bmmcd, the BMMC permutation service
+// daemon: submit permutation jobs to a running daemon, stream record data
+// in and out, watch per-pass progress, and read daemon metrics — without
+// owning any disks or planning state locally.
+//
+//	c := client.New("http://127.0.0.1:9432")
+//	req := client.NewSubmitRequest(cfg, bmmc.BitReversal(cfg.LgN()))
+//	req.AwaitInput = true                                 // job waits for Upload before running
+//	job, err := c.Submit(ctx, req)
+//	err = c.Upload(ctx, job.ID, dataReader)               // omit AwaitInput to permute canonical records
+//	final, err := c.Watch(ctx, job.ID, func(ev client.Event) {
+//	    if ev.Progress != nil { fmt.Println(ev.Progress.Load, "/", ev.Progress.Loads) }
+//	})
+//	err = c.Download(ctx, job.ID, outputWriter)
+//
+// All request and response types are shared with the daemon (package
+// internal/service), so the wire schema cannot drift between the two.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	bmmc "repro"
+	"repro/internal/service"
+)
+
+// Wire types, shared verbatim with the daemon.
+type (
+	// SubmitRequest is the body of a job submission.
+	SubmitRequest = service.SubmitRequest
+	// JobStatus is a job's full wire state.
+	JobStatus = service.JobStatus
+	// PlanSummary quotes a job's class, pass structure, and cost bounds.
+	PlanSummary = service.PlanSummary
+	// RunReport is a completed job's measured cost.
+	RunReport = service.RunReport
+	// Progress is a pass-runner position report.
+	Progress = service.Progress
+	// Metrics is the daemon-wide gauge set.
+	Metrics = service.Metrics
+	// Event is one message on a job's event stream.
+	Event = service.Event
+	// State is a job lifecycle state.
+	State = service.State
+)
+
+// Job states.
+const (
+	StateQueued   = service.StateQueued
+	StatePlanning = service.StatePlanning
+	StateRunning  = service.StateRunning
+	StateDone     = service.StateDone
+	StateFailed   = service.StateFailed
+	StateCanceled = service.StateCanceled
+)
+
+// Backend kinds for SubmitRequest.Backend.
+const (
+	BackendMem     = service.BackendMem
+	BackendFile    = service.BackendFile
+	BackendSharded = service.BackendSharded
+)
+
+// APIError is a non-2xx daemon response. Status 429 signals backpressure:
+// the admission queue is full and the submit should be retried later.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("bmmcd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Client talks to one bmmcd daemon. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every request (for
+// timeouts, transports, or test doubles). The default is a dedicated
+// client with no global timeout, since Watch holds a streaming response
+// open for the life of a job; use per-call contexts for deadlines.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:9432").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// NewSubmitRequest marshals a permutation into a submit request for the
+// given geometry. Set Backend (default "mem") and Fuse on the result as
+// needed before calling Submit.
+func NewSubmitRequest(cfg bmmc.Config, p bmmc.Permutation) SubmitRequest {
+	return SubmitRequest{Config: cfg, Perm: string(bmmc.MarshalPermutation(p))}
+}
+
+// Submit creates a job. The returned status carries the job id and the
+// plan summary — class, pass count, exact cost, and the paper's bounds —
+// before any I/O happens. A full admission queue returns an *APIError with
+// Status 429.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (*JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", "application/json", bytes.NewReader(body), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel stops a job: queued jobs go terminal without ever planning,
+// running jobs abort between memoryloads, and terminal jobs have their
+// storage released.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the daemon-wide gauges.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", "", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Upload streams the job's input records — exactly N records in the
+// 16-byte wire format (bmmc.Record.Encode) — to the daemon. Allowed only
+// while the job is queued; without an upload the job permutes the
+// canonical records MakeRecord(0..N-1).
+func (c *Client) Upload(ctx context.Context, id string, r io.Reader) error {
+	return c.do(ctx, http.MethodPut, "/v1/jobs/"+id+"/input", "application/octet-stream", r, nil)
+}
+
+// Download streams the permuted records of a done job into w, N records in
+// the wire format.
+func (c *Client) Download(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/output", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Watch subscribes to the job's event stream and blocks until the job
+// reaches a terminal state (or ctx ends), invoking fn — if non-nil — for
+// every received event, including the initial state snapshot. It returns
+// the job's final status. Progress events may be sampled for slow
+// consumers; state transitions are always delivered.
+func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // blank separators and SSE comments
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return nil, fmt.Errorf("bmmcd: decoding event: %w", err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.Type == service.EventState && ev.State.Terminal() {
+			terminal = true
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && !terminal {
+		return nil, err
+	}
+	if !terminal {
+		return nil, fmt.Errorf("bmmcd: event stream for job %s ended before a terminal state", id)
+	}
+	return c.Status(ctx, id)
+}
+
+// do performs a request and decodes a JSON response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError decodes the daemon's {"error": ...} body into an *APIError.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	bmmc "repro"
+	"repro/client"
+)
+
+// TestBmmcdEndToEnd is the CI smoke: build the real daemon, start it on an
+// OS-assigned port, run a transpose job through the Go client, diff the
+// downloaded records against a direct library run, then SIGINT the daemon
+// and require a clean drain.
+func TestBmmcdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping daemon build")
+	}
+	bin := filepath.Join(t.TempDir(), "bmmcd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building bmmcd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", t.TempDir(), "-max-jobs", "4", "-workers", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	daemonDead := false
+	defer func() {
+		if !daemonDead {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Scrape the bound address from the startup log and keep draining
+	// stderr so the daemon never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	addrRe := regexp.MustCompile(`msg="bmmcd listening".*addr=([0-9.:]+)`)
+	var addr string
+	var logMu sync.Mutex
+	var logLines []string
+	tail := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return strings.Join(logLines, "\n")
+	}
+	logDone := make(chan struct{})
+	addrFound := make(chan string, 1)
+	go func() {
+		defer close(logDone)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			logLines = append(logLines, line)
+			if len(logLines) > 50 {
+				logLines = logLines[1:]
+			}
+			logMu.Unlock()
+			if m := addrRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrFound <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr = <-addrFound:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never announced its address; log:\n%s", tail())
+	}
+
+	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 11}
+	p := bmmc.Transpose(cfg.LgN()/2, cfg.LgN()-cfg.LgN()/2)
+
+	// Oracle: the same permutation run directly through the library.
+	oracle, err := bmmc.NewPermuter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	rep, err := oracle.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := oracle.Dump(context.Background(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same job through the daemon, on a file backend.
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	req := client.NewSubmitRequest(cfg, p)
+	req.Backend = client.BackendFile
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan.CostIOs != rep.ParallelIOs {
+		t.Fatalf("submit quoted %d parallel I/Os, oracle measured %d", st.Plan.CostIOs, rep.ParallelIOs)
+	}
+	final, err := c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != client.StateDone {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	var got bytes.Buffer
+	if err := c.Download(ctx, st.ID, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("daemon output differs from the direct library run")
+	}
+	mt, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.ParallelIOs != rep.ParallelIOs || mt.JobsDone != 1 {
+		t.Fatalf("metrics %+v do not match the oracle run (%d parallel I/Os)", mt, rep.ParallelIOs)
+	}
+
+	// Graceful drain on SIGINT. Drain the log to EOF before calling Wait —
+	// Wait closes the pipe and would drop the final buffered lines.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-logDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain within 60s of SIGINT")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\nlog:\n%s", err, tail())
+	}
+	daemonDead = true
+	if out := tail(); !strings.Contains(out, "bmmcd stopped") {
+		t.Errorf("drain log missing shutdown line:\n%s", out)
+	}
+}

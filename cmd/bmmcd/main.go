@@ -1,0 +1,104 @@
+// Command bmmcd serves BMMC permutations as a long-lived daemon: an
+// HTTP/JSON control plane for submitting, watching, and canceling
+// permutation jobs, and a streaming data plane moving records in the
+// library's 16-byte wire format. Jobs are admitted through a bounded FIFO
+// queue (backpressure beyond -max-jobs), executed by a bounded worker
+// pool, isolated on per-job storage backends (RAM, files, or sharded
+// directories under -dir), and planned through a daemon-wide shared plan
+// cache.
+//
+// Usage:
+//
+//	bmmcd [-addr host:port] [-dir path] [-shards s] [-max-jobs q]
+//	      [-workers w] [-seed s] [-drain timeout] [-log-json]
+//
+// The daemon logs one structured line per lifecycle event and announces
+// its bound address on startup ("bmmcd listening addr=..."), so -addr may
+// use port 0 for an OS-assigned port. SIGINT or SIGTERM starts a graceful
+// drain: the listener closes, running jobs get -drain to finish, queued
+// jobs are canceled, and all job storage is released before exit.
+//
+// See package repro/client for the Go client and the README's "Service
+// mode" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9432", "listen address (port 0 for OS-assigned)")
+		dir     = flag.String("dir", "", "base directory for job storage (empty: private temp dir)")
+		shards  = flag.Int("shards", service.DefaultShards, "shard directories per sharded-backend job")
+		maxJobs = flag.Int("max-jobs", service.DefaultQueueDepth, "admission queue depth (backpressure beyond it)")
+		workers = flag.Int("workers", service.DefaultWorkers, "worker pool size (jobs executing concurrently)")
+		seed    = flag.Int64("seed", 1, "seed for job-id generation")
+		inWait  = flag.Duration("input-wait", service.DefaultInputWait, "how long an await_input job may wait for its upload before being canceled")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
+		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	mgr, err := service.NewManager(service.ManagerConfig{
+		Workers:    *workers,
+		QueueDepth: *maxJobs,
+		Dir:        *dir,
+		Shards:     *shards,
+		Seed:       *seed,
+		InputWait:  *inWait,
+		Logger:     logger,
+	})
+	if err != nil {
+		logger.Error("starting job manager", "err", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listening", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.NewHandler(mgr, logger)}
+	logger.Info("bmmcd listening", "addr", ln.Addr().String(),
+		"workers", *workers, "max_jobs", *maxJobs, "shards", *shards)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drain.String())
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		mgr.Shutdown(context.Background())
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	mgr.Shutdown(ctx)
+	logger.Info("bmmcd stopped")
+}

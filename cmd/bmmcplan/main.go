@@ -15,9 +15,17 @@
 // re-segmented into the fewest adjacent compositions that are still
 // one-pass (MRC/MLD/inverse-MLD) class members, next to the unfused plan
 // and both projected costs.
+//
+// -json replaces the report with the machine-readable plan summary — the
+// same PlanSummary struct the bmmcd service returns from POST /v1/jobs, so
+// offline tooling and service consumers read one schema. The summary
+// reflects the class dispatch the library actually uses (one-pass classes
+// stay one pass; only full BMMC permutations are factored) and honors
+// -fuse.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/cliutil"
 	"repro/internal/factor"
+	"repro/internal/service"
 )
 
 func main() {
@@ -40,6 +49,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for the random permutation generators")
 		matrices = flag.Bool("matrices", false, "print each pass's characteristic matrix")
 		fuse     = flag.Bool("fuse", false, "also print the fused plan and its projected cost")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable plan summary (the service's PlanSummary schema)")
 	)
 	flag.Parse()
 
@@ -53,6 +63,18 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		pl, err := bmmc.PlanFor(cfg, p, *fuse)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(service.Summarize(pl)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	lgB, lgM := cfg.LgB(), cfg.LgM()
 

@@ -96,8 +96,30 @@
 // planning options sit above that invariant: fusion may lower (never
 // raise) the measured cost, and caching changes nothing but planning time.
 //
+// # Service mode
+//
+// cmd/bmmcd serves the library as a long-lived daemon: permutation jobs
+// are admitted through a bounded FIFO queue, executed on a bounded worker
+// pool with per-job storage backends and per-job I/O accounting, planned
+// through a daemon-wide shared plan cache, and observable as an SSE event
+// stream. The Go client (package repro/client) wraps the whole HTTP
+// surface; a minimal round trip of caller-owned records looks like:
+//
+//	c := client.New("http://127.0.0.1:9432")
+//	req := client.NewSubmitRequest(cfg, bmmc.BitReversal(cfg.LgN()))
+//	req.Backend = client.BackendSharded
+//	req.AwaitInput = true                      // run only once input lands
+//	job, err := c.Submit(ctx, req)             // plan summary quoted up front
+//	err = c.Upload(ctx, job.ID, dataReader)    // N records, 16 bytes each
+//	final, err := c.Watch(ctx, job.ID, nil)    // block until terminal state
+//	err = c.Download(ctx, job.ID, outWriter)   // the permuted records
+//
+// Per-job reports and the daemon's aggregate /v1/metrics count exactly the
+// parallel I/Os a direct Permuter.Execute of the same plan would measure.
+// examples/service runs daemon and client end to end in one process.
+//
 // See the examples directory for out-of-core matrix transposition, FFT
-// input reordering, Gray-code reordering, and run-time detection, and
-// cmd/bmmcbench for the harness that regenerates every table in the paper's
-// evaluation (archived in EXPERIMENTS.md).
+// input reordering, Gray-code reordering, run-time detection, and service
+// mode, and cmd/bmmcbench for the harness that regenerates every table in
+// the paper's evaluation (archived in EXPERIMENTS.md).
 package bmmc

@@ -195,6 +195,22 @@ func (p *Permuter) plan(bp perm.BMMC) (*cachedPlan, bool, error) {
 	if cp := p.cache.get(key); cp != nil {
 		return cp, true, nil
 	}
+	cp, err := buildPlan(cfg, bp, p.fuse)
+	if err != nil {
+		return nil, false, err
+	}
+	p.cache.put(key, cp)
+	return cp, false, nil
+}
+
+// buildPlan is the uncached planning step shared by Permuter.plan and
+// PlanFor: classify bp, synthesize the single pass for one-pass classes,
+// and run the Section 5 factorization (plus fusion when enabled) for full
+// BMMC permutations. Pure GF(2) computation; no disk system involved.
+func buildPlan(cfg pdm.Config, bp perm.BMMC, fuse bool) (*cachedPlan, error) {
+	if bp.Bits() != cfg.LgN() {
+		return nil, fmt.Errorf("core: permutation on %d-bit addresses, system has n=%d", bp.Bits(), cfg.LgN())
+	}
 	b, m := cfg.LgB(), cfg.LgM()
 	cp := &cachedPlan{}
 	switch class, ok := bp.OnePassClass(b, m); {
@@ -207,15 +223,14 @@ func (p *Permuter) plan(bp perm.BMMC) (*cachedPlan, bool, error) {
 		cp.class = perm.ClassBMMC
 		plan, err := factor.Factorize(bp, b, m)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		if p.fuse {
+		if fuse {
 			plan = factor.Fuse(plan, b, m)
 		}
 		cp.plan = plan
 	}
-	p.cache.put(key, cp)
-	return cp, false, nil
+	return cp, nil
 }
 
 // execute runs the prepared plan; the identity (nil plan) is free.

@@ -39,6 +39,67 @@ func (p *Permuter) Plan(bp perm.BMMC) (*Plan, error) {
 	return &Plan{perm: bp, cfg: p.sys.Config(), class: cp.class, fplan: cp.plan, cached: hit}, nil
 }
 
+// PlanFor classifies and (for full BMMC permutations) factorizes bp for an
+// arbitrary valid geometry without a Permuter: pure GF(2) planning with no
+// disk system, no plan cache, and no I/O. It is how services and tools
+// summarize a permutation's execution cost before any storage exists;
+// Permuter.Plan is the cached, Permuter-bound equivalent and produces an
+// identical plan.
+func PlanFor(cfg pdm.Config, bp perm.BMMC, fuse bool) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := buildPlan(cfg, bp, fuse)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{perm: bp, cfg: cfg, class: cp.class, fplan: cp.plan}, nil
+}
+
+// PlanCache is a standalone, concurrency-safe LRU cache of prepared Plans
+// for callers that plan outside any Permuter — services planning on behalf
+// of many tenants, tools quoting costs. It shares the Permuter cache's
+// machinery (binary (A, c, lgB, lgM, fuse) keys, LRU eviction, CacheStats),
+// and since the cached factorization depends only on the permutation and
+// (lg B, lg M), one cache serves every geometry sharing those splits; the
+// returned Plan is always stamped with the exact Config requested.
+type PlanCache struct{ c *planCache }
+
+// NewPlanCache returns a plan cache holding up to capacity plans;
+// capacity <= 0 disables caching (every PlanFor plans from scratch).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{c: newPlanCache(capacity)}
+}
+
+// PlanFor returns the plan for bp on cfg, serving the pass structure from
+// the cache when present; the boolean reports a hit. Cached pass lists are
+// immutable and shared, so concurrent callers may Execute one plan freely.
+func (pc *PlanCache) PlanFor(cfg pdm.Config, bp perm.BMMC, fuse bool) (*Plan, bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	// The key deliberately omits n = lg N (the pass structure depends only
+	// on the permutation and lg B / lg M), so the width check must happen
+	// before the lookup: a hit would otherwise smuggle a wrong-sized
+	// permutation past the validation that lives in buildPlan.
+	if bp.Bits() != cfg.LgN() {
+		return nil, false, fmt.Errorf("core: permutation on %d-bit addresses, system has n=%d", bp.Bits(), cfg.LgN())
+	}
+	key := planKey(bp, cfg, fuse)
+	if cp := pc.c.get(key); cp != nil {
+		return &Plan{perm: bp, cfg: cfg, class: cp.class, fplan: cp.plan, cached: true}, true, nil
+	}
+	cp, err := buildPlan(cfg, bp, fuse)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.c.put(key, cp)
+	return &Plan{perm: bp, cfg: cfg, class: cp.class, fplan: cp.plan}, false, nil
+}
+
+// Stats returns the cache's hit/miss/eviction counters.
+func (pc *PlanCache) Stats() CacheStats { return pc.c.snapshot() }
+
 // Execute runs a prepared plan against the stored records and reports the
 // measured cost. No planning happens here: the pass list is taken from pl
 // as-is, so N Execute calls of one Plan factorize exactly once (at Plan

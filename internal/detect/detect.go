@@ -33,6 +33,21 @@ type Result struct {
 // ParallelReads returns the total parallel I/Os consumed.
 func (r *Result) ParallelReads() int { return r.CandidateReads + r.VerifyReads }
 
+// Permutation returns the detected permutation, or an error when the
+// target vector was not BMMC. The returned value round-trips through
+// Marshal/Parse — including a nonzero complement vector (affine offset) —
+// so a detected vector can be written to a file or submitted to a
+// permutation service verbatim.
+func (r *Result) Permutation() (perm.BMMC, error) {
+	if !r.IsBMMC {
+		if r.FailedAt >= 0 {
+			return perm.BMMC{}, fmt.Errorf("detect: target vector is not BMMC (first mismatch at source address %d)", r.FailedAt)
+		}
+		return perm.BMMC{}, fmt.Errorf("detect: target vector is not BMMC (candidate matrix singular)")
+	}
+	return r.Perm, nil
+}
+
 // CandidateReadBound returns the paper's bound ceil((lg(N/B)+1)/D) on the
 // reads needed to form the candidate matrix and complement vector.
 func CandidateReadBound(cfg pdm.Config) int {

@@ -59,6 +59,53 @@ func TestDetectRecoversBMMC(t *testing.T) {
 	}
 }
 
+// TestPermutationAccessor covers the exported Result.Permutation path the
+// service submit round trip uses: success returns a marshal-safe value
+// (affine offset included), failure returns a descriptive error instead of
+// a zero permutation.
+func TestPermutationAccessor(t *testing.T) {
+	cfg := detectConfigs[0]
+	n := cfg.LgN()
+
+	// Vector reversal: identity matrix with the all-ones complement, the
+	// canonical affine-offset case.
+	p := perm.VectorReversal(n)
+	sys := newTargetSystem(t, cfg, p.Apply)
+	res, err := Detect(sys, sys.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Permutation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := perm.Parse(got.Marshal())
+	if err != nil {
+		t.Fatalf("marshaling the detected permutation: %v", err)
+	}
+	if !back.Equal(p) {
+		t.Fatalf("detect -> marshal -> parse changed the permutation:\ngot c=%b want c=%b", uint64(back.C), uint64(p.C))
+	}
+
+	// A non-BMMC vector yields an error, not a zero value.
+	sys = newTargetSystem(t, cfg, func(x uint64) uint64 {
+		if x == 0 || x == 3 {
+			return 3 - x // swap two targets: still a permutation, not BMMC
+		}
+		return x
+	})
+	res, err = Detect(sys, sys.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsBMMC {
+		t.Fatal("corrupted vector detected as BMMC")
+	}
+	if _, err := res.Permutation(); err == nil {
+		t.Fatal("Permutation() on a non-BMMC result returned no error")
+	}
+}
+
 func TestDetectCatalog(t *testing.T) {
 	cfg := pdm.Config{N: 1 << 12, D: 8, B: 4, M: 1 << 8}
 	n := cfg.LgN()

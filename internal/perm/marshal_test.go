@@ -23,6 +23,49 @@ func TestMarshalParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMarshalAffineOffsets audits the marshal path for affine offsets:
+// permutations whose complement vector is nonzero — including the all-ones
+// complement of vector reversal and the top address bit set — must
+// round-trip exactly at every width up to the 64-bit maximum. This is the
+// format the bmmcd service accepts over its submit path, so losing a
+// complement bit would silently permute to the wrong addresses.
+func TestMarshalAffineOffsets(t *testing.T) {
+	cases := []struct {
+		name string
+		p    BMMC
+	}{
+		{"vecrev-1", VectorReversal(1)},
+		{"vecrev-12", VectorReversal(12)},
+		{"vecrev-64", VectorReversal(64)},
+		{"hypercube-low", Hypercube(12, 0xABC)},
+		{"hypercube-top-bit", Hypercube(12, 1<<11)},
+		{"hypercube-64-top-bit", Hypercube(64, 1<<63)},
+		{"gray-offset", MustNew(GrayCode(8).A, gf2.Mask(8))},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 64; n += 9 {
+		cases = append(cases, struct {
+			name string
+			p    BMMC
+		}{"random-offset", MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))})
+	}
+	for _, tc := range cases {
+		back, err := Parse(tc.p.Marshal())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !back.Equal(tc.p) {
+			t.Fatalf("%s: round trip changed the permutation:\nc  = %b\nc' = %b", tc.name, uint64(tc.p.C), uint64(back.C))
+		}
+		// The offset must survive functionally, not just structurally.
+		for _, x := range []uint64{0, 1, tc.p.Size() - 1} {
+			if back.Apply(x) != tc.p.Apply(x) {
+				t.Fatalf("%s: Apply(%d) differs after round trip", tc.name, x)
+			}
+		}
+	}
+}
+
 func TestParseCommentsAndBlanks(t *testing.T) {
 	src := `
 # a Gray code on 3 bits

@@ -1,0 +1,234 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	bmmc "repro"
+)
+
+// Job is one admitted permutation job: a private Permuter (its own storage
+// backend and I/O statistics), a prepared plan from the manager's shared
+// cache, and a lifecycle the worker pool drives through the State machine.
+// All mutable fields are guarded by mu; the cond gates the worker and the
+// release path on in-flight input uploads.
+type Job struct {
+	id      string
+	cfg     bmmc.Config
+	backend string // BackendMem, BackendFile, or BackendSharded
+	perm    bmmc.Permutation
+	fuse    bool
+
+	summary    *PlanSummary
+	plan       *bmmc.Plan
+	planShared bool // plan came from the manager's shared cache
+
+	permuter *bmmc.Permuter
+	dir      string // job-private storage directory ("" for mem)
+	ctx      context.Context
+	cancel   context.CancelFunc
+	events   *broadcaster
+	hook     func(*Job, bmmc.PassEvent) // test instrumentation, run on the executing goroutine
+	enqueue  func(*Job)                 // manager callback releasing an await-input job to the workers
+
+	inputTimer *time.Timer // expires a pending await-input job; nil otherwise
+
+	mu          sync.Mutex
+	cond        *sync.Cond // signaled when an upload finishes
+	state       State
+	errMsg      string
+	pending     bool // awaiting input: holds an admission slot, not yet runnable
+	uploading   bool
+	downloads   int // output streams in flight; release waits for them
+	inputLoaded bool
+	claimed     bool // a worker started processing (planning or beyond)
+	released    bool // storage closed and removed
+	progress    *Progress
+	report      *RunReport
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Plan returns the job's prepared plan summary.
+func (j *Job) Plan() *PlanSummary { return j.summary }
+
+// Status snapshots the job as its wire representation.
+func (j *Job) Status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		Config:      j.cfg,
+		Backend:     j.backend,
+		Plan:        j.summary,
+		InputLoaded: j.inputLoaded,
+		Released:    j.released,
+		Submitted:   j.submitted,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	if j.report != nil {
+		r := *j.report
+		st.Report = &r
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Subscribe attaches to the job's event stream. The first event a new
+// subscriber should synthesize is the current state (see Status); the
+// channel then carries transitions and progress until the terminal event,
+// after which it closes.
+func (j *Job) Subscribe() (<-chan Event, func()) { return j.events.subscribe() }
+
+// setState transitions the job and publishes the state event; terminal
+// states also stamp the finish time and close the event stream. Callers
+// hold j.mu.
+func (j *Job) setStateLocked(s State) {
+	j.state = s
+	if s.Terminal() {
+		j.finished = time.Now()
+	}
+	j.events.publish(Event{Type: EventState, JobID: j.id, State: s, Error: j.errMsg})
+	if s.Terminal() {
+		j.events.close()
+	}
+}
+
+// onProgress is the job Permuter's WithProgress callback: it runs on the
+// executing goroutine between counted parallel I/Os, updates the snapshot,
+// and fans the event out without blocking.
+func (j *Job) onProgress(ev bmmc.PassEvent) {
+	p := &Progress{Pass: ev.Pass, Passes: ev.Passes, Kind: ev.Kind, Load: ev.Load, Loads: ev.Loads}
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+	j.events.publish(Event{Type: EventProgress, JobID: j.id, Progress: p})
+	if j.hook != nil {
+		j.hook(j, ev)
+	}
+}
+
+// Upload replaces the job's stored records with N records read from r in
+// the 16-byte wire format. Only queued jobs accept input — once a worker
+// claims the job the data is sealed — and one upload may be in flight at a
+// time. ctx is the transport context (the HTTP request); the job's own
+// context also aborts the read when the job is canceled mid-upload.
+func (j *Job) Upload(ctx context.Context, r io.Reader) error {
+	j.mu.Lock()
+	if j.state != StateQueued || j.claimed {
+		st := j.state
+		j.mu.Unlock()
+		return &httpError{http.StatusConflict, "job " + j.id + " is " + string(st) + ": input accepted only while queued"}
+	}
+	if j.uploading {
+		j.mu.Unlock()
+		return &httpError{http.StatusConflict, "job " + j.id + " already has an upload in flight"}
+	}
+	j.uploading = true
+	j.mu.Unlock()
+
+	loadCtx, cancelLoad := context.WithCancel(ctx)
+	stop := context.AfterFunc(j.ctx, cancelLoad) // job cancellation aborts the read too
+	err := j.permuter.Load(loadCtx, r)
+	stop()
+	cancelLoad()
+
+	j.mu.Lock()
+	j.uploading = false
+	release := false
+	if err == nil {
+		j.inputLoaded = true
+		if j.pending { // await-input job: the upload makes it runnable
+			j.pending = false
+			release = true
+			if j.inputTimer != nil {
+				j.inputTimer.Stop()
+			}
+		}
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	if release {
+		j.enqueue(j)
+	}
+	if err != nil {
+		return &httpError{http.StatusBadRequest, "loading input: " + err.Error()}
+	}
+	return nil
+}
+
+// outputReadyLocked reports whether the job currently has downloadable
+// output: it must be done and its storage not yet released. Callers hold
+// j.mu.
+func (j *Job) outputReadyLocked() error {
+	if j.state != StateDone {
+		return &httpError{http.StatusConflict, "job " + j.id + " is " + string(j.state) + ": output available only when done"}
+	}
+	if j.released {
+		return &httpError{http.StatusGone, "job " + j.id + " storage has been released"}
+	}
+	return nil
+}
+
+// outputReady is outputReadyLocked for external probes (the HTTP layer
+// checks before committing response headers).
+func (j *Job) outputReady() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outputReadyLocked()
+}
+
+// Download streams the job's permuted records to w in the wire format.
+// Only done jobs whose storage has not been released have output; the
+// stream registers itself so a concurrent release (DELETE, Shutdown)
+// waits for it rather than closing storage mid-read.
+func (j *Job) Download(ctx context.Context, w io.Writer) error {
+	j.mu.Lock()
+	if err := j.outputReadyLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	j.downloads++
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.downloads--
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}()
+	return j.permuter.Dump(ctx, w)
+}
+
+// waitIdleLocked blocks until no upload or download is in flight. Callers
+// hold j.mu.
+func (j *Job) waitIdleLocked() {
+	for j.uploading || j.downloads > 0 {
+		j.cond.Wait()
+	}
+}

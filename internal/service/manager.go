@@ -1,0 +1,595 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	bmmc "repro"
+)
+
+// Defaults for ManagerConfig zero values.
+const (
+	DefaultWorkers          = 2
+	DefaultQueueDepth       = 16
+	DefaultShards           = 2
+	DefaultPlanCacheEntries = 64
+	DefaultInputWait        = 2 * time.Minute
+)
+
+// ManagerConfig sizes the job manager. The zero value is usable: two
+// workers, a 16-job admission queue, storage under a private temporary
+// directory, and a 64-entry shared plan cache.
+type ManagerConfig struct {
+	// Workers is the bounded worker pool size — the number of jobs
+	// executing concurrently, and therefore the daemon's disk concurrency:
+	// each running job drives the full parallel I/O of its own D-disk
+	// system. Zero selects DefaultWorkers.
+	Workers int
+	// QueueDepth bounds the admission queue. A submit that would exceed it
+	// fails with ErrQueueFull (HTTP 429), the daemon's backpressure signal.
+	// Zero selects DefaultQueueDepth.
+	QueueDepth int
+	// Dir is the base directory for file- and sharded-backend job storage.
+	// Empty means a private temporary directory, removed at Shutdown.
+	Dir string
+	// Shards is how many shard directories a BackendSharded job spreads its
+	// disks over. Zero selects DefaultShards.
+	Shards int
+	// Seed drives job-id generation (ids are sequence-plus-nonce, so the
+	// sequence stays unique regardless of the seed).
+	Seed int64
+	// PlanCacheEntries bounds the shared plan cache (LRU eviction). Zero
+	// selects DefaultPlanCacheEntries; negative disables sharing.
+	PlanCacheEntries int
+	// InputWait is how long an await-input job may hold its admission slot
+	// before any upload completes; past it the job is canceled and the
+	// slot freed, so idle submitters cannot wedge the queue for other
+	// tenants. Zero selects DefaultInputWait; negative waits forever.
+	InputWait time.Duration
+	// Logger receives structured lifecycle logs; nil discards them.
+	Logger *slog.Logger
+
+	// hook, when set by tests, runs on each job's executing goroutine after
+	// every progress event — deterministic instrumentation for cancellation
+	// and race tests.
+	hook func(*Job, bmmc.PassEvent)
+}
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the HTTP layer renders it as 429 Too Many Requests.
+var ErrQueueFull = &httpError{http.StatusTooManyRequests, "job queue full"}
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = &httpError{http.StatusServiceUnavailable, "daemon is shutting down"}
+
+// Manager owns the daemon's job table, the FIFO admission queue, the
+// bounded worker pool, the shared plan cache, and the aggregate metrics.
+type Manager struct {
+	cfg     ManagerConfig
+	log     *slog.Logger
+	baseDir string
+	ownsDir bool
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	plans *bmmc.PlanCache // shared across jobs; same machinery as the Permuter cache
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	queueLen int      // reserved admission-queue slots
+	seq      int
+	rng      *rand.Rand
+
+	submitted int
+	agg       struct {
+		passes, ios, reads, writes int
+	}
+}
+
+// NewManager builds the manager and starts its worker pool.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.PlanCacheEntries == 0 {
+		cfg.PlanCacheEntries = DefaultPlanCacheEntries
+	}
+	if cfg.InputWait == 0 {
+		cfg.InputWait = DefaultInputWait
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	m := &Manager{
+		cfg:   cfg,
+		log:   log,
+		queue: make(chan *Job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*Job),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		plans: bmmc.NewPlanCache(cfg.PlanCacheEntries),
+	}
+	m.baseDir = cfg.Dir
+	if m.baseDir == "" {
+		dir, err := os.MkdirTemp("", "bmmcd-")
+		if err != nil {
+			return nil, fmt.Errorf("service: creating storage dir: %w", err)
+		}
+		m.baseDir, m.ownsDir = dir, true
+	} else if err := os.MkdirAll(m.baseDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating storage dir: %w", err)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Submit validates, plans (through the shared plan cache), provisions
+// per-job storage, and enqueues a new job. It returns the admitted job —
+// whose Plan summary quotes class, pass structure, and cost bounds before
+// a single I/O happens — or ErrQueueFull when the admission queue is at
+// capacity.
+func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
+	if err := req.Config.Validate(); err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	p, err := bmmc.ParsePermutation([]byte(req.Perm))
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = BackendMem
+	}
+	if backend != BackendMem && backend != BackendFile && backend != BackendSharded {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want mem, file, or sharded)", backend)}
+	}
+	fuse := req.Fuse == nil || *req.Fuse
+
+	pl, shared, err := m.plans.PlanFor(req.Config, p, fuse)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+
+	// Reserve an admission slot before paying for storage provisioning.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if m.queueLen >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.queueLen++
+	m.seq++
+	id := fmt.Sprintf("j%04d-%06x", m.seq, m.rng.Uint32()&0xffffff)
+	m.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:         id,
+		cfg:        req.Config,
+		backend:    backend,
+		perm:       p,
+		fuse:       fuse,
+		summary:    Summarize(pl),
+		plan:       pl,
+		planShared: shared,
+		ctx:        ctx,
+		cancel:     cancel,
+		events:     newBroadcaster(),
+		hook:       m.cfg.hook,
+		enqueue:    m.enqueue,
+		state:      StateQueued,
+		pending:    req.AwaitInput,
+		submitted:  time.Now(),
+	}
+	j.cond = sync.NewCond(&j.mu)
+
+	be, dir, err := m.provision(id, backend)
+	if err == nil {
+		j.dir = dir
+		j.permuter, err = bmmc.NewPermuter(req.Config,
+			bmmc.WithBackend(be),
+			bmmc.WithFusion(fuse),
+			bmmc.WithProgress(j.onProgress))
+	}
+	if err != nil {
+		cancel()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		m.mu.Lock()
+		m.queueLen--
+		m.mu.Unlock()
+		// A provisioning failure is the daemon\'s problem (full volume,
+		// permissions), not the caller\'s: surface it as a server error.
+		return nil, &httpError{http.StatusInternalServerError, "provisioning job storage: " + err.Error()}
+	}
+
+	m.mu.Lock()
+	if m.closed { // shutdown raced the provisioning above
+		m.queueLen--
+		m.mu.Unlock()
+		cancel()
+		j.permuter.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, ErrShuttingDown
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.submitted++
+	m.mu.Unlock()
+	if !req.AwaitInput {
+		m.queue <- j // cannot block: a slot was reserved above
+	} else if m.cfg.InputWait > 0 {
+		// The job is already visible to Cancel/Shutdown, so arm the timer
+		// under its lock — and only if nothing canceled it in the window.
+		wait := m.cfg.InputWait
+		j.mu.Lock()
+		if j.state == StateQueued && j.pending {
+			j.inputTimer = time.AfterFunc(wait, func() { m.expirePending(j, wait) })
+		}
+		j.mu.Unlock()
+	}
+	m.log.Info("job queued", "job", id, "backend", backend, "config", req.Config.String(),
+		"class", j.summary.Class, "passes", j.summary.PassCount, "cost_ios", j.summary.CostIOs,
+		"plan_shared", shared, "await_input", req.AwaitInput)
+	return j, nil
+}
+
+// enqueue hands an await-input job to the workers once its upload lands.
+// The job kept its admission reservation, so the send cannot block; after
+// Shutdown the send is skipped (the job was already canceled and will be
+// released by the drain).
+func (m *Manager) enqueue(j *Job) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	m.queue <- j
+}
+
+// provision creates the storage a job's backend kind needs.
+func (m *Manager) provision(id, kind string) (bmmc.Backend, string, error) {
+	switch kind {
+	case BackendFile:
+		dir := filepath.Join(m.baseDir, "job-"+id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, "", err
+		}
+		return bmmc.FileBackend(dir), dir, nil
+	case BackendSharded:
+		dir := filepath.Join(m.baseDir, "job-"+id)
+		shards := make([]string, m.cfg.Shards)
+		for i := range shards {
+			shards[i] = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+			if err := os.MkdirAll(shards[i], 0o755); err != nil {
+				return nil, "", err
+			}
+		}
+		return bmmc.ShardedBackend(shards...), dir, nil
+	default:
+		return bmmc.MemBackend(), "", nil
+	}
+}
+
+// expirePending cancels an await-input job whose upload never arrived
+// within the configured wait, freeing its admission slot and storage. A
+// job that became runnable (or was already canceled) is left alone.
+func (m *Manager) expirePending(j *Job, wait time.Duration) {
+	j.mu.Lock()
+	if j.state != StateQueued || !j.pending {
+		j.mu.Unlock()
+		return
+	}
+	j.errMsg = fmt.Sprintf("no input received within %v", wait)
+	j.setStateLocked(StateCanceled)
+	j.pending = false
+	j.cancel()
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.queueLen--
+	m.mu.Unlock()
+	m.release(j)
+	m.log.Info("await-input job expired", "job", j.id, "wait", wait.String())
+}
+
+// Job looks a job up by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// worker drains the admission queue until Shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			m.mu.Lock()
+			m.queueLen--
+			m.mu.Unlock()
+			m.run(j)
+		}
+	}
+}
+
+// run drives one dequeued job through planning, execution, and its
+// terminal state. A job canceled while queued is only released here —
+// never planned, never executed.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	j.waitIdleLocked()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		m.release(j)
+		return
+	}
+	j.claimed = true
+	j.started = time.Now()
+	j.setStateLocked(StatePlanning)
+	j.mu.Unlock()
+
+	// The plan itself was prepared at submit time through the shared
+	// cache; the planning state covers claiming the job, sealing its
+	// input, and binding the plan for execution.
+	if err := j.ctx.Err(); err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.setStateLocked(StateRunning)
+	j.mu.Unlock()
+	m.log.Info("job running", "job", j.id, "input_loaded", j.Status().InputLoaded)
+
+	rep, err := j.permuter.Execute(j.ctx, j.plan)
+	m.finish(j, rep, err)
+}
+
+// finish records a processed job's outcome: its terminal state, its run
+// report, and its contribution to the aggregate I/O metrics. Jobs that did
+// not complete have no output, so their storage is released immediately;
+// done jobs keep storage until downloaded and deleted (or Shutdown).
+func (m *Manager) finish(j *Job, rep *bmmc.Report, err error) {
+	stats := j.permuter.Stats()
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.report = &RunReport{
+			Passes:         rep.Passes,
+			ParallelIOs:    rep.ParallelIOs,
+			ParallelReads:  stats.ParallelReads,
+			ParallelWrites: stats.ParallelWrites,
+			BlocksRead:     stats.BlocksRead,
+			BlocksWritten:  stats.BlocksWritten,
+			PlanShared:     j.planShared,
+		}
+		j.setStateLocked(StateDone)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || j.ctx.Err() != nil:
+		j.errMsg = err.Error()
+		j.setStateLocked(StateCanceled)
+	default:
+		j.errMsg = err.Error()
+		j.setStateLocked(StateFailed)
+	}
+	state := j.state
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.agg.ios += stats.ParallelIOs()
+	m.agg.reads += stats.ParallelReads
+	m.agg.writes += stats.ParallelWrites
+	if rep != nil {
+		m.agg.passes += rep.Passes
+	}
+	m.mu.Unlock()
+
+	if state == StateDone {
+		m.log.Info("job done", "job", j.id, "passes", rep.Passes, "parallel_ios", rep.ParallelIOs)
+	} else {
+		m.log.Info("job finished", "job", j.id, "state", string(state), "err", j.Status().Error)
+		m.release(j)
+	}
+}
+
+// Cancel stops a job: a queued job goes terminal immediately and is never
+// planned; a claimed job's context is canceled so execution aborts between
+// memoryloads; a terminal job has its storage released. The job's metadata
+// stays queryable in every case.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	j, ok := m.Job(id)
+	if !ok {
+		return nil, errUnknownJob(id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued && !j.claimed:
+		j.errMsg = "canceled while queued"
+		j.setStateLocked(StateCanceled)
+		wasPending := j.pending
+		j.pending = false
+		if j.inputTimer != nil {
+			j.inputTimer.Stop()
+		}
+		j.cancel() // aborts any in-flight upload promptly
+		j.mu.Unlock()
+		m.log.Info("job canceled while queued", "job", id)
+		if wasPending {
+			// Never handed to the workers: free its admission slot and
+			// release its storage here.
+			m.mu.Lock()
+			m.queueLen--
+			m.mu.Unlock()
+			m.release(j)
+		}
+		// Otherwise storage is released when a worker dequeues the job (or
+		// at Shutdown); the worker sees the terminal state and never plans
+		// it.
+	case !j.state.Terminal():
+		j.cancel()
+		j.mu.Unlock()
+		m.log.Info("job cancellation requested", "job", id, "state", string(j.State()))
+	default:
+		j.mu.Unlock()
+		m.release(j)
+		m.log.Info("terminal job released", "job", id)
+	}
+	return j, nil
+}
+
+// release closes the job's Permuter and removes its private storage. It
+// waits for in-flight uploads and downloads to drain first (marking the
+// job released up front so no new stream can start) and is idempotent.
+func (m *Manager) release(j *Job) {
+	j.mu.Lock()
+	if j.released {
+		j.mu.Unlock()
+		return
+	}
+	j.released = true // outputReadyLocked now refuses new downloads
+	j.waitIdleLocked()
+	j.mu.Unlock()
+	j.cancel()
+	if err := j.permuter.Close(); err != nil {
+		m.log.Warn("closing job storage", "job", j.id, "err", err)
+	}
+	if j.dir != "" {
+		if err := os.RemoveAll(j.dir); err != nil {
+			m.log.Warn("removing job dir", "job", j.id, "err", err)
+		}
+	}
+}
+
+// Metrics snapshots the daemon-wide gauges.
+func (m *Manager) Metrics() *Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := &Metrics{
+		JobsSubmitted: m.submitted,
+		QueueDepth:    m.queueLen,
+		QueueCapacity: m.cfg.QueueDepth,
+		Workers:       m.cfg.Workers,
+
+		Passes:         m.agg.passes,
+		ParallelIOs:    m.agg.ios,
+		ParallelReads:  m.agg.reads,
+		ParallelWrites: m.agg.writes,
+	}
+	cs := m.plans.Stats()
+	mt.PlanCacheHits, mt.PlanCacheMisses, mt.PlanCacheSize = cs.Hits, cs.Misses, cs.Size
+	if total := cs.Hits + cs.Misses; total > 0 {
+		mt.PlanCacheRate = float64(cs.Hits) / float64(total)
+	}
+	for _, j := range m.jobs {
+		switch j.State() {
+		case StateQueued:
+			mt.JobsQueued++
+		case StatePlanning:
+			mt.JobsPlanning++
+		case StateRunning:
+			mt.JobsRunning++
+		case StateDone:
+			mt.JobsDone++
+		case StateFailed:
+			mt.JobsFailed++
+		case StateCanceled:
+			mt.JobsCanceled++
+		}
+	}
+	return mt
+}
+
+// Shutdown drains the daemon: no new submissions are admitted, queued jobs
+// are canceled, and running jobs get until ctx's deadline to finish before
+// their contexts are canceled. All job storage is released before return.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == StateQueued && !j.claimed {
+			j.errMsg = "daemon shutting down"
+			j.setStateLocked(StateCanceled)
+			j.pending = false
+			if j.inputTimer != nil {
+				j.inputTimer.Stop()
+			}
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	close(m.quit)
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		m.log.Warn("drain deadline reached; canceling running jobs")
+		for _, j := range jobs {
+			j.cancel()
+		}
+		<-done
+	}
+
+	for _, j := range jobs {
+		m.release(j)
+	}
+	if m.ownsDir {
+		os.RemoveAll(m.baseDir)
+	}
+	m.log.Info("job manager stopped", "jobs_processed", len(jobs))
+}

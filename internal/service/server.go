@@ -1,0 +1,232 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+
+	bmmc "repro"
+)
+
+// httpError is an error that knows its HTTP status. The manager and jobs
+// return these; anything else renders as 500.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// Status returns the HTTP status the error maps to.
+func (e *httpError) Status() int { return e.status }
+
+func errUnknownJob(id string) error {
+	return &httpError{http.StatusNotFound, fmt.Sprintf("unknown job %q", id)}
+}
+
+// maxSubmitBody bounds POST /v1/jobs bodies; a marshaled permutation on
+// 64-bit addresses is under 5 KB, so 1 MB is generous.
+const maxSubmitBody = 1 << 20
+
+// NewHandler wires the manager's HTTP surface:
+//
+//	POST   /v1/jobs             submit a job (SubmitRequest -> JobStatus, 201)
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events SSE stream of state and progress events
+//	DELETE /v1/jobs/{id}        cancel (or release a terminal job)
+//	PUT    /v1/jobs/{id}/input  upload N records in the 16-byte wire format
+//	GET    /v1/jobs/{id}/output download the permuted records
+//	GET    /v1/metrics          daemon-wide gauges
+//
+// Errors are JSON objects {"error": "..."} with the appropriate status:
+// 400 for invalid requests, 404 for unknown jobs, 409 for wrong-state data
+// plane calls, 429 when the admission queue is full.
+func NewHandler(m *Manager, logger *slog.Logger) http.Handler {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &server{m: m, log: logger}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("PUT /v1/jobs/{id}/input", s.input)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", s.output)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	return mux
+}
+
+type server struct {
+	m   *Manager
+	log *slog.Logger
+}
+
+func (s *server) writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, errUnknownJob(r.PathValue("id")))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, &httpError{http.StatusBadRequest, "decoding request: " + err.Error()})
+		return
+	}
+	j, err := s.m.Submit(req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, j.Status())
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.Jobs()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		s.writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *server) input(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if want := int64(j.cfg.N) * bmmc.RecordBytes; r.ContentLength >= 0 && r.ContentLength != want {
+		s.writeErr(w, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("input must be exactly N*%d = %d bytes, got Content-Length %d", bmmc.RecordBytes, want, r.ContentLength)})
+		return
+	}
+	if err := j.Upload(r.Context(), r.Body); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) output(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	// Probe readiness before committing headers so wrong-state requests
+	// get a clean JSON error instead of a broken byte stream.
+	if err := j.outputReady(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(int64(j.cfg.N)*bmmc.RecordBytes))
+	if err := j.Download(r.Context(), w); err != nil {
+		// Headers are committed; log and cut the stream short.
+		s.log.Warn("output stream aborted", "job", j.ID(), "err", err)
+	}
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.m.Metrics())
+}
+
+// events streams a job's lifecycle as server-sent events: one "data:" line
+// per Event, starting with a snapshot of the current state, ending after
+// the terminal state event. Slow consumers may miss progress events but
+// never state transitions.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		return true
+	}
+
+	ch, cancelSub := j.Subscribe()
+	defer cancelSub()
+
+	// Snapshot first: a subscriber always learns the current state even if
+	// no further transitions happen. The snapshot may duplicate (or, very
+	// rarely, run ahead of) a buffered transition; consumers treat events
+	// as idempotent status updates.
+	st := j.Status()
+	if !send(Event{Type: EventState, JobID: j.ID(), State: st.State, Error: st.Error}) {
+		return
+	}
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if !send(ev) {
+				return
+			}
+			if ev.Type == EventState && ev.State.Terminal() {
+				return
+			}
+		}
+	}
+}

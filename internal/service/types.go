@@ -1,0 +1,209 @@
+// Package service turns the library into a long-lived permutation daemon:
+// a job manager that admits, queues, and executes BMMC permutation jobs on
+// a bounded worker pool, plus an HTTP/JSON control plane and a streaming
+// data plane in the library's 16-byte record wire format. cmd/bmmcd wires
+// the package to flags and signals; package client wraps the HTTP surface
+// for Go callers.
+//
+// The parallel disk model is naturally multi-tenant — independent jobs
+// contend for the same D disks — so the daemon owns what individual
+// library consumers cannot: admission control (a FIFO queue with
+// backpressure), per-job storage isolation (every job gets its own
+// Backend: RAM, a private file directory, or sharded directories), per-job
+// I/O accounting, and a shared plan cache so repeated permutations across
+// tenants are factorized once.
+//
+// A job moves through the states queued -> planning -> running ->
+// done/failed/canceled. Planning in the paper's sense (classification and
+// GF(2) factorization) happens at submit time, through the manager's
+// shared plan cache, so the POST response can quote the plan summary; the
+// planning state marks the short window where a worker has claimed the job,
+// drained any in-flight input upload, and is binding the prepared plan for
+// execution. Input may be uploaded only while the job is queued; output may
+// be downloaded once it is done.
+package service
+
+import (
+	"time"
+
+	bmmc "repro"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// The job states, in order. Queued jobs wait in the FIFO admission queue
+// and may receive input uploads; planning and running jobs are owned by a
+// worker; done, failed, and canceled are terminal.
+const (
+	StateQueued   State = "queued"
+	StatePlanning State = "planning"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final: no further transitions and
+// no further events.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Backend kinds a job may request. The daemon provisions the storage
+// per job and destroys it when the job is released.
+const (
+	BackendMem     = "mem"     // RAM-backed disks (the default)
+	BackendFile    = "file"    // one file per disk in a job-private directory
+	BackendSharded = "sharded" // disk files spread round-robin over shard directories
+)
+
+// SubmitRequest is the body of POST /v1/jobs: the machine geometry, the
+// permutation in the MarshalPermutation text format, and the storage the
+// job's simulated disks should live on.
+type SubmitRequest struct {
+	Config  bmmc.Config `json:"config"`
+	Perm    string      `json:"perm"`
+	Backend string      `json:"backend,omitempty"` // "mem" (default), "file", "sharded"
+	Fuse    *bool       `json:"fuse,omitempty"`    // pass fusion; nil means on
+	// AwaitInput holds the job out of the execution queue — while still
+	// occupying an admission slot — until a PUT /input upload completes, so
+	// workers never race ahead of the data plane. The daemon cancels the
+	// job if no upload lands within its input-wait deadline, so idle
+	// submitters cannot hold admission slots forever. Without AwaitInput
+	// the job is runnable immediately and permutes the canonical records
+	// (or whatever an upload managed to land while it sat queued).
+	AwaitInput bool `json:"await_input,omitempty"`
+}
+
+// PassSummary is one one-pass permutation within a PlanSummary.
+type PassSummary struct {
+	Kind string `json:"kind"` // MRC, MLD, or inverse-MLD
+}
+
+// PlanSummary is the machine-readable rendering of a bmmc.Plan: the class
+// dispatch, the (possibly fused) pass structure, and the exact cost next
+// to the paper's bounds. It is the summary POST /v1/jobs returns and the
+// struct bmmcplan -json emits, so service consumers and offline tooling
+// read the same schema.
+type PlanSummary struct {
+	Class                string        `json:"class"`
+	Bits                 int           `json:"bits"`
+	RankGamma            int           `json:"rank_gamma"`
+	PassCount            int           `json:"pass_count"`
+	Passes               []PassSummary `json:"passes,omitempty"`
+	FusedFrom            int           `json:"fused_from,omitempty"` // pass count before fusion, 0 if never fused
+	CostIOs              int           `json:"cost_ios"`
+	LowerBoundIOs        float64       `json:"lower_bound_ios"`         // Theorem 3
+	RefinedLowerBoundIOs float64       `json:"refined_lower_bound_ios"` // Section 7
+	UpperBoundIOs        int           `json:"upper_bound_ios"`         // Theorem 21
+}
+
+// Summarize renders a prepared plan as the wire summary.
+func Summarize(pl *bmmc.Plan) *PlanSummary {
+	s := &PlanSummary{
+		Class:                pl.Class().String(),
+		Bits:                 pl.Permutation().Bits(),
+		RankGamma:            pl.RankGamma(),
+		PassCount:            pl.PassCount(),
+		FusedFrom:            pl.FusedFrom(),
+		CostIOs:              pl.CostIOs(),
+		LowerBoundIOs:        pl.LowerBoundIOs(),
+		RefinedLowerBoundIOs: bmmc.RefinedLowerBoundIOs(pl.Geometry(), pl.RankGamma()),
+		UpperBoundIOs:        pl.UpperBoundIOs(),
+	}
+	for _, pass := range pl.Passes() {
+		s.Passes = append(s.Passes, PassSummary{Kind: pass.Kind.String()})
+	}
+	return s
+}
+
+// Progress is a job's most recent pass-runner position: memoryload Load of
+// Loads within pass Pass of Passes, running the Kind algorithm.
+type Progress struct {
+	Pass   int    `json:"pass"`
+	Passes int    `json:"passes"`
+	Kind   string `json:"kind"`
+	Load   int    `json:"load"`
+	Loads  int    `json:"loads"`
+}
+
+// RunReport is the measured outcome of a completed job: the executed pass
+// count and the parallel-I/O statistics of the job's private disk system,
+// exactly what a direct Permuter.Execute of the same plan would measure.
+type RunReport struct {
+	Passes         int  `json:"passes"`
+	ParallelIOs    int  `json:"parallel_ios"`
+	ParallelReads  int  `json:"parallel_reads"`
+	ParallelWrites int  `json:"parallel_writes"`
+	BlocksRead     int  `json:"blocks_read"`
+	BlocksWritten  int  `json:"blocks_written"`
+	PlanShared     bool `json:"plan_shared"` // plan came from the daemon's shared cache
+}
+
+// JobStatus is the wire rendering of one job: GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID          string       `json:"id"`
+	State       State        `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	Config      bmmc.Config  `json:"config"`
+	Backend     string       `json:"backend"`
+	Plan        *PlanSummary `json:"plan"`
+	InputLoaded bool         `json:"input_loaded"`       // user records uploaded (else canonical)
+	Released    bool         `json:"released,omitempty"` // storage reclaimed; output gone
+	Progress    *Progress    `json:"progress,omitempty"` // last reported pass position
+	Report      *RunReport   `json:"report,omitempty"`   // set when done
+	Submitted   time.Time    `json:"submitted"`
+	Started     *time.Time   `json:"started,omitempty"`  // claimed by a worker
+	Finished    *time.Time   `json:"finished,omitempty"` // reached a terminal state
+}
+
+// Metrics is the daemon-wide gauge set: GET /v1/metrics. Aggregate I/O
+// counters sum the per-job disk statistics of every job that reached a
+// terminal state, so they equal what the same sequence of direct
+// Permuter.Execute calls would have measured.
+type Metrics struct {
+	JobsSubmitted int `json:"jobs_submitted"`
+	JobsQueued    int `json:"jobs_queued"`
+	JobsPlanning  int `json:"jobs_planning"`
+	JobsRunning   int `json:"jobs_running"`
+	JobsDone      int `json:"jobs_done"`
+	JobsFailed    int `json:"jobs_failed"`
+	JobsCanceled  int `json:"jobs_canceled"`
+
+	QueueDepth    int `json:"queue_depth"`    // jobs waiting in the admission queue
+	QueueCapacity int `json:"queue_capacity"` // admission queue bound (backpressure beyond it)
+	Workers       int `json:"workers"`        // worker pool size
+
+	Passes         int `json:"passes"`          // aggregate executed passes
+	ParallelIOs    int `json:"parallel_ios"`    // aggregate parallel I/Os
+	ParallelReads  int `json:"parallel_reads"`  // aggregate parallel read operations
+	ParallelWrites int `json:"parallel_writes"` // aggregate parallel write operations
+
+	PlanCacheHits   int     `json:"plan_cache_hits"`
+	PlanCacheMisses int     `json:"plan_cache_misses"`
+	PlanCacheSize   int     `json:"plan_cache_size"`
+	PlanCacheRate   float64 `json:"plan_cache_hit_rate"` // hits / (hits + misses), 0 when unused
+}
+
+// EventType discriminates the stream events of GET /v1/jobs/{id}/events.
+type EventType string
+
+const (
+	// EventState announces a state transition (or, as the first event of a
+	// subscription, the job's current state).
+	EventState EventType = "state"
+	// EventProgress reports a completed memoryload.
+	EventProgress EventType = "progress"
+)
+
+// Event is one SSE message on a job's event stream. Progress events may be
+// dropped for slow consumers; state events are always delivered, and the
+// stream ends after the terminal state event.
+type Event struct {
+	Type     EventType `json:"type"`
+	JobID    string    `json:"job_id"`
+	State    State     `json:"state,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+}

@@ -23,6 +23,28 @@ import (
 //	rep, err := p.Execute(ctx, pl)   // run it; plan again never
 type Plan = core.Plan
 
+// PlanFor classifies and (for full BMMC permutations) factorizes p for an
+// arbitrary valid geometry without a Permuter: pure GF(2) planning with no
+// disk system and no I/O. The returned Plan is identical to what
+// Permuter.Plan would build on that geometry (modulo plan-cache metadata)
+// and may be executed on any Permuter with the same Config. Services and
+// tools use it to quote a permutation's class, pass structure, and cost
+// bounds before any storage exists.
+func PlanFor(cfg Config, p Permutation, fuse bool) (*Plan, error) {
+	return core.PlanFor(cfg, p, fuse)
+}
+
+// PlanCache is a standalone LRU cache of prepared Plans for callers that
+// plan outside any Permuter (a service planning for many tenants, a tool
+// quoting costs). It reuses the Permuter plan cache's keying and eviction;
+// see NewPlanCache.
+type PlanCache = core.PlanCache
+
+// NewPlanCache returns a concurrency-safe plan cache holding up to n
+// plans; n <= 0 disables caching. PlanCache.PlanFor is the cached
+// equivalent of PlanFor, and Stats exposes the CacheStats counters.
+func NewPlanCache(n int) *PlanCache { return core.NewPlanCache(n) }
+
 // PlanPass is one one-pass permutation within a Plan: the permutation to
 // apply and the class (MRC, MLD, or inverse-MLD) whose executor runs it.
 type PlanPass = factor.Pass

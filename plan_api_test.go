@@ -368,3 +368,90 @@ func BenchmarkPermuteReplanned(b *testing.B) {
 		}
 	}
 }
+
+// TestPlanForMatchesPermuterPlan pins the Permuter-free planning entry
+// point: PlanFor builds the same plan Permuter.Plan does — identical class,
+// pass structure, and cost — and the resulting plan executes on any
+// Permuter with the same Config, producing the same records and Stats.
+func TestPlanForMatchesPermuterPlan(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		perm bmmc.Permutation
+	}{
+		{"bitrev", bmmc.BitReversal(12)},
+		{"gray", bmmc.GrayCode(12)},
+		{"vecrev", bmmc.VectorReversal(12)},
+		{"identity", bmmc.Identity(12)},
+		{"random", bmmc.RandomPermutation(bmmc.NewRand(23), 12)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			free, err := bmmc.PlanFor(planConfig, tc.perm, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := bmmc.NewPermuter(planConfig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			bound, err := p.Plan(tc.perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if free.Class() != bound.Class() || free.PassCount() != bound.PassCount() ||
+				free.CostIOs() != bound.CostIOs() || free.FusedFrom() != bound.FusedFrom() {
+				t.Fatalf("PlanFor %v != Permuter.Plan %v", free, bound)
+			}
+			rep, err := p.Execute(context.Background(), free)
+			if err != nil {
+				t.Fatalf("executing a PlanFor plan: %v", err)
+			}
+			if rep.ParallelIOs != free.CostIOs() {
+				t.Fatalf("executed %d parallel I/Os, plan quoted %d", rep.ParallelIOs, free.CostIOs())
+			}
+			if err := p.Verify(tc.perm); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// Geometry validation happens up front.
+	if _, err := bmmc.PlanFor(bmmc.Config{N: 100, D: 4, B: 8, M: 256}, bmmc.GrayCode(6), true); err == nil {
+		t.Fatal("PlanFor accepted an invalid geometry")
+	}
+	if _, err := bmmc.PlanFor(planConfig, bmmc.GrayCode(6), true); err == nil {
+		t.Fatal("PlanFor accepted a width-mismatched permutation")
+	}
+}
+
+// TestPlanCacheWidthCheck pins the shared-cache validation: the cache key
+// omits lg N (the pass structure depends only on the permutation and
+// lg B / lg M), so a cache hit must still reject a permutation whose width
+// does not match the requested geometry — otherwise a daemon sharing one
+// cache across tenants would execute a wrong-sized plan.
+func TestPlanCacheWidthCheck(t *testing.T) {
+	pc := bmmc.NewPlanCache(8)
+	p12 := bmmc.BitReversal(12)
+	cfg12 := bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	cfg16 := bmmc.Config{N: 1 << 16, D: 4, B: 8, M: 1 << 8} // same lg B, lg M
+
+	if _, hit, err := pc.PlanFor(cfg12, p12, true); err != nil || hit {
+		t.Fatalf("cold PlanFor: hit=%v err=%v", hit, err)
+	}
+	// Same permutation, wider geometry: identical cache key, but the hit
+	// path must still reject the width mismatch.
+	if _, _, err := pc.PlanFor(cfg16, p12, true); err == nil {
+		t.Fatal("PlanFor accepted a 12-bit permutation on a 16-bit geometry via the cache")
+	}
+	// The legitimate repeat is a hit with full stats.
+	pl, hit, err := pc.PlanFor(cfg12, p12, true)
+	if err != nil || !hit {
+		t.Fatalf("repeat PlanFor: hit=%v err=%v", hit, err)
+	}
+	if !pl.Cached() || pl.Geometry() != cfg12 {
+		t.Fatalf("cached plan misstamped: cached=%v geometry=%v", pl.Cached(), pl.Geometry())
+	}
+	if cs := pc.Stats(); cs.Hits != 1 || cs.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 miss", cs)
+	}
+}
