@@ -36,6 +36,8 @@ type Matrix = gf2.Matrix
 type Vec = gf2.Vec
 
 // Permuter performs permutations on records stored across simulated disks.
+// Since v3 it is a compatibility facade — one Engine bound to one Dataset
+// (see NewEngine and CreateDataset for the decoupled halves).
 type Permuter = core.Permuter
 
 // Report pairs a run's measured cost with the paper's bounds.

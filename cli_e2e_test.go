@@ -44,6 +44,7 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 
 	small := []string{"-N", "4096", "-D", "4", "-B", "8", "-M", "256"}
+	cfgSmall := bmmc.Config{N: 4096, D: 4, B: 8, M: 256}
 
 	// bmmcbench: one experiment, all PASS.
 	out := run("bmmcbench", true, append([]string{"-experiment", "mld"}, small...)...)
@@ -75,6 +76,46 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("expected 4 disk files, found %d", len(entries))
 	}
 
+	// bmmcperm -out -: stdout must carry exactly the N*16-byte record
+	// stream and nothing else, even with -progress on — progress and all
+	// informational lines go to stderr, so piped record streams stay
+	// byte-clean (regression: they used to share stdout).
+	{
+		cmd := exec.Command(filepath.Join(bin, "bmmcperm"),
+			append([]string{"-perm", "bitrev", "-progress", "-out", "-"}, small...)...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("bmmcperm -out -: %v\n%s", err, stderr.String())
+		}
+		if stdout.Len() != cfgSmall.N*bmmc.RecordBytes {
+			t.Fatalf("bmmcperm -out - wrote %d bytes to stdout, want exactly %d",
+				stdout.Len(), cfgSmall.N*bmmc.RecordBytes)
+		}
+		rev := bmmc.BitReversal(cfgSmall.LgN())
+		data := stdout.Bytes()
+		for _, x := range []uint64{0, 1, uint64(cfgSmall.N) - 1} {
+			if got := bmmc.DecodeRecord(data[rev.Apply(x)*bmmc.RecordBytes:]); got.Key != x {
+				t.Fatalf("stdout record stream corrupt: address %d holds key %d, want %d",
+					rev.Apply(x), got.Key, x)
+			}
+		}
+		if !strings.Contains(stderr.String(), "memoryload") ||
+			!strings.Contains(stderr.String(), "verified: all records in place") {
+			t.Errorf("bmmcperm -out - stderr missing progress/info lines:\n%s", stderr.String())
+		}
+	}
+
+	// bmmcperm -chain: multiple permutations back-to-back on one dataset,
+	// verified against their composition (rev,rev composes to identity).
+	out = run("bmmcperm", true, append([]string{"-chain", "bitrev,bitrev"}, small...)...)
+	if !strings.Contains(out, "chain:    2 steps") || !strings.Contains(out, "verified: all records in place") {
+		t.Errorf("bmmcperm -chain output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "[cached]") {
+		t.Errorf("bmmcperm -chain did not reuse the plan for the repeated step:\n%s", out)
+	}
+
 	// bmmcplan: explain a factorization; also accept a marshalled file.
 	out = run("bmmcplan", true, append([]string{"-perm", "bitrev"}, small...)...)
 	if !strings.Contains(out, "Theorem 21 upper bound") {
@@ -95,7 +136,6 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &sum); err != nil {
 		t.Fatalf("bmmcplan -json emitted invalid JSON: %v\n%s", err, out)
 	}
-	cfgSmall := bmmc.Config{N: 4096, D: 4, B: 8, M: 256}
 	if sum.Class != "BMMC" || sum.PassCount < 1 || sum.CostIOs != sum.PassCount*cfgSmall.PassIOs() {
 		t.Errorf("bmmcplan -json summary unexpected: %+v", sum)
 	}

@@ -13,6 +13,18 @@
 //	})
 //	err = c.Download(ctx, job.ID, outputWriter)
 //
+// For multi-step pipelines, create a dataset once and chain jobs on its
+// handle — upload once, run any number of permutations back-to-back on the
+// same storage, download once:
+//
+//	dset, err := c.CreateDataset(ctx, client.CreateDatasetRequest{Config: cfg})
+//	err = c.UploadDataset(ctx, dset.ID, dataReader)
+//	j1, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, rev))
+//	j2, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, gray))
+//	_, err = c.Watch(ctx, j2.ID, nil)           // jobs ran in order
+//	err = c.DownloadDataset(ctx, dset.ID, outputWriter)
+//	_, err = c.DeleteDataset(ctx, dset.ID)
+//
 // All request and response types are shared with the daemon (package
 // internal/service), so the wire schema cannot drift between the two.
 package client
@@ -35,6 +47,10 @@ import (
 type (
 	// SubmitRequest is the body of a job submission.
 	SubmitRequest = service.SubmitRequest
+	// CreateDatasetRequest is the body of a dataset creation.
+	CreateDatasetRequest = service.CreateDatasetRequest
+	// DatasetStatus is a dataset's full wire state.
+	DatasetStatus = service.DatasetStatus
 	// JobStatus is a job's full wire state.
 	JobStatus = service.JobStatus
 	// PlanSummary quotes a job's class, pass structure, and cost bounds.
@@ -113,6 +129,16 @@ func NewSubmitRequest(cfg bmmc.Config, p bmmc.Permutation) SubmitRequest {
 	return SubmitRequest{Config: cfg, Perm: string(bmmc.MarshalPermutation(p))}
 }
 
+// NewDatasetSubmitRequest marshals a permutation into a submit request
+// that runs on an existing daemon dataset: the job inherits the dataset's
+// geometry and storage, reads whatever the dataset currently holds, and
+// leaves its output on the dataset for the next chained job (or a final
+// DownloadDataset). Jobs submitted against one dataset execute in
+// submission order.
+func NewDatasetSubmitRequest(datasetID string, p bmmc.Permutation) SubmitRequest {
+	return SubmitRequest{Dataset: datasetID, Perm: string(bmmc.MarshalPermutation(p))}
+}
+
 // Submit creates a job. The returned status carries the job id and the
 // plan summary — class, pass count, exact cost, and the paper's bounds —
 // before any I/O happens. A full admission queue returns an *APIError with
@@ -149,6 +175,64 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 	return &st, nil
 }
 
+// CreateDataset creates a shared daemon dataset: storage provisioned once,
+// holding the canonical records until UploadDataset replaces them, reusable
+// by any number of chained jobs submitted with NewDatasetSubmitRequest.
+func (c *Client) CreateDataset(ctx context.Context, req CreateDatasetRequest) (*DatasetStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var st DatasetStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets", "application/json", bytes.NewReader(body), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Dataset fetches a dataset's current state.
+func (c *Client) Dataset(ctx context.Context, id string) (*DatasetStatus, error) {
+	var st DatasetStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets/"+id, "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Datasets lists every dataset in creation order.
+func (c *Client) Datasets(ctx context.Context) ([]*DatasetStatus, error) {
+	var out []*DatasetStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeleteDataset removes a dataset and its storage. The daemon refuses
+// (409) while jobs are bound to the dataset and waits for in-flight
+// uploads/downloads to drain; deleting twice is a no-op.
+func (c *Client) DeleteDataset(ctx context.Context, id string) (*DatasetStatus, error) {
+	var st DatasetStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/datasets/"+id, "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// UploadDataset streams N records in the 16-byte wire format onto the
+// dataset — once, no matter how many jobs then chain on it. Refused (409)
+// while jobs are bound to the dataset.
+func (c *Client) UploadDataset(ctx context.Context, id string, r io.Reader) error {
+	return c.do(ctx, http.MethodPut, "/v1/datasets/"+id+"/input", "application/octet-stream", r, nil)
+}
+
+// DownloadDataset streams the dataset's current records — the output of
+// the most recent chained job — into w. Refused (409) while jobs are bound
+// to the dataset.
+func (c *Client) DownloadDataset(ctx context.Context, id string, w io.Writer) error {
+	return c.streamGet(ctx, "/v1/datasets/"+id+"/output", w)
+}
+
 // Metrics fetches the daemon-wide gauges.
 func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 	var m Metrics
@@ -169,7 +253,12 @@ func (c *Client) Upload(ctx context.Context, id string, r io.Reader) error {
 // Download streams the permuted records of a done job into w, N records in
 // the wire format.
 func (c *Client) Download(ctx context.Context, id string, w io.Writer) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/output", nil)
+	return c.streamGet(ctx, "/v1/jobs/"+id+"/output", w)
+}
+
+// streamGet copies a binary GET response into w, decoding error bodies.
+func (c *Client) streamGet(ctx context.Context, path string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,7 @@
 //
 // Experiment names: table1, tightbounds, crossover, mld, detect, potential,
 // transpose, scaling, lemma9, ablation, inverse, pipeline, fusion,
-// plancache, or "all".
+// plancache, backend, chain, or "all".
 //
 // -pipeline, -workers and -concurrent select the execution mode of the
 // pass runner (prefetching, scatter worker pool, per-disk goroutine
@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline, fusion, plancache, backend)")
+		name = flag.String("experiment", "all", "experiment to run (all, table1, tightbounds, crossover, mld, detect, potential, transpose, scaling, lemma9, ablation, inverse, pipeline, fusion, plancache, backend, chain)")
 		n    = flag.Int("N", experiments.DefaultConfig.N, "total records (power of 2)")
 		d    = flag.Int("D", experiments.DefaultConfig.D, "disks (power of 2)")
 		b    = flag.Int("B", experiments.DefaultConfig.B, "records per block (power of 2)")

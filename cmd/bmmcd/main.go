@@ -3,9 +3,14 @@
 // permutation jobs, and a streaming data plane moving records in the
 // library's 16-byte wire format. Jobs are admitted through a bounded FIFO
 // queue (backpressure beyond -max-jobs), executed by a bounded worker
-// pool, isolated on per-job storage backends (RAM, files, or sharded
-// directories under -dir), and planned through a daemon-wide shared plan
-// cache.
+// pool driving one shared execution Engine (one plan cache for every
+// tenant), and isolated on per-job storage backends (RAM, files, or
+// sharded directories under -dir) — or chained on first-class datasets:
+// POST /v1/datasets provisions storage once, PUT .../input uploads records
+// once, and any number of jobs submitted with a dataset handle then run on
+// that storage back-to-back, in submission order, with no re-upload, until
+// GET .../output downloads the composed result and DELETE reclaims the
+// storage.
 //
 // Usage:
 //

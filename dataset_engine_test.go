@@ -1,0 +1,359 @@
+package bmmc_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	bmmc "repro"
+	"repro/internal/gf2"
+)
+
+// v3Config is the geometry every Dataset/Engine equivalence test runs on:
+// small enough to be fast, rich enough that every engine class appears.
+var v3Config = bmmc.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+
+// mustPerm builds the test permutation or fails.
+func mustPerm(t *testing.T, a bmmc.Matrix, c bmmc.Vec) bmmc.Permutation {
+	t.Helper()
+	p, err := bmmc.New(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// classCases returns one representative permutation per engine class.
+func classCases(t *testing.T, cfg bmmc.Config) []struct {
+	name  string
+	class bmmc.Class
+	perm  bmmc.Permutation
+} {
+	t.Helper()
+	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
+	rng := bmmc.NewRand(11)
+	mld := mustPerm(t, gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
+	return []struct {
+		name  string
+		class bmmc.Class
+		perm  bmmc.Permutation
+	}{
+		{"MRC", bmmc.ClassMRC, bmmc.GrayCode(n)},
+		{"MLD", bmmc.ClassMLD, mld},
+		{"InvMLD", bmmc.ClassInvMLD, mld.Inverse()},
+		{"BMMC", bmmc.ClassBMMC, bmmc.BitReversal(n)},
+	}
+}
+
+// TestEngineDatasetMatchesPermuter pins the v3 acceptance equivalence:
+// Engine.Execute on a Dataset is record- and Stats-identical to the v1/v2
+// Permuter.Permute path for every engine class, and the reports agree on
+// class, passes, and cost.
+func TestEngineDatasetMatchesPermuter(t *testing.T) {
+	cfg := v3Config
+	for _, tc := range classCases(t, cfg) {
+		t.Run(tc.name, func(t *testing.T) {
+			// v1/v2 path: a welded Permuter.
+			pm, err := bmmc.NewPermuter(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pm.Close()
+			repV2, err := pm.Permute(tc.perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// v3 path: a Dataset driven by a separate stateless Engine.
+			ds, err := bmmc.CreateDataset(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ds.Close()
+			eng := bmmc.NewEngine()
+			pl, err := eng.Plan(cfg, tc.perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repV3, err := eng.Execute(context.Background(), pl, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if repV3.Class != tc.class || repV2.Class != tc.class {
+				t.Fatalf("class dispatch: v2 %v, v3 %v, want %v", repV2.Class, repV3.Class, tc.class)
+			}
+			if repV3.Passes != repV2.Passes || repV3.ParallelIOs != repV2.ParallelIOs {
+				t.Fatalf("report diverged: v2 %d passes/%d I/Os, v3 %d passes/%d I/Os",
+					repV2.Passes, repV2.ParallelIOs, repV3.Passes, repV3.ParallelIOs)
+			}
+			v2Recs, err := pm.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v3Recs, err := ds.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(v2Recs, v3Recs) {
+				t.Fatal("records diverged between the Permuter and the Dataset/Engine path")
+			}
+			if v2, v3 := pm.Stats(), ds.Stats(); !reflect.DeepEqual(v2, v3) {
+				t.Fatalf("stats diverged:\n  v2: %v\n  v3: %v", v2, v3)
+			}
+		})
+	}
+}
+
+// TestEngineDatasetGeneralSortMatchesPermuter covers the remaining engine
+// class — the external merge-sort baseline for arbitrary bijections.
+func TestEngineDatasetGeneralSortMatchesPermuter(t *testing.T) {
+	cfg := v3Config
+	rng := bmmc.NewRand(5)
+	target := rng.Perm(cfg.N)
+	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
+
+	pm, err := bmmc.NewPermuter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	repV2, err := pm.PermuteGeneral(context.Background(), targetOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := bmmc.CreateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	eng := bmmc.NewEngine()
+	repV3, err := eng.PermuteGeneral(context.Background(), ds, targetOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.VerifyMapping(targetOf); err != nil {
+		t.Fatal(err)
+	}
+	if repV3.Passes != repV2.Passes || repV3.ParallelIOs != repV2.ParallelIOs {
+		t.Fatalf("sort reports diverged: v2 %+v, v3 %+v", repV2, repV3)
+	}
+	v2Recs, _ := pm.Records()
+	v3Recs, _ := ds.Records()
+	if !reflect.DeepEqual(v2Recs, v3Recs) {
+		t.Fatal("sorted records diverged")
+	}
+	if v2, v3 := pm.Stats(), ds.Stats(); !reflect.DeepEqual(v2, v3) {
+		t.Fatalf("sort stats diverged:\n  v2: %v\n  v3: %v", v2, v3)
+	}
+}
+
+// TestChainedExecutesEqualComposition pins the chained-jobs semantics: two
+// Executes on one Dataset leave exactly the records a single run of the
+// composed permutation produces.
+func TestChainedExecutesEqualComposition(t *testing.T) {
+	cfg := v3Config
+	n := cfg.LgN()
+	p1 := bmmc.BitReversal(n)
+	p2 := bmmc.Transpose(5, n-5)
+	ctx := context.Background()
+
+	ds, err := bmmc.CreateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	eng := bmmc.NewEngine()
+	for _, p := range []bmmc.Permutation{p1, p2} {
+		if _, err := eng.Permute(ctx, ds, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	composed := p2.Compose(p1)
+	if err := ds.Verify(composed); err != nil {
+		t.Fatalf("chained executes do not equal the composition: %v", err)
+	}
+
+	// And record-for-record against a fresh run of the composed map.
+	ref, err := bmmc.CreateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := eng.Permute(ctx, ref, composed); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ref.Records()
+	got, _ := ds.Records()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("chained records differ from the composed permutation's records")
+	}
+}
+
+// TestOneEngineManyDatasets runs one shared Engine over many Datasets from
+// concurrent goroutines: every dataset must verify, and the engine's plan
+// cache must have factorized the shared permutation exactly once.
+func TestOneEngineManyDatasets(t *testing.T) {
+	cfg := v3Config
+	p := bmmc.BitReversal(cfg.LgN())
+	eng := bmmc.NewEngine()
+	// Warm the cache so the concurrent phase is all hits.
+	if _, err := eng.Plan(cfg, p); err != nil {
+		t.Fatal(err)
+	}
+
+	const tenants = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ds, err := bmmc.CreateDataset(cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer ds.Close()
+			if _, err := eng.Permute(context.Background(), ds, p); err != nil {
+				errs <- err
+				return
+			}
+			if err := ds.Verify(p); err != nil {
+				errs <- fmt.Errorf("tenant dataset corrupt: %w", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cs := eng.CacheStats()
+	if cs.Misses != 1 {
+		t.Fatalf("shared engine factorized %d times for %d tenants, want exactly 1", cs.Misses, tenants)
+	}
+	if cs.Hits != tenants {
+		t.Fatalf("plan cache hits = %d, want %d", cs.Hits, tenants)
+	}
+}
+
+// TestOpenDatasetReattachesFiles pins OpenDataset's purpose: a file-backed
+// dataset written (and Synced) by one "process" is reopened by another
+// with its records intact — CreateDataset would instead reload the
+// canonical layout. Bit reversal factorizes into an even pass count here,
+// so the data ends in the source portion as OpenDataset requires.
+func TestOpenDatasetReattachesFiles(t *testing.T) {
+	cfg := v3Config
+	p := bmmc.BitReversal(cfg.LgN())
+	dir := t.TempDir()
+
+	ds, err := bmmc.CreateDataset(cfg, bmmc.WithBackend(bmmc.FileBackend(dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := bmmc.NewEngine()
+	rep, err := eng.Permute(context.Background(), ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passes%2 != 0 {
+		t.Fatalf("test premise broken: %d passes leaves data in the target portion", rep.Passes)
+	}
+	if err := ds.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := bmmc.OpenDataset(cfg, bmmc.WithBackend(bmmc.FileBackend(dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if err := reopened.Verify(p); err != nil {
+		t.Fatalf("reopened dataset lost its records: %v", err)
+	}
+}
+
+// TestConcurrentReadsDuringExecute exercises the Dataset lock split: many
+// concurrent Dumps overlap freely, serialize against a stream of Executes,
+// and every Dump observes a consistent state — either the layout before or
+// after a full run, never a torn intermediate.
+func TestConcurrentReadsDuringExecute(t *testing.T) {
+	cfg := v3Config
+	p := bmmc.BitReversal(cfg.LgN()) // involution: valid states are identity or rev
+	ds, err := bmmc.CreateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	eng := bmmc.NewEngine()
+	inv := p.Inverse()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				var buf bytes.Buffer
+				if err := ds.Dump(context.Background(), &buf); err != nil {
+					errs <- err
+					return
+				}
+				// The snapshot must be one of the two valid layouts.
+				data := buf.Bytes()
+				r0 := bmmc.DecodeRecord(data)
+				okIdentity, okRev := r0.Key == 0, r0.Key == inv.Apply(0)
+				valid := false
+				for _, key0 := range []struct {
+					ok  bool
+					inv func(uint64) uint64
+				}{{okIdentity, func(y uint64) uint64 { return y }}, {okRev, inv.Apply}} {
+					if !key0.ok {
+						continue
+					}
+					consistent := true
+					for _, y := range []uint64{1, uint64(cfg.N) / 3, uint64(cfg.N) - 1} {
+						if bmmc.DecodeRecord(data[y*bmmc.RecordBytes:]).Key != key0.inv(y) {
+							consistent = false
+							break
+						}
+					}
+					if consistent {
+						valid = true
+						break
+					}
+				}
+				if !valid {
+					errs <- fmt.Errorf("dump observed a torn dataset state (record 0 holds key %d)", r0.Key)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := eng.Permute(context.Background(), ds, p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -24,38 +24,60 @@
 //
 // # Quick start
 //
+// The v3 API has three first-class nouns: a Dataset (records at rest on a
+// storage Backend), a stateless Engine (execution options plus the plan
+// cache), and the Plan joining them.
+//
 //	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 11}
-//	p, err := bmmc.NewPermuter(cfg)       // N records on 8 simulated disks
-//	defer p.Close()
-//	rep, err := p.Permute(bmmc.BitReversal(cfg.LgN()))
+//	ds, err := bmmc.CreateDataset(cfg)    // N records on 8 simulated disks
+//	defer ds.Close()
+//	eng := bmmc.NewEngine()
+//	rep, err := eng.Permute(ctx, ds, bmmc.BitReversal(cfg.LgN()))
 //	fmt.Println(rep)                      // passes, parallel I/Os, bounds
-//	err = p.Verify(bmmc.BitReversal(cfg.LgN()))
+//	err = ds.Verify(bmmc.BitReversal(cfg.LgN()))
 //
-// # The v2 API: Plans, Backends, context, user data
+// One Engine drives many Datasets from many goroutines; each execution
+// locks its target Dataset for the run, and reads of data-at-rest (Dump,
+// Records, Verify) share a read lock, so concurrent readers never block
+// each other. Multi-step out-of-core workloads chain permutations on one
+// Dataset with zero copies between steps:
 //
-// The public API separates the paper's two phases. Permuter.Plan returns
-// a first-class *Plan — the dispatched class, the (possibly fused)
-// one-pass sequence, and the Theorem 3 / Theorem 21 cost bounds — and
-// Permuter.Execute runs a prepared plan under a context.Context, so
-// callers plan once and execute many times:
+//	err = ds.Load(ctx, input)             // your records, 16 bytes each
+//	pl, err := eng.Plan(cfg, bmmc.BitReversal(cfg.LgN()))
+//	_, err = eng.Execute(ctx, pl, ds)     // step 1
+//	_, err = eng.Permute(ctx, ds, bmmc.Transpose(9, 7)) // step 2, same data
+//	err = ds.Dump(ctx, output)
 //
-//	plan, err := p.Plan(bmmc.Transpose(9, 7))
-//	fmt.Println(plan)                     // passes, exact cost, LB/UB
-//	rep, err := p.Execute(ctx, plan)      // repeatable; never re-plans
+// The v1/v2 Permuter remains fully supported as a facade — one Engine
+// bound to one Dataset (reach them via Permuter.Engine and
+// Permuter.Dataset):
+//
+//	p, err := bmmc.NewPermuter(cfg)
+//	rep, err := p.Permute(bmmc.BitReversal(cfg.LgN()))
+//
+// # Plans, Backends, context, user data
+//
+// Engine.Plan returns a first-class *Plan — the dispatched class, the
+// (possibly fused) one-pass sequence, and the Theorem 3 / Theorem 21 cost
+// bounds — and Engine.Execute runs a prepared plan under a
+// context.Context, so callers plan once and execute many times, on any
+// Dataset with the same Config, through any Engine.
 //
 // Storage is pluggable behind the Backend interface at parallel-block
 // granularity — MemBackend (default), FileBackend (one file per disk),
 // ShardedBackend (disks spread round-robin over directories, one per
-// physical volume), or any caller implementation:
+// physical volume), or any caller implementation (self-certify with
+// repro/backendtest):
 //
-//	p, err := bmmc.NewPermuter(cfg,
+//	ds, err := bmmc.CreateDataset(cfg,
 //	    bmmc.WithBackend(bmmc.ShardedBackend("/vol1", "/vol2")))
 //
 // Long runs are cancelable and observable: context cancellation lands
 // between memoryloads (no counted parallel I/O is cut short, the
 // prefetch goroutine is drained, and the records remain the state after
-// the last completed pass), and WithProgress streams PassEvents. Caller
-// data moves in and out with Permuter.Load and Permuter.Dump (16-byte
+// the last completed pass), and WithProgress streams PassEvents — pass it
+// per Execute call to track individual runs on a shared Engine. Caller
+// data moves in and out with Dataset.Load and Dataset.Dump (16-byte
 // little-endian records, see RecordBytes), replacing the canonical
 // MakeRecord(0..N-1) layout; examples/userdata shows the full
 // Load -> Plan -> Execute -> Dump loop.
@@ -71,24 +93,26 @@
 // repeated permutations skip re-factorization entirely; PermuteAll plans a
 // whole batch up front through the cache and reports per-job costs:
 //
-//	p, err := bmmc.NewPermuter(cfg,
+//	eng := bmmc.NewEngine(
 //	    bmmc.WithFusion(true),        // pass fusion (default on)
 //	    bmmc.WithPlanCache(64))       // LRU plan cache (default 32 plans)
-//	batch, err := p.PermuteAll(ctx, []bmmc.Permutation{rev, gray, rev})
+//	batch, err := eng.PermuteAll(ctx, ds, []bmmc.Permutation{rev, gray, rev})
 //
 // # Execution
 //
 // All engines run through a pipelined pass runner: while one memoryload is
 // permuted in memory (sharded across a worker pool) and written out, the
 // next memoryload is prefetched on a reader goroutine into an independent
-// buffer. Pipelining is on by default and is configured per Permuter with
-// functional options:
+// buffer. Pipelining is on by default and is configured per Engine (or per
+// call) with functional options; the storage options configure the
+// Dataset:
 //
-//	p, err := bmmc.NewPermuter(cfg,
+//	ds, err := bmmc.CreateDataset(cfg,
 //	    bmmc.WithBackend(bmmc.FileBackend(dir)),
-//	    bmmc.WithPipeline(true),      // double-buffered prefetch (default)
-//	    bmmc.WithWorkers(8),          // scatter goroutines (default GOMAXPROCS)
 //	    bmmc.WithConcurrentIO(true))  // per-disk dispatch (default off)
+//	eng := bmmc.NewEngine(
+//	    bmmc.WithPipeline(true),      // double-buffered prefetch (default)
+//	    bmmc.WithWorkers(8))          // scatter goroutines (default GOMAXPROCS)
 //
 // Execution options never change what the paper's theorems measure: the
 // permuted result, the parallel-I/O counts, and the per-disk totals are
@@ -100,23 +124,28 @@
 //
 // cmd/bmmcd serves the library as a long-lived daemon: permutation jobs
 // are admitted through a bounded FIFO queue, executed on a bounded worker
-// pool with per-job storage backends and per-job I/O accounting, planned
-// through a daemon-wide shared plan cache, and observable as an SSE event
-// stream. The Go client (package repro/client) wraps the whole HTTP
-// surface; a minimal round trip of caller-owned records looks like:
+// pool by one daemon-wide shared Engine (one plan cache for every tenant),
+// and observable as an SSE event stream. Datasets are first-class daemon
+// resources: upload records once, then chain any number of jobs against
+// the dataset handle — each runs on the same storage, back to back, with
+// no re-upload — and download the final state once. The Go client
+// (package repro/client) wraps the whole HTTP surface:
 //
 //	c := client.New("http://127.0.0.1:9432")
-//	req := client.NewSubmitRequest(cfg, bmmc.BitReversal(cfg.LgN()))
-//	req.Backend = client.BackendSharded
-//	req.AwaitInput = true                      // run only once input lands
-//	job, err := c.Submit(ctx, req)             // plan summary quoted up front
-//	err = c.Upload(ctx, job.ID, dataReader)    // N records, 16 bytes each
-//	final, err := c.Watch(ctx, job.ID, nil)    // block until terminal state
-//	err = c.Download(ctx, job.ID, outWriter)   // the permuted records
+//	dset, err := c.CreateDataset(ctx, client.CreateDatasetRequest{
+//	    Config: cfg, Backend: client.BackendSharded})
+//	err = c.UploadDataset(ctx, dset.ID, dataReader)  // once
+//	j1, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, rev))
+//	j2, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, gray))
+//	final, err := c.Watch(ctx, j2.ID, nil)           // jobs run in order
+//	err = c.DownloadDataset(ctx, dset.ID, outWriter) // composed result
+//	_, err = c.DeleteDataset(ctx, dset.ID)
 //
-// Per-job reports and the daemon's aggregate /v1/metrics count exactly the
-// parallel I/Os a direct Permuter.Execute of the same plan would measure.
-// examples/service runs daemon and client end to end in one process.
+// Per-job storage (the v2 flow: Submit with a Backend kind, Upload,
+// Download, AwaitInput) remains fully supported. Per-job reports and the
+// daemon's aggregate /v1/metrics count exactly the parallel I/Os a direct
+// Engine.Execute of the same plan would measure. examples/service runs
+// daemon and client end to end in one process.
 //
 // See the examples directory for out-of-core matrix transposition, FFT
 // input reordering, Gray-code reordering, run-time detection, and service

@@ -1,13 +1,16 @@
-// Out-of-core FFT input reordering: the bit-reversal permutation named in
-// the paper as a core BPC workload. Complex samples live on the simulated
-// parallel disk system (real part in Key, imaginary part in Tag as float
-// bits); the bit-reversal reorder — the out-of-core step of a
-// decimation-in-time FFT — runs as a BMMC permutation, and the subsequent
-// in-order butterfly stages produce a spectrum verified against a direct
-// DFT.
+// Out-of-core FFT as a multi-step pipeline over one Dataset: the forward
+// transform's bit-reversal reorder (the paper's core BPC workload), the
+// butterfly stages, and then a full inverse transform all operate on the
+// same stored records — the v3 Dataset/Engine split keeps the data at rest
+// between steps, the bit-reversal Plan is built once and executed twice,
+// and nothing is copied between pipeline stages. Complex samples live on
+// the simulated parallel disk system (real part in Key, imaginary part in
+// Tag as float bits); the spectrum is verified against a direct DFT and
+// the inverse transform must reproduce the input.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +22,7 @@ import (
 func main() {
 	cfg := bmmc.Config{N: 1 << 12, D: 8, B: 8, M: 1 << 9}
 	n := cfg.LgN()
+	ctx := context.Background()
 
 	// Synthesize a signal with two tones plus a DC offset.
 	samples := make([]complex128, cfg.N)
@@ -27,45 +31,123 @@ func main() {
 		samples[i] = complex(0.5+math.Sin(2*math.Pi*37*t)+0.25*math.Cos(2*math.Pi*301*t), 0)
 	}
 
-	p, err := bmmc.NewPermuter(cfg)
+	// One Dataset holds the samples for the whole pipeline; one Engine
+	// plans the bit-reversal exactly once and executes it in both the
+	// forward and the inverse transform.
+	ds, err := bmmc.CreateDataset(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer p.Close()
-
-	// Store the samples as records: Key/Tag carry the float bits.
-	recs := make([]bmmc.Record, cfg.N)
-	for i, s := range samples {
-		recs[i] = bmmc.Record{Key: math.Float64bits(real(s)), Tag: math.Float64bits(imag(s))}
-	}
-	if err := p.LoadRecords(recs); err != nil {
-		log.Fatal(err)
-	}
-
-	// The out-of-core step: bit-reverse the sample order on disk. The
-	// record at source address i lands at rev(i), so address j then holds
-	// sample rev(j) — exactly the input order an in-place DIT FFT wants.
-	rep, err := p.Permute(bmmc.BitReversal(n))
+	defer ds.Close()
+	eng := bmmc.NewEngine()
+	plan, err := eng.Plan(cfg, bmmc.BitReversal(n))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("machine:      %v\n", cfg)
-	fmt.Printf("bit reversal: %v\n", rep)
+	fmt.Printf("reorder plan: %v (built once, executed twice)\n", plan)
 
-	// Butterfly stages on the reordered data (done in host memory here;
-	// each stage touches addresses that differ in one bit, so a production
-	// out-of-core FFT would run them as further one-pass permuted scans).
-	out, err := p.Records()
+	if err := store(ds, samples); err != nil {
+		log.Fatal(err)
+	}
+
+	// Forward transform: out-of-core bit-reversal, then butterflies.
+	rep, err := eng.Execute(ctx, plan, ds)
 	if err != nil {
 		log.Fatal(err)
 	}
-	buf := make([]complex128, cfg.N)
-	for i, r := range out {
+	fmt.Printf("bit reversal: %v\n", rep)
+	if err := butterflies(ds, false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the spectrum against a direct DFT at the planted tones.
+	spec, err := load(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, bin := range []int{0, 37, 301} {
+		var want complex128
+		for i, s := range samples {
+			angle := -2 * math.Pi * float64(bin) * float64(i) / float64(cfg.N)
+			want += s * cmplx.Exp(complex(0, angle))
+		}
+		if cmplx.Abs(spec[bin]-want) > 1e-6*float64(cfg.N) {
+			log.Fatalf("bin %d: FFT %v, DFT %v", bin, spec[bin], want)
+		}
+		fmt.Printf("bin %4d: |X| = %10.2f  (matches direct DFT)\n", bin, cmplx.Abs(spec[bin]))
+	}
+	fmt.Println("FFT spectrum verified against direct DFT")
+
+	// Inverse transform on the same dataset: the spectrum is still at
+	// rest on the disks, so the pipeline continues where it stands — the
+	// cached plan reorders it again and inverse butterflies restore the
+	// signal (x = FFT'(X)/N with conjugated twiddles).
+	rep, err = eng.Execute(ctx, plan, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bit reversal: %v\n", rep)
+	if err := butterflies(ds, true); err != nil {
+		log.Fatal(err)
+	}
+	back, err := load(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range samples {
+		if d := cmplx.Abs(back[i]/complex(float64(cfg.N), 0) - samples[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("inverse FFT roundtrip max error: %.2e\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("roundtrip error too large")
+	}
+	fmt.Println("forward + inverse pipeline on one dataset verified")
+}
+
+// store writes complex samples onto the dataset as records (float bits in
+// Key/Tag).
+func store(ds *bmmc.Dataset, buf []complex128) error {
+	recs := make([]bmmc.Record, len(buf))
+	for i, s := range buf {
+		recs[i] = bmmc.Record{Key: math.Float64bits(real(s)), Tag: math.Float64bits(imag(s))}
+	}
+	return ds.LoadRecords(recs)
+}
+
+// load reads the dataset's records back as complex samples.
+func load(ds *bmmc.Dataset) ([]complex128, error) {
+	recs, err := ds.Records()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]complex128, len(recs))
+	for i, r := range recs {
 		buf[i] = complex(math.Float64frombits(r.Key), math.Float64frombits(r.Tag))
 	}
-	for size := 2; size <= cfg.N; size <<= 1 {
-		w := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
-		for start := 0; start < cfg.N; start += size {
+	return buf, nil
+}
+
+// butterflies runs the DIT butterfly stages over the (bit-reversed)
+// dataset in place. Stages are done in host memory here; each stage
+// touches addresses differing in one bit, so a production out-of-core FFT
+// would run them as further one-pass permuted scans on the same dataset.
+func butterflies(ds *bmmc.Dataset, inverse bool) error {
+	buf, err := load(ds)
+	if err != nil {
+		return err
+	}
+	sign := -2.0
+	if inverse {
+		sign = 2.0
+	}
+	n := len(buf)
+	for size := 2; size <= n; size <<= 1 {
+		w := cmplx.Exp(complex(0, sign*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
 			tw := complex(1, 0)
 			for k := 0; k < size/2; k++ {
 				a, b := buf[start+k], buf[start+k+size/2]*tw
@@ -74,18 +156,5 @@ func main() {
 			}
 		}
 	}
-
-	// Verify the spectrum against a direct DFT at the planted tones.
-	for _, bin := range []int{0, 37, 301} {
-		var want complex128
-		for i, s := range samples {
-			angle := -2 * math.Pi * float64(bin) * float64(i) / float64(cfg.N)
-			want += s * cmplx.Exp(complex(0, angle))
-		}
-		if cmplx.Abs(buf[bin]-want) > 1e-6*float64(cfg.N) {
-			log.Fatalf("bin %d: FFT %v, DFT %v", bin, buf[bin], want)
-		}
-		fmt.Printf("bin %4d: |X| = %10.2f  (matches direct DFT)\n", bin, cmplx.Abs(buf[bin]))
-	}
-	fmt.Println("FFT spectrum verified against direct DFT")
+	return store(ds, buf)
 }

@@ -1,8 +1,11 @@
-// Out-of-core applications built on BMMC permutations: a four-step FFT
-// whose data movement is three BMMC bit rotations, and a tiled matrix
-// multiply whose row-major -> tile-major layout conversion is a BPC
-// permutation. Both report how their I/O splits between permutation passes
-// and compute streaming, and both verify their numerics.
+// Out-of-core applications built on BMMC permutations, run as multi-step
+// pipelines over one Dataset: a four-step FFT whose data movement is three
+// BMMC bit rotations (forward transform, spectral check, inverse
+// transform — six permutation steps touching the same records at rest),
+// and a tiled matrix multiply whose row-major -> tile-major layout
+// conversion is a BPC permutation. Both report how their I/O splits
+// between permutation passes and compute streaming, and both verify their
+// numerics.
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	bmmc "repro"
 	"repro/internal/oocfft"
 	"repro/internal/oocmatrix"
 	"repro/internal/pdm"
@@ -24,13 +28,17 @@ func main() {
 }
 
 func demoFFT() {
-	cfg := pdm.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 10}
-	fmt.Printf("== out-of-core FFT on %v ==\n", cfg)
-	sys, err := pdm.NewMemSystem(cfg)
+	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 10}
+	fmt.Printf("== out-of-core FFT pipeline on one dataset, %v ==\n", cfg)
+
+	// One Dataset carries the samples through the whole pipeline: load,
+	// forward FFT (three BMMC transposes + two compute passes), spectral
+	// check, inverse FFT, roundtrip check — no copies between the steps.
+	ds, err := bmmc.CreateDataset(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
+	defer ds.Close()
 
 	// Two tones; N = 65536 samples exceed the 1024-record memory 64-fold.
 	x := make([]complex128, cfg.N)
@@ -38,17 +46,17 @@ func demoFFT() {
 		t := float64(i) / float64(cfg.N)
 		x[i] = complex(math.Sin(2*math.Pi*1234*t)+0.5*math.Cos(2*math.Pi*9876*t), 0)
 	}
-	if err := oocfft.LoadSamples(sys, x); err != nil {
+	if err := oocfft.LoadSamples(ds.System(), x); err != nil {
 		log.Fatal(err)
 	}
-	res, err := oocfft.FFT(sys, false)
+	res, err := oocfft.FFT(ds.System(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("total %d parallel I/Os: %d in 3 BMMC transposes, %d in 2 compute passes\n",
 		res.ParallelIOs, res.TransposeIOs, res.ComputePassIOs)
 
-	spec, err := oocfft.DumpSamples(sys)
+	spec, err := oocfft.DumpSamples(ds.System())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,11 +68,12 @@ func demoFFT() {
 		}
 	}
 
-	// Inverse transform restores the signal.
-	if _, err := oocfft.FFT(sys, true); err != nil {
+	// The pipeline continues on the same dataset: the inverse transform
+	// consumes the spectrum exactly where the forward transform left it.
+	if _, err := oocfft.FFT(ds.System(), true); err != nil {
 		log.Fatal(err)
 	}
-	back, _ := oocfft.DumpSamples(sys)
+	back, _ := oocfft.DumpSamples(ds.System())
 	var worst float64
 	for i := range x {
 		if d := cmplx.Abs(back[i] - x[i]); d > worst {
@@ -75,6 +84,7 @@ func demoFFT() {
 	if worst > 1e-9 {
 		log.Fatal("roundtrip error too large")
 	}
+	fmt.Printf("dataset totals after the 6-step pipeline: %v\n", ds.Stats())
 }
 
 func demoMatmul() {

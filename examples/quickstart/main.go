@@ -1,6 +1,6 @@
-// Quickstart: create a simulated parallel disk system, run a few BMMC
-// permutations, and compare the measured parallel-I/O costs with the
-// paper's bounds.
+// Quickstart: create a Dataset on a simulated parallel disk system, drive
+// it with a stateless Engine through a few chained BMMC permutations, and
+// compare the measured parallel-I/O costs with the paper's bounds.
 package main
 
 import (
@@ -14,11 +14,16 @@ import (
 func main() {
 	// 65536 records on 8 disks, 16-record blocks, 2048 records of memory.
 	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 11}
-	p, err := bmmc.NewPermuter(cfg)
+	ctx := context.Background()
+
+	// The v3 nouns: a Dataset holds the records, an Engine executes
+	// permutations on it. One Engine can drive any number of Datasets.
+	ds, err := bmmc.CreateDataset(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer p.Close()
+	defer ds.Close()
+	eng := bmmc.NewEngine()
 	fmt.Printf("machine: %v\n\n", cfg)
 
 	n := cfg.LgN()
@@ -31,11 +36,11 @@ func main() {
 		{"matrix transpose 256x256", bmmc.Transpose(8, 8)},
 	}
 
-	// Permutations compose across calls; track the cumulative permutation
-	// so we can verify the final layout.
+	// Chained permutations compose on the one dataset; track the
+	// cumulative permutation so we can verify the final layout.
 	cumulative := bmmc.Identity(n)
 	for _, s := range steps {
-		rep, err := p.Permute(s.perm)
+		rep, err := eng.Permute(ctx, ds, s.perm)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,23 +48,24 @@ func main() {
 		fmt.Printf("%-28s -> %v\n", s.name, rep)
 	}
 
-	if err := p.Verify(cumulative); err != nil {
+	if err := ds.Verify(cumulative); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nall %d records verified in place after %d parallel I/Os total\n",
-		cfg.N, p.Stats().ParallelIOs())
+		cfg.N, ds.Stats().ParallelIOs())
 	fmt.Printf("(a full pass over the data costs %d parallel I/Os)\n", cfg.PassIOs())
 
-	// v2: plan once, inspect, execute many times. The plan is computed
+	// Plan once, inspect, execute many times. The plan is computed
 	// (classified and, for general BMMC, factorized) exactly once here;
-	// each Execute just runs the prepared passes.
-	plan, err := p.Plan(bmmc.BitReversal(n))
+	// each Execute just runs the prepared passes — on this dataset or any
+	// other with the same Config.
+	plan, err := eng.Plan(cfg, bmmc.BitReversal(n))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nplanned: %v\n", plan)
 	for i := 0; i < 2; i++ {
-		if _, err := p.Execute(context.Background(), plan); err != nil {
+		if _, err := eng.Execute(ctx, plan, ds); err != nil {
 			log.Fatal(err)
 		}
 	}

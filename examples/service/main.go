@@ -1,9 +1,11 @@
 // Service mode end to end, in one process: start the bmmcd job manager
-// and HTTP surface on a loopback port, then drive it with the Go client —
-// submit a bit-reversal job with uploaded user data, watch per-pass
-// progress stream back, download the permuted records, and read the
-// daemon's aggregate metrics. Everything here works identically against a
-// standalone `bmmcd` daemon; only the server setup would disappear.
+// and HTTP surface on a loopback port, then drive the v3 dataset-handle
+// flow with the Go client — create a dataset, upload user records once,
+// chain two permutation jobs on the dataset handle (bit-reversal and its
+// inverse, which is bit-reversal again), watch them run in submission
+// order, download the composed result once, and delete the dataset.
+// Everything here works identically against a standalone `bmmcd` daemon;
+// only the server setup would disappear.
 package main
 
 import (
@@ -40,81 +42,74 @@ func main() {
 	c := client.New("http://" + ln.Addr().String())
 	ctx := context.Background()
 
-	// Submit: the response quotes the plan before any I/O happens.
-	req := client.NewSubmitRequest(cfg, p)
-	req.Backend = client.BackendFile
-	req.AwaitInput = true // run only after our data arrives
-	job, err := c.Submit(ctx, req)
+	// Create a dataset: storage provisioned once, shared by every job
+	// that references its handle.
+	dset, err := c.CreateDataset(ctx, client.CreateDatasetRequest{
+		Config:  cfg,
+		Backend: client.BackendFile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("job %s: class %s, %d passes, %d parallel I/Os (UB %d)\n",
-		job.ID, job.Plan.Class, job.Plan.PassCount, job.Plan.CostIOs, job.Plan.UpperBoundIOs)
+	fmt.Printf("dataset %s: %s backend, geometry %v\n", dset.ID, dset.Backend, dset.Config)
 
-	// Watch the lifecycle from the start — the job is still held for its
-	// input, so the subscription sees every transition and progress event.
-	loads := 0
-	type watchResult struct {
-		final *client.JobStatus
-		err   error
-	}
-	watched := make(chan watchResult, 1)
-	attached := make(chan struct{})
-	go func() {
-		first := true
-		final, err := c.Watch(ctx, job.ID, func(ev client.Event) {
-			if first {
-				first = false
-				close(attached) // the stream's state snapshot arrived
-			}
-			switch {
-			case ev.Progress != nil:
-				loads++
-			case ev.State != "":
-				fmt.Printf("  state: %s\n", ev.State)
-			}
-		})
-		watched <- watchResult{final, err}
-	}()
-	<-attached // subscribe before the data lands so no event is missed
-
-	// Upload N user records in the 16-byte wire format; the job becomes
-	// runnable the moment the last byte lands.
+	// Upload N user records once, in the 16-byte wire format.
 	input := make([]byte, cfg.N*bmmc.RecordBytes)
 	for i := 0; i < cfg.N; i++ {
 		bmmc.Record{Key: uint64(i) ^ 0xCAFE, Tag: uint64(i)}.Encode(input[i*bmmc.RecordBytes:])
 	}
-	if err := c.Upload(ctx, job.ID, bytes.NewReader(input)); err != nil {
+	if err := c.UploadDataset(ctx, dset.ID, bytes.NewReader(input)); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("uploaded %d records once\n", cfg.N)
 
-	res := <-watched
-	if res.err != nil {
-		log.Fatal(res.err)
-	}
-	final := res.final
-	fmt.Printf("finished %s after %d progress events, %d parallel I/Os\n",
-		final.State, loads, final.Report.ParallelIOs)
-
-	// Download and spot-check: source record x now lives at address p(x).
-	var out bytes.Buffer
-	if err := c.Download(ctx, job.ID, &out); err != nil {
+	// Chain two jobs on the dataset handle: no per-job storage, no
+	// re-upload, guaranteed submission-order execution. Bit reversal is
+	// its own inverse, so the chain composes to the identity.
+	j1, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, p))
+	if err != nil {
 		log.Fatal(err)
 	}
-	data := out.Bytes()
-	for _, x := range []uint64{0, 1, uint64(cfg.N) - 1} {
-		got := bmmc.DecodeRecord(data[p.Apply(x)*bmmc.RecordBytes:])
-		want := bmmc.DecodeRecord(input[x*bmmc.RecordBytes:])
-		if got != want {
-			log.Fatalf("record %d misplaced: got %+v want %+v", x, got, want)
+	fmt.Printf("job %s: class %s, %d passes, %d parallel I/Os (UB %d)\n",
+		j1.ID, j1.Plan.Class, j1.Plan.PassCount, j1.Plan.CostIOs, j1.Plan.UpperBoundIOs)
+	j2, err := c.Submit(ctx, client.NewDatasetSubmitRequest(dset.ID, p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: chained on the same dataset (plan shared: %v)\n", j2.ID, j2.Plan.PassCount > 0)
+
+	// Watch both to completion; jobs on one dataset run in submission
+	// order, so j2's terminal state implies the whole chain is done.
+	for _, id := range []string{j1.ID, j2.ID} {
+		final, err := c.Watch(ctx, id, nil)
+		if err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("  job %s finished %s after %d parallel I/Os\n",
+			id, final.State, final.Report.ParallelIOs)
 	}
-	fmt.Println("downloaded records verified against the uploaded data")
+
+	// Download once: the dataset holds the chain's composed output, which
+	// for rev∘rev is exactly the uploaded records.
+	var out bytes.Buffer
+	if err := c.DownloadDataset(ctx, dset.ID, &out); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), input) {
+		log.Fatal("chained rev∘rev did not restore the uploaded records")
+	}
+	fmt.Println("downloaded records equal the upload: the chain composed to the identity")
 
 	mt, err := c.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("daemon metrics: %d jobs done, %d aggregate parallel I/Os, plan cache %d/%d hits\n",
-		mt.JobsDone, mt.ParallelIOs, mt.PlanCacheHits, mt.PlanCacheHits+mt.PlanCacheMisses)
+	fmt.Printf("daemon metrics: %d jobs done (%d via dataset handles), plan cache %d/%d hits\n",
+		mt.JobsDone, mt.DatasetJobsRun, mt.PlanCacheHits, mt.PlanCacheHits+mt.PlanCacheMisses)
+
+	// Delete the dataset; its storage is reclaimed.
+	if _, err := c.DeleteDataset(ctx, dset.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset deleted")
 }

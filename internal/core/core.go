@@ -1,16 +1,18 @@
-// Package core assembles the paper's contribution into the high-level
-// object the public API exposes: a Permuter that owns a simulated parallel
-// disk system and performs BMMC permutations with the asymptotically
-// optimal algorithm of Section 5, dispatching to the one-pass MRC/MLD
-// executors when the permutation's class allows, and detecting BMMC
-// structure in raw target-address vectors at run time (Section 6).
+// Package core assembles the paper's contribution into the objects the
+// public API exposes. Since v3 those are two decoupled nouns: a Dataset
+// (records at rest on a storage Backend under one machine Config) and a
+// stateless Engine (execution options plus the plan cache) that drives any
+// number of Datasets; Plan remains the first-class planning result joining
+// them. The v1/v2 Permuter survives as a thin compatibility facade — one
+// Engine bound to one Dataset — so existing callers keep working
+// unchanged. Run-time BMMC detection (Section 6) rounds the package out.
 package core
 
 import (
 	"context"
 	"fmt"
+	"io"
 
-	"repro/internal/bounds"
 	"repro/internal/detect"
 	"repro/internal/engine"
 	"repro/internal/factor"
@@ -18,26 +20,28 @@ import (
 	"repro/internal/perm"
 )
 
-// DefaultPlanCacheEntries is the plan-cache capacity a Permuter gets when
-// WithPlanCache is not specified.
+// DefaultPlanCacheEntries is the plan-cache capacity an Engine (or
+// Permuter) gets when WithPlanCache is not specified.
 const DefaultPlanCacheEntries = 32
 
-// Permuter owns a parallel disk system holding N records and performs
-// permutations on them. Create one with NewPermuter (RAM-backed) or
-// NewFilePermuter (one file per simulated disk).
+// Permuter is the v1/v2 compatibility facade: one Engine bound to one
+// Dataset, so the welded data-plus-compute API keeps working while new
+// code reaches for the decoupled halves via Engine() and Dataset() — or
+// constructs them directly with NewEngine and CreateDataset.
 type Permuter struct {
-	sys   *pdm.System
-	opt   engine.Options
-	fuse  bool
-	cache *planCache
+	eng *Engine
+	ds  *Dataset
 }
 
-// Option configures a Permuter at construction. The execution options
+// Option configures an Engine, a Dataset, or a Permuter at construction
+// (and, for Engine methods, per call). The execution options
 // (WithPipeline, WithWorkers, WithConcurrentIO) tune wall-clock speed only
 // and never change the permuted result or the measured parallel-I/O
 // counts. The planning options (WithFusion, WithPlanCache) sit above
 // execution: fusion can only lower the measured cost — never the result —
-// and caching only skips repeated planning work.
+// and caching only skips repeated planning work. The storage options
+// (WithBackend, WithConcurrentIO) are read by Dataset constructors;
+// everything else by Engine constructors; a Permuter reads all of them.
 type Option func(*settings)
 
 type settings struct {
@@ -68,7 +72,8 @@ func WithWorkers(n int) Option {
 
 // WithConcurrentIO dispatches the per-disk transfers inside each parallel
 // I/O on one goroutine per disk, letting file-backed disks overlap real
-// storage latency the way D physical spindles would. Off by default.
+// storage latency the way D physical spindles would. Off by default. A
+// storage option: read by Dataset (and Permuter) constructors.
 func WithConcurrentIO(on bool) Option {
 	return func(s *settings) { s.concurrentIO = on }
 }
@@ -91,43 +96,33 @@ func WithPlanCache(n int) Option {
 	return func(s *settings) { s.cacheSize = n }
 }
 
-// WithBackend selects the storage backend the Permuter's disk system lives
+// WithBackend selects the storage backend a Dataset's disk system lives
 // on: pdm.MemBackend() (the default), pdm.FileBackend(dir),
 // pdm.ShardedFileBackend(dirs...), or any user implementation of
-// pdm.Backend. The Permuter opens and owns the backend; Close closes it.
+// pdm.Backend. The Dataset opens and owns the backend; Close closes it.
 func WithBackend(b pdm.Backend) Option {
 	return func(s *settings) { s.backend = b }
 }
 
 // WithProgress installs a per-pass/per-memoryload progress callback,
 // invoked on the executing goroutine between counted parallel I/Os. It
-// must be cheap; it observes execution without altering it.
+// must be cheap, it observes execution without altering it, and it must
+// not touch the Dataset being executed (the run lock is held). Services
+// pass it per Execute call to track jobs on a shared Engine.
 func WithProgress(fn func(engine.PassEvent)) Option {
 	return func(s *settings) { s.opt.Progress = fn }
 }
 
-// NewPermuter returns a Permuter loaded with the canonical records
-// MakeRecord(0..N-1). The storage defaults to RAM; pass WithBackend to
-// put the records on files, sharded directories, or custom storage.
+// NewPermuter returns a Permuter — a fresh Engine bound to a fresh Dataset
+// loaded with the canonical records MakeRecord(0..N-1). The storage
+// defaults to RAM; pass WithBackend to put the records on files, sharded
+// directories, or custom storage.
 func NewPermuter(cfg pdm.Config, opts ...Option) (*Permuter, error) {
-	s := defaultSettings()
-	for _, o := range opts {
-		o(&s)
-	}
-	be := s.backend
-	if be == nil {
-		be = pdm.MemBackend()
-	}
-	sys, err := pdm.NewSystemBackend(cfg, be)
+	ds, err := CreateDataset(cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
-	sys.SetConcurrent(s.concurrentIO)
-	if err := engine.LoadSequential(sys); err != nil {
-		sys.Close()
-		return nil, err
-	}
-	return &Permuter{sys: sys, opt: s.opt, fuse: s.fuse, cache: newPlanCache(s.cacheSize)}, nil
+	return &Permuter{eng: NewEngine(opts...), ds: ds}, nil
 }
 
 // NewFilePermuter returns a Permuter whose D disks are files in dir. It
@@ -137,24 +132,32 @@ func NewFilePermuter(cfg pdm.Config, dir string, opts ...Option) (*Permuter, err
 	return NewPermuter(cfg, append([]Option{WithBackend(pdm.FileBackend(dir))}, opts...)...)
 }
 
+// Engine returns the execution engine half of the facade; it may be shared
+// with other Datasets.
+func (p *Permuter) Engine() *Engine { return p.eng }
+
+// Dataset returns the record-storage half of the facade; it may be driven
+// by other Engines.
+func (p *Permuter) Dataset() *Dataset { return p.ds }
+
 // Close releases the underlying storage backend.
-func (p *Permuter) Close() error { return p.sys.Close() }
+func (p *Permuter) Close() error { return p.ds.Close() }
 
 // Sync flushes the storage backend's buffered writes to stable storage.
-func (p *Permuter) Sync() error { return p.sys.Sync() }
+func (p *Permuter) Sync() error { return p.ds.Sync() }
 
 // Config returns the machine geometry.
-func (p *Permuter) Config() pdm.Config { return p.sys.Config() }
+func (p *Permuter) Config() pdm.Config { return p.ds.Config() }
 
 // System exposes the underlying disk system for advanced use (custom I/O
 // schedules, direct stats access).
-func (p *Permuter) System() *pdm.System { return p.sys }
+func (p *Permuter) System() *pdm.System { return p.ds.System() }
 
 // Stats returns the accumulated I/O statistics.
-func (p *Permuter) Stats() pdm.Stats { return p.sys.Stats() }
+func (p *Permuter) Stats() pdm.Stats { return p.ds.Stats() }
 
 // ResetStats zeroes the I/O counters.
-func (p *Permuter) ResetStats() { p.sys.ResetStats() }
+func (p *Permuter) ResetStats() { p.ds.ResetStats() }
 
 // Permute applies the BMMC permutation to the stored records using the
 // cheapest applicable algorithm (identity: free; MRC/MLD/inverse-MLD: one
@@ -162,7 +165,7 @@ func (p *Permuter) ResetStats() { p.sys.ResetStats() }
 // the plan cache and pass fusion when enabled). The returned Report
 // carries the measured cost next to the paper's bounds.
 func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
-	return p.PermuteContext(context.Background(), bp)
+	return p.eng.Permute(context.Background(), p.ds, bp)
 }
 
 // PermuteContext is Permute with a context checked between memoryloads.
@@ -171,39 +174,16 @@ func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
 // goroutine is drained, and the stored records are exactly the state after
 // the last completed pass, so the Permuter remains usable.
 func (p *Permuter) PermuteContext(ctx context.Context, bp perm.BMMC) (*Report, error) {
-	cp, hit, err := p.plan(bp)
-	if err != nil {
-		return nil, err
-	}
-	res, err := p.execute(ctx, cp)
-	if err != nil {
-		return nil, err
-	}
-	return p.report(bp, cp.class, res, hit), nil
+	return p.eng.Permute(ctx, p.ds, bp)
 }
 
-// plan returns the planning result Permute will execute for bp — the
-// dispatched class plus, for factored permutations, the (possibly fused)
-// plan — consulting the plan cache first. A cache hit skips classification
-// and factorization entirely; the boolean reports it.
+// plan returns the planning result Permute will execute for bp, consulting
+// the engine's plan cache; the boolean reports a cache hit.
 func (p *Permuter) plan(bp perm.BMMC) (*cachedPlan, bool, error) {
-	cfg := p.sys.Config()
-	if bp.Bits() != cfg.LgN() {
-		return nil, false, fmt.Errorf("core: permutation on %d-bit addresses, system has n=%d", bp.Bits(), cfg.LgN())
-	}
-	key := planKey(bp, cfg, p.fuse)
-	if cp := p.cache.get(key); cp != nil {
-		return cp, true, nil
-	}
-	cp, err := buildPlan(cfg, bp, p.fuse)
-	if err != nil {
-		return nil, false, err
-	}
-	p.cache.put(key, cp)
-	return cp, false, nil
+	return p.eng.planCached(p.ds.Config(), bp, p.eng.s.fuse)
 }
 
-// buildPlan is the uncached planning step shared by Permuter.plan and
+// buildPlan is the uncached planning step shared by Engine.planCached and
 // PlanFor: classify bp, synthesize the single pass for one-pass classes,
 // and run the Section 5 factorization (plus fusion when enabled) for full
 // BMMC permutations. Pure GF(2) computation; no disk system involved.
@@ -233,16 +213,8 @@ func buildPlan(cfg pdm.Config, bp perm.BMMC, fuse bool) (*cachedPlan, error) {
 	return cp, nil
 }
 
-// execute runs the prepared plan; the identity (nil plan) is free.
-func (p *Permuter) execute(ctx context.Context, cp *cachedPlan) (*engine.Result, error) {
-	if cp.plan == nil {
-		return &engine.Result{}, nil
-	}
-	return engine.RunPlanOpt(ctx, p.sys, cp.plan, p.opt)
-}
-
 // CacheStats returns the plan cache's hit/miss/eviction counters.
-func (p *Permuter) CacheStats() CacheStats { return p.cache.snapshot() }
+func (p *Permuter) CacheStats() CacheStats { return p.eng.CacheStats() }
 
 // PermuteFactored forces the full Section 5 factoring algorithm even for
 // permutations that have a cheaper class, for measurement purposes. It
@@ -250,29 +222,13 @@ func (p *Permuter) CacheStats() CacheStats { return p.cache.snapshot() }
 // unoptimized Theorem 21 algorithm. ctx follows the PermuteContext
 // cancellation contract.
 func (p *Permuter) PermuteFactored(ctx context.Context, bp perm.BMMC) (*Report, error) {
-	res, err := engine.RunBMMCOpt(ctx, p.sys, bp, p.opt)
-	if err != nil {
-		return nil, err
-	}
-	cfg := p.sys.Config()
-	return p.report(bp, bp.Classify(cfg.LgB(), cfg.LgM()), res, false), nil
+	return p.eng.PermuteFactored(ctx, p.ds, bp)
 }
 
 // PermuteComposed applies a sequence of BMMC permutations (perms[0] first)
 // as a single composed permutation, which by Lemma 1 is again BMMC.
-// Because the cost depends only on the composite's rank gamma, composing is
-// never more expensive than running the sequence one call at a time, and is
-// usually much cheaper (e.g. a permutation followed by its inverse costs
-// nothing).
 func (p *Permuter) PermuteComposed(perms ...perm.BMMC) (*Report, error) {
-	if len(perms) == 0 {
-		return p.Permute(perm.Identity(p.sys.Config().LgN()))
-	}
-	composite := perms[0]
-	for _, q := range perms[1:] {
-		composite = q.Compose(composite)
-	}
-	return p.Permute(composite)
+	return p.eng.PermuteComposed(context.Background(), p.ds, perms...)
 }
 
 // BatchReport pairs the per-job reports of a PermuteAll run with the
@@ -293,65 +249,26 @@ func (r *BatchReport) String() string {
 // PermuteAll applies each permutation in order — the stored records end up
 // permuted by the composition, with every intermediate state materialized
 // on disk, unlike PermuteComposed. All jobs are planned up front through
-// the plan cache, so a batch with repeated permutations (FFT reorderings,
-// transpose round-trips) factorizes each distinct one once; execution then
-// reuses the prepared plans. The report carries per-job and aggregate
-// costs. ctx follows the PermuteContext cancellation contract; on error
-// the records hold the state after the last completed pass.
+// the plan cache; execution then reuses the prepared plans. ctx follows
+// the PermuteContext cancellation contract.
 func (p *Permuter) PermuteAll(ctx context.Context, perms []perm.BMMC) (*BatchReport, error) {
-	batch := &BatchReport{}
-	type job struct {
-		cp  *cachedPlan
-		hit bool
-	}
-	jobs := make([]job, len(perms))
-	for i, bp := range perms {
-		cp, hit, err := p.plan(bp)
-		if err != nil {
-			return nil, fmt.Errorf("core: planning job %d/%d: %w", i+1, len(perms), err)
-		}
-		jobs[i] = job{cp: cp, hit: hit}
-		if cp.class == perm.ClassBMMC {
-			if hit {
-				batch.CacheHits++
-			} else {
-				batch.Planned++
-			}
-		}
-	}
-	for i, bp := range perms {
-		res, err := p.execute(ctx, jobs[i].cp)
-		if err != nil {
-			return nil, fmt.Errorf("core: job %d/%d: %w", i+1, len(perms), err)
-		}
-		rep := p.report(bp, jobs[i].cp.class, res, jobs[i].hit)
-		batch.Jobs = append(batch.Jobs, rep)
-		batch.Passes += rep.Passes
-		batch.ParallelIOs += rep.ParallelIOs
-	}
-	return batch, nil
+	return p.eng.PermuteAll(ctx, p.ds, perms)
 }
 
 // PermuteGeneral applies an arbitrary bijection on addresses using the
 // external merge-sort baseline. targetOf must map 0..N-1 onto itself.
 // ctx follows the PermuteContext cancellation contract.
 func (p *Permuter) PermuteGeneral(ctx context.Context, targetOf func(uint64) uint64) (*Report, error) {
-	res, err := engine.GeneralPermuteOpt(ctx, p.sys, targetOf, p.opt)
-	if err != nil {
-		return nil, err
-	}
-	return &Report{Passes: res.Passes, ParallelIOs: res.ParallelIOs}, nil
+	return p.eng.PermuteGeneral(ctx, p.ds, targetOf)
 }
 
 // Verify checks that the stored records are exactly the image of the
 // canonical initial layout under the given cumulative permutation.
-func (p *Permuter) Verify(bp perm.BMMC) error {
-	return engine.VerifyBMMC(p.sys, p.sys.Source(), bp)
-}
+func (p *Permuter) Verify(bp perm.BMMC) error { return p.ds.Verify(bp) }
 
 // VerifyMapping checks the stored records against an arbitrary bijection.
 func (p *Permuter) VerifyMapping(targetOf func(uint64) uint64) error {
-	return engine.VerifyMapping(p.sys, p.sys.Source(), targetOf)
+	return p.ds.VerifyMapping(targetOf)
 }
 
 // Records returns the stored records in address order (diagnostic; not
@@ -360,17 +277,21 @@ func (p *Permuter) VerifyMapping(targetOf func(uint64) uint64) error {
 // source and target portions swap roles after every pass, so after an odd
 // number of passes the records physically sit in PortionB; callers never
 // need to track this, but code addressing the System directly does.
-func (p *Permuter) Records() ([]pdm.Record, error) {
-	return p.sys.DumpRecords(p.sys.Source())
-}
+func (p *Permuter) Records() ([]pdm.Record, error) { return p.ds.Records() }
 
 // LoadRecords replaces the stored records (diagnostic; not counted as
 // I/O). Like Records, it targets the current source portion — the records
 // the next Permute call will read — regardless of how many passes have run
 // and which physical portion that currently is.
-func (p *Permuter) LoadRecords(recs []pdm.Record) error {
-	return p.sys.LoadRecords(p.sys.Source(), recs)
-}
+func (p *Permuter) LoadRecords(recs []pdm.Record) error { return p.ds.LoadRecords(recs) }
+
+// Load replaces the Permuter's stored records with exactly N records read
+// from r in the library's wire format; see Dataset.Load.
+func (p *Permuter) Load(ctx context.Context, r io.Reader) error { return p.ds.Load(ctx, r) }
+
+// Dump writes the stored records to w in address order in the wire format;
+// see Dataset.Dump.
+func (p *Permuter) Dump(ctx context.Context, w io.Writer) error { return p.ds.Dump(ctx, w) }
 
 // Report pairs a run's measured cost with the paper's bound expressions
 // and the planning metadata of the run.
@@ -388,27 +309,6 @@ type Report struct {
 	UpperBound   int     // Theorem 21 guarantee
 	SortBound    float64 // asymptotic sorting expression (N/BD)lg(N/B)/lg(M/B)
 	SortBaseline int     // exact parallel I/Os of the merge-sort baseline
-}
-
-func (p *Permuter) report(bp perm.BMMC, class perm.Class, res *engine.Result, cached bool) *Report {
-	cfg := p.sys.Config()
-	g := bp.RankGamma(cfg.LgB())
-	rep := &Report{
-		Class:        class,
-		Passes:       res.Passes,
-		ParallelIOs:  res.ParallelIOs,
-		PlanCached:   cached,
-		RankGamma:    g,
-		LowerBound:   bounds.LowerBound(cfg, g),
-		RefinedLB:    bounds.RefinedLowerBound(cfg, g),
-		UpperBound:   bounds.UpperBound(cfg, g),
-		SortBound:    bounds.SortBound(cfg),
-		SortBaseline: bounds.MergeSortIOs(cfg),
-	}
-	if res.Plan != nil {
-		rep.FusedFrom = res.Plan.FusedFrom
-	}
-	return rep
 }
 
 func (r *Report) String() string {

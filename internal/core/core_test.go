@@ -123,7 +123,7 @@ func TestPermuterFaultSurface(t *testing.T) {
 	// Build the permuter by hand around the faulty system: LoadRecords
 	// bypasses counting but still writes blocks, so give it headroom and
 	// then trip the fault during the permutation.
-	p := &Permuter{sys: sys}
+	p := &Permuter{eng: NewEngine(), ds: &Dataset{sys: sys}}
 	defer p.Close()
 	recs := make([]pdm.Record, coreConfig.N)
 	for i := range recs {

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// Engine is the stateless compute half of the v3 Dataset/Engine split: it
+// holds only execution options (pipelining, scatter workers, progress) and
+// the LRU plan cache — never any records or storage. One Engine drives any
+// number of Datasets from any number of goroutines; every Execute takes
+// its target Dataset's exclusive run lock for the duration of the run, so
+// concurrent executions on distinct Datasets proceed in parallel while two
+// executions on one Dataset serialize.
+//
+// Every Engine method accepts per-call Option overrides layered over the
+// construction-time settings — services use this to install a per-job
+// WithProgress callback on a shared Engine, or to flip fusion per request
+// — without any cross-call interference.
+type Engine struct {
+	s     settings
+	cache *planCache
+}
+
+// NewEngine builds an execution engine from the planning and execution
+// options (WithPipeline, WithWorkers, WithFusion, WithPlanCache,
+// WithProgress). Storage options (WithBackend, WithConcurrentIO) belong to
+// CreateDataset and are ignored here.
+func NewEngine(opts ...Option) *Engine {
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	return &Engine{s: s, cache: newPlanCache(s.cacheSize)}
+}
+
+// overlay returns the engine's settings with per-call options applied.
+func (e *Engine) overlay(opts []Option) settings {
+	s := e.s
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// CacheStats returns the plan cache's hit/miss/eviction counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.snapshot() }
+
+// planCached returns the planning result for bp on cfg — the dispatched
+// class plus, for factored permutations, the (possibly fused) plan —
+// consulting the plan cache first. A cache hit skips classification and
+// factorization entirely; the boolean reports it.
+func (e *Engine) planCached(cfg pdm.Config, bp perm.BMMC, fuse bool) (*cachedPlan, bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	// The key deliberately omits n = lg N (the pass structure depends only
+	// on the permutation and lg B / lg M), so the width check must happen
+	// before the lookup: a hit would otherwise smuggle a wrong-sized
+	// permutation past the validation that lives in buildPlan.
+	if bp.Bits() != cfg.LgN() {
+		return nil, false, fmt.Errorf("core: permutation on %d-bit addresses, system has n=%d", bp.Bits(), cfg.LgN())
+	}
+	key := planKey(bp, cfg, fuse)
+	if cp := e.cache.get(key); cp != nil {
+		return cp, true, nil
+	}
+	cp, err := buildPlan(cfg, bp, fuse)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, cp)
+	return cp, false, nil
+}
+
+// Plan classifies and (for full BMMC permutations) factorizes bp for the
+// given geometry, consulting the engine's plan cache, and returns the plan
+// without executing it. Plans are immutable and portable: a Plan built
+// here executes on any Dataset with the same Config, through this Engine
+// or any other.
+func (e *Engine) Plan(cfg pdm.Config, bp perm.BMMC, opts ...Option) (*Plan, error) {
+	s := e.overlay(opts)
+	cp, hit, err := e.planCached(cfg, bp, s.fuse)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{perm: bp, cfg: cfg, class: cp.class, fplan: cp.plan, cached: hit}, nil
+}
+
+// checkTarget validates an execution target against a plan's geometry.
+func checkTarget(pl *Plan, ds *Dataset) error {
+	if pl == nil {
+		return errors.New("core: Execute of a nil plan")
+	}
+	if ds == nil {
+		return errors.New("core: Execute on a nil Dataset")
+	}
+	if pl.cfg != ds.Config() {
+		return fmt.Errorf("core: plan built for geometry %v, Dataset has %v", pl.cfg, ds.Config())
+	}
+	return nil
+}
+
+// runPlan executes a prepared plan on a dataset's disk system. The caller
+// holds the dataset's run lock; the identity (nil plan) is free.
+func runPlan(ctx context.Context, sys *pdm.System, cp *cachedPlan, opt engine.Options) (*engine.Result, error) {
+	if cp.plan == nil {
+		return &engine.Result{}, nil
+	}
+	return engine.RunPlanOpt(ctx, sys, cp.plan, opt)
+}
+
+// Execute runs a prepared plan against ds's stored records and reports the
+// measured cost. No planning happens here: the pass list is taken from pl
+// as-is, so N Execute calls of one Plan factorize exactly once (at Plan
+// time) and yield records and Stats identical to N Permute calls. The
+// dataset's run lock is held for the whole run: concurrent Executes on one
+// Dataset serialize (each seeing the previous run's output), and reads
+// wait for the run to finish.
+//
+// ctx is checked between memoryloads; cancellation aborts the run with
+// ctx's error before the next memoryload is read — no counted parallel
+// I/O is cut short, the pipeline's prefetch goroutine is drained, and the
+// stored records are exactly the state after the last completed pass, so
+// the Dataset remains usable. The plan's geometry must equal the
+// Dataset's.
+func (e *Engine) Execute(ctx context.Context, pl *Plan, ds *Dataset, opts ...Option) (*Report, error) {
+	if err := checkTarget(pl, ds); err != nil {
+		return nil, err
+	}
+	s := e.overlay(opts)
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	res, err := runPlan(ctx, ds.sys, &cachedPlan{class: pl.class, plan: pl.fplan}, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(ds.Config(), pl.perm, pl.class, res, pl.cached), nil
+}
+
+// ExecuteAll runs a prepared plan sequence in order on one Dataset with
+// one context and aggregates the per-plan reports, stopping at the first
+// error. Each plan's run takes the dataset lock separately, so a long
+// chain does not starve concurrent readers between steps. Because all
+// planning happened at Plan time, the report's CacheHits/Planned counters
+// stay zero (they describe planning done by the call itself).
+func (e *Engine) ExecuteAll(ctx context.Context, plans []*Plan, ds *Dataset, opts ...Option) (*BatchReport, error) {
+	batch := &BatchReport{}
+	for i, pl := range plans {
+		rep, err := e.Execute(ctx, pl, ds, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing plan %d/%d: %w", i+1, len(plans), err)
+		}
+		batch.Jobs = append(batch.Jobs, rep)
+		batch.Passes += rep.Passes
+		batch.ParallelIOs += rep.ParallelIOs
+	}
+	return batch, nil
+}
+
+// Permute plans bp through the engine's cache and executes it on ds — the
+// fused plan-and-run call. The returned Report carries the measured cost
+// next to the paper's bounds. ctx follows the Execute cancellation
+// contract.
+func (e *Engine) Permute(ctx context.Context, ds *Dataset, bp perm.BMMC, opts ...Option) (*Report, error) {
+	s := e.overlay(opts)
+	cp, hit, err := e.planCached(ds.Config(), bp, s.fuse)
+	if err != nil {
+		return nil, err
+	}
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	res, err := runPlan(ctx, ds.sys, cp, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(ds.Config(), bp, cp.class, res, hit), nil
+}
+
+// PermuteAll applies each permutation in order on ds — the stored records
+// end up permuted by the composition, with every intermediate state
+// materialized on disk, unlike PermuteComposed. All jobs are planned up
+// front through the plan cache, so a batch with repeated permutations
+// factorizes each distinct one once; execution then reuses the prepared
+// plans. ctx follows the Execute cancellation contract; on error the
+// records hold the state after the last completed pass.
+func (e *Engine) PermuteAll(ctx context.Context, ds *Dataset, perms []perm.BMMC, opts ...Option) (*BatchReport, error) {
+	s := e.overlay(opts)
+	batch := &BatchReport{}
+	type job struct {
+		cp  *cachedPlan
+		hit bool
+	}
+	jobs := make([]job, len(perms))
+	for i, bp := range perms {
+		cp, hit, err := e.planCached(ds.Config(), bp, s.fuse)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning job %d/%d: %w", i+1, len(perms), err)
+		}
+		jobs[i] = job{cp: cp, hit: hit}
+		if cp.class == perm.ClassBMMC {
+			if hit {
+				batch.CacheHits++
+			} else {
+				batch.Planned++
+			}
+		}
+	}
+	for i, bp := range perms {
+		rep, err := func() (*Report, error) {
+			ds.sys.AcquireRun()
+			defer ds.sys.ReleaseRun()
+			res, err := runPlan(ctx, ds.sys, jobs[i].cp, s.opt)
+			if err != nil {
+				return nil, err
+			}
+			return buildReport(ds.Config(), bp, jobs[i].cp.class, res, jobs[i].hit), nil
+		}()
+		if err != nil {
+			return nil, fmt.Errorf("core: job %d/%d: %w", i+1, len(perms), err)
+		}
+		batch.Jobs = append(batch.Jobs, rep)
+		batch.Passes += rep.Passes
+		batch.ParallelIOs += rep.ParallelIOs
+	}
+	return batch, nil
+}
+
+// PermuteComposed applies a sequence of BMMC permutations (perms[0] first)
+// as a single composed permutation, which by Lemma 1 is again BMMC.
+// Because the cost depends only on the composite's rank gamma, composing
+// is never more expensive than running the sequence one call at a time,
+// and is usually much cheaper (e.g. a permutation followed by its inverse
+// costs nothing).
+func (e *Engine) PermuteComposed(ctx context.Context, ds *Dataset, perms ...perm.BMMC) (*Report, error) {
+	if len(perms) == 0 {
+		return e.Permute(ctx, ds, perm.Identity(ds.Config().LgN()))
+	}
+	composite := perms[0]
+	for _, q := range perms[1:] {
+		composite = q.Compose(composite)
+	}
+	return e.Permute(ctx, ds, composite)
+}
+
+// PermuteFactored forces the full Section 5 factoring algorithm even for
+// permutations that have a cheaper class, for measurement purposes. It
+// bypasses the plan cache and fusion so the measured cost is exactly the
+// unoptimized Theorem 21 algorithm. ctx follows the Execute cancellation
+// contract.
+func (e *Engine) PermuteFactored(ctx context.Context, ds *Dataset, bp perm.BMMC, opts ...Option) (*Report, error) {
+	s := e.overlay(opts)
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	res, err := engine.RunBMMCOpt(ctx, ds.sys, bp, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ds.Config()
+	return buildReport(cfg, bp, bp.Classify(cfg.LgB(), cfg.LgM()), res, false), nil
+}
+
+// PermuteGeneral applies an arbitrary bijection on addresses using the
+// external merge-sort baseline. targetOf must map 0..N-1 onto itself.
+// ctx follows the Execute cancellation contract.
+func (e *Engine) PermuteGeneral(ctx context.Context, ds *Dataset, targetOf func(uint64) uint64, opts ...Option) (*Report, error) {
+	s := e.overlay(opts)
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	res, err := engine.GeneralPermuteOpt(ctx, ds.sys, targetOf, s.opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Passes: res.Passes, ParallelIOs: res.ParallelIOs}, nil
+}
+
+// buildReport pairs a run's measured cost with the paper's bound
+// expressions and the planning metadata of the run.
+func buildReport(cfg pdm.Config, bp perm.BMMC, class perm.Class, res *engine.Result, cached bool) *Report {
+	g := bp.RankGamma(cfg.LgB())
+	rep := &Report{
+		Class:        class,
+		Passes:       res.Passes,
+		ParallelIOs:  res.ParallelIOs,
+		PlanCached:   cached,
+		RankGamma:    g,
+		LowerBound:   bounds.LowerBound(cfg, g),
+		RefinedLB:    bounds.RefinedLowerBound(cfg, g),
+		UpperBound:   bounds.UpperBound(cfg, g),
+		SortBound:    bounds.SortBound(cfg),
+		SortBaseline: bounds.MergeSortIOs(cfg),
+	}
+	if res.Plan != nil {
+		rep.FusedFrom = res.Plan.FusedFrom
+	}
+	return rep
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 
@@ -32,11 +31,7 @@ type Plan struct {
 // process and may be executed any number of times, on this Permuter or on
 // any other with the same Config.
 func (p *Permuter) Plan(bp perm.BMMC) (*Plan, error) {
-	cp, hit, err := p.plan(bp)
-	if err != nil {
-		return nil, err
-	}
-	return &Plan{perm: bp, cfg: p.sys.Config(), class: cp.class, fplan: cp.plan, cached: hit}, nil
+	return p.eng.Plan(p.ds.Config(), bp)
 }
 
 // PlanFor classifies and (for full BMMC permutations) factorizes bp for an
@@ -108,17 +103,7 @@ func (pc *PlanCache) Stats() CacheStats { return pc.c.snapshot() }
 // ctx is checked between memoryloads; see PermuteContext for the
 // cancellation contract. The plan's geometry must equal the Permuter's.
 func (p *Permuter) Execute(ctx context.Context, pl *Plan) (*Report, error) {
-	if pl == nil {
-		return nil, errors.New("core: Execute of a nil plan")
-	}
-	if pl.cfg != p.sys.Config() {
-		return nil, fmt.Errorf("core: plan built for geometry %v, Permuter has %v", pl.cfg, p.sys.Config())
-	}
-	res, err := p.execute(ctx, &cachedPlan{class: pl.class, plan: pl.fplan})
-	if err != nil {
-		return nil, err
-	}
-	return p.report(pl.perm, pl.class, res, pl.cached), nil
+	return p.eng.Execute(ctx, pl, p.ds)
 }
 
 // Permutation returns the permutation the plan performs.
@@ -211,15 +196,5 @@ func (pl *Plan) Describe() string {
 // work occurs in the batch: the report's CacheHits/Planned counters stay
 // zero (they describe planning done by the call itself).
 func (p *Permuter) ExecuteAll(ctx context.Context, plans []*Plan) (*BatchReport, error) {
-	batch := &BatchReport{}
-	for i, pl := range plans {
-		rep, err := p.Execute(ctx, pl)
-		if err != nil {
-			return nil, fmt.Errorf("core: executing plan %d/%d: %w", i+1, len(plans), err)
-		}
-		batch.Jobs = append(batch.Jobs, rep)
-		batch.Passes += rep.Passes
-		batch.ParallelIOs += rep.ParallelIOs
-	}
-	return batch, nil
+	return p.eng.ExecuteAll(ctx, plans, p.ds)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -836,12 +837,139 @@ func BackendSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 	return t, nil
 }
 
+// Chain (E19) measures what the v3 Dataset/Engine split buys multi-step
+// pipelines: a two-step permutation chain run the v3 way — upload once
+// onto one file-backed Dataset, execute both steps back-to-back, download
+// once — against the v2-era flow that provisions fresh storage per job and
+// re-streams the records between steps (download step 1, upload into step
+// 2). Parallel-I/O counts are identical by construction (the model charges
+// only counted I/O); the chained flow moves 2N records over the data plane
+// instead of 4N and skips a storage provisioning, which is the wall-clock
+// gap the table reports.
+func Chain(cfg pdm.Config, seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.LgN()
+	steps := []perm.BMMC{perm.BitReversal(n), perm.Transpose(n/2, n-n/2)}
+	t := &Table{
+		ID:      "E19 (chained jobs)",
+		Title:   fmt.Sprintf("2-step chain via one dataset vs re-upload per job on %v", cfg),
+		Columns: []string{"mode", "wall-clock", "records streamed", "datasets", "parallel I/Os", "within"},
+		Notes: []string{
+			"both modes run bit-reversal then transpose on file-backed storage with identical records and I/O counts",
+			"chained: load once, execute back-to-back, dump once; re-upload: fresh dataset + dump + load between steps",
+		},
+	}
+
+	// One shared input, so both modes permute identical records.
+	input := make([]pdm.Record, cfg.N)
+	for i := range input {
+		input[i] = pdm.Record{Key: rng.Uint64(), Tag: uint64(i)}
+	}
+	input[0].Key = 0 // pin one deterministic record for the final diff
+	encode := func(recs []pdm.Record) []byte {
+		buf := make([]byte, len(recs)*pdm.RecordBytes)
+		for i, r := range recs {
+			r.Encode(buf[i*pdm.RecordBytes:])
+		}
+		return buf
+	}
+	wire := encode(input)
+	ctx := context.Background()
+	eng := core.NewEngine()
+
+	newDataset := func() (*core.Dataset, string, error) {
+		dir, err := os.MkdirTemp("", "bmmc-chain-")
+		if err != nil {
+			return nil, "", err
+		}
+		ds, err := core.CreateDataset(cfg, core.WithBackend(pdm.FileBackend(dir)))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", err
+		}
+		return ds, dir, nil
+	}
+
+	// Mode 1 — chained on one dataset: upload once, two executes, download
+	// once. 2N records cross the data plane.
+	startChained := time.Now()
+	chainedOut, chainedIOs, err := func() ([]byte, int, error) {
+		ds, dir, err := newDataset()
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(dir)
+		defer ds.Close()
+		if err := ds.Load(ctx, bytes.NewReader(wire)); err != nil {
+			return nil, 0, err
+		}
+		for _, p := range steps {
+			if _, err := eng.Permute(ctx, ds, p); err != nil {
+				return nil, 0, err
+			}
+		}
+		var out bytes.Buffer
+		if err := ds.Dump(ctx, &out); err != nil {
+			return nil, 0, err
+		}
+		return out.Bytes(), ds.Stats().ParallelIOs(), nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	chainedElapsed := time.Since(startChained)
+
+	// Mode 2 — re-upload per job: each step gets fresh storage and the
+	// records are streamed out of one job and into the next. 4N records
+	// cross the data plane and a second dataset is provisioned.
+	var reupOut []byte
+	var reupIOs int
+	startReup := time.Now()
+	cur := wire
+	for _, p := range steps {
+		err := func() error {
+			ds, dir, err := newDataset()
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			defer ds.Close()
+			if err := ds.Load(ctx, bytes.NewReader(cur)); err != nil {
+				return err
+			}
+			if _, err := eng.Permute(ctx, ds, p); err != nil {
+				return err
+			}
+			var out bytes.Buffer
+			if err := ds.Dump(ctx, &out); err != nil {
+				return err
+			}
+			cur = out.Bytes()
+			reupIOs += ds.Stats().ParallelIOs()
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	reupOut = cur
+	reupElapsed := time.Since(startReup)
+
+	identical := bytes.Equal(chainedOut, reupOut)
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000) }
+	t.AddRow("chained (one dataset)", ms(chainedElapsed), itoa(2*cfg.N), "1", itoa(chainedIOs),
+		passFail(identical && chainedIOs == reupIOs))
+	t.AddRow("re-upload per job", ms(reupElapsed), itoa(4*cfg.N), "2", itoa(reupIOs),
+		passFail(identical))
+	return t, nil
+}
+
 // Names lists every experiment in execution order.
 func Names() []string {
 	return []string{
 		"table1", "tightbounds", "crossover", "mld", "detect", "potential",
 		"transpose", "scaling", "lemma9", "ablation", "inverse", "pipeline",
-		"fusion", "plancache", "backend",
+		"fusion", "plancache", "backend", "chain",
 	}
 }
 
@@ -891,6 +1019,8 @@ func ByName(name string) func(pdm.Config, int64) (*Table, error) {
 		return PlanCache
 	case "backend":
 		return BackendSpeed
+	case "chain":
+		return Chain
 	default:
 		return nil
 	}

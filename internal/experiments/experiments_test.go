@@ -32,8 +32,8 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiment tables, got %d", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 experiment tables, got %d", len(tables))
 	}
 	for _, tbl := range tables {
 		checkAllPass(t, tbl)

@@ -18,17 +18,27 @@ type FileDisk struct {
 	buf       []byte // scratch encoding buffer, one block
 }
 
-// NewFileDisk creates (or truncates) the file at path and sizes it to hold
-// numBlocks blocks of blockSize records, all zero.
+// NewFileDisk opens (or creates) the file at path and sizes it to hold
+// numBlocks blocks of blockSize records. A file that already has exactly
+// the right size keeps its contents — this is what lets OpenDataset
+// reattach to records a previous process left behind — while a new or
+// wrong-sized file is resized (new bytes are zero). Callers that need a
+// known starting state overwrite the records themselves, as the canonical
+// loaders do.
 func NewFileDisk(path string, numBlocks, blockSize int) (*FileDisk, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pdm: create file disk: %w", err)
 	}
 	size := int64(numBlocks) * int64(blockSize) * RecordBytes
-	if err := f.Truncate(size); err != nil {
+	if st, err := f.Stat(); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("pdm: size file disk: %w", err)
+		return nil, fmt.Errorf("pdm: stat file disk: %w", err)
+	} else if st.Size() != size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pdm: size file disk: %w", err)
+		}
 	}
 	return &FileDisk{
 		f:         f,

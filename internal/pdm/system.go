@@ -36,6 +36,15 @@ type BlockIO struct {
 // through ParallelRead/ParallelWrite (or the striped wrappers), which
 // enforce the model's one-block-per-disk rule and count every operation.
 // The bytes themselves live in a pluggable storage Backend.
+//
+// A System is the disk-resident state of one dataset: the records, the
+// storage backend they live on, and the source/target portion roles that
+// track which physical portion holds the current data. The memory and
+// portion roles are execution state shared by every pass over the dataset,
+// so runs must be serialized: engines (and anything else mutating the
+// records) hold the run lock (AcquireRun/ReleaseRun) for the whole run,
+// while readers of data-at-rest (dumps, verification) hold the shared read
+// lock (AcquireRead/ReleaseRead) and may overlap each other freely.
 type System struct {
 	cfg      Config
 	be       Backend
@@ -45,7 +54,8 @@ type System struct {
 	source   Portion
 	observer Observer // optional per-operation trace hook
 
-	mu sync.Mutex // guards stats and observer across overlapping operations
+	mu    sync.Mutex   // guards stats and observer across overlapping operations
+	runMu sync.RWMutex // dataset lock: writers are runs, readers are dumps
 }
 
 // NewSystem builds a System over the given configuration. factory is called
@@ -110,6 +120,25 @@ func (s *System) ResetStats() {
 	defer s.mu.Unlock()
 	s.stats.Reset()
 }
+
+// AcquireRun takes the dataset's exclusive run lock. Exactly one run —
+// a permutation execution, a record load, anything that mutates the stored
+// records or swaps the portion roles — may hold it at a time, and it
+// excludes AcquireRead readers for the duration. The lock is not
+// reentrant: code already inside a run must not re-acquire it.
+func (s *System) AcquireRun() { s.runMu.Lock() }
+
+// ReleaseRun releases the exclusive run lock.
+func (s *System) ReleaseRun() { s.runMu.Unlock() }
+
+// AcquireRead takes the dataset's shared read lock: any number of readers
+// of data-at-rest (DumpRecords, verification scans) may hold it
+// concurrently, and it excludes runs. Backends already serialize per-disk
+// access, so concurrent readers are safe all the way down.
+func (s *System) AcquireRead() { s.runMu.RLock() }
+
+// ReleaseRead releases the shared read lock.
+func (s *System) ReleaseRead() { s.runMu.RUnlock() }
 
 // Source returns the portion currently holding the input of the next pass.
 func (s *System) Source() Portion { return s.source }

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	bmmc "repro"
+)
+
+// dsEntry is one daemon-resident dataset: a bmmc.Dataset on provisioned
+// storage plus the service-level bookkeeping that lets many jobs chain on
+// it safely. The entry owns three invariants:
+//
+//   - Jobs bound to one dataset execute in submission order (the ticket
+//     turnstile), so a chain "bit-reversal then its inverse" composes the
+//     way the submitter wrote it even with a multi-worker pool.
+//   - The data plane and the job plane exclude each other: uploads and
+//     downloads are admitted only while no job is active, and jobs are
+//     admitted only while no stream is in flight, so a stream never
+//     observes (or feeds) a half-permuted dataset.
+//   - Deletion is refused (409) while jobs are active, waits for in-flight
+//     streams to drain, and is idempotent; Shutdown drains datasets the
+//     same way it drains jobs.
+type dsEntry struct {
+	id      string
+	backend string
+	cfg     bmmc.Config
+	ds      *bmmc.Dataset
+	dir     string // provisioned storage directory ("" for mem)
+	created time.Time
+
+	mu         sync.Mutex
+	cond       *sync.Cond   // signaled when a stream ends or the turnstile moves
+	active     int          // jobs bound to this dataset that are not yet terminal
+	nextTicket int          // next execution-order ticket to hand out
+	nowServing int          // ticket currently allowed to execute
+	retired    map[int]bool // tickets retired ahead of their turn (abandoned jobs)
+	jobsRun    int          // jobs that executed on this dataset
+	loaded     bool         // user records uploaded (else canonical)
+	streams    int          // uploads + downloads in flight
+	released   bool         // storage closed and removed (or being removed)
+}
+
+func newDSEntry(id, backend string, cfg bmmc.Config, ds *bmmc.Dataset, dir string) *dsEntry {
+	d := &dsEntry{id: id, backend: backend, cfg: cfg, ds: ds, dir: dir,
+		created: time.Now(), retired: make(map[int]bool)}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// errDatasetGone is the terminal-state error for data-plane and job
+// submissions against a deleted dataset.
+func (d *dsEntry) errGone() error {
+	return &httpError{http.StatusGone, "dataset " + d.id + " has been deleted"}
+}
+
+// bind reserves an execution-order ticket for a new job on this dataset,
+// counting the job as active until it reaches a terminal state. It refuses
+// deleted datasets and datasets with a stream in flight (finish uploads
+// before chaining jobs).
+func (d *dsEntry) bind() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.released {
+		return 0, d.errGone()
+	}
+	if d.streams > 0 {
+		return 0, &httpError{http.StatusConflict, "dataset " + d.id + " has an upload or download in flight"}
+	}
+	d.active++
+	t := d.nextTicket
+	d.nextTicket++
+	return t, nil
+}
+
+// waitTurn blocks until ticket's job may execute. Workers dequeue jobs in
+// submission order, so the wait is short: it only covers the window where
+// a later job of the same dataset was claimed by a second worker while an
+// earlier one still runs.
+func (d *dsEntry) waitTurn(ticket int) {
+	d.mu.Lock()
+	for d.nowServing != ticket {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// retire takes ticket out of the turnstile — after its job executed, was
+// canceled, or was abandoned before ever reaching a worker. Each ticket is
+// retired exactly once; retirement may arrive out of order, and the
+// turnstile advances past every consecutively retired ticket.
+func (d *dsEntry) retire(ticket int) {
+	d.mu.Lock()
+	d.retired[ticket] = true
+	for d.retired[d.nowServing] {
+		delete(d.retired, d.nowServing)
+		d.nowServing++
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// jobDone drops a terminal job's active reference (each job calls it
+// exactly once, from its terminal state transition).
+func (d *dsEntry) jobDone() {
+	d.mu.Lock()
+	d.active--
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// ran records that a job actually executed on the dataset.
+func (d *dsEntry) ran() {
+	d.mu.Lock()
+	d.jobsRun++
+	d.mu.Unlock()
+}
+
+// startStream admits an upload or download: only while the dataset is
+// alive and no job is queued or running on it.
+func (d *dsEntry) startStream() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.released {
+		return d.errGone()
+	}
+	if d.active > 0 {
+		return &httpError{http.StatusConflict, "dataset " + d.id + " has active jobs: wait for them before streaming data"}
+	}
+	d.streams++
+	return nil
+}
+
+// endStream retires a stream, marking the dataset loaded when an upload
+// completed successfully.
+func (d *dsEntry) endStream(uploaded bool) {
+	d.mu.Lock()
+	d.streams--
+	if uploaded {
+		d.loaded = true
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Upload replaces the dataset's records with N records from r in the
+// 16-byte wire format. ctx is the transport context.
+func (d *dsEntry) Upload(ctx context.Context, r io.Reader) error {
+	if err := d.startStream(); err != nil {
+		return err
+	}
+	err := d.ds.Load(ctx, r)
+	d.endStream(err == nil)
+	if err != nil {
+		return &httpError{http.StatusBadRequest, "loading dataset input: " + err.Error()}
+	}
+	return nil
+}
+
+// Download streams the dataset's current records — the output of the most
+// recent chained job — to w in the wire format. The HTTP layer admits the
+// stream itself (startStream before committing headers) and uses the
+// parts directly; this composed form serves in-process callers and tests.
+func (d *dsEntry) Download(ctx context.Context, w io.Writer) error {
+	if err := d.startStream(); err != nil {
+		return err
+	}
+	defer d.endStream(false)
+	return d.ds.Dump(ctx, w)
+}
+
+// Status snapshots the dataset as its wire representation.
+func (d *dsEntry) Status() *DatasetStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return &DatasetStatus{
+		ID:          d.id,
+		Config:      d.cfg,
+		Backend:     d.backend,
+		InputLoaded: d.loaded,
+		ActiveJobs:  d.active,
+		JobsRun:     d.jobsRun,
+		Released:    d.released,
+		Created:     d.created,
+	}
+}
+
+// tryRelease marks the dataset deleted if no job is active, then waits for
+// in-flight streams to drain. It returns whether the caller now owns the
+// storage teardown (exactly one caller ever does) — a second delete of an
+// already-released dataset is a successful no-op.
+func (d *dsEntry) tryRelease() (owner bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.released {
+		return false, nil
+	}
+	if d.active > 0 {
+		return false, &httpError{http.StatusConflict, "dataset " + d.id + " has active jobs: cancel or await them before deleting"}
+	}
+	d.released = true
+	for d.streams > 0 {
+		d.cond.Wait()
+	}
+	return true, nil
+}

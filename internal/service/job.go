@@ -10,11 +10,12 @@ import (
 	bmmc "repro"
 )
 
-// Job is one admitted permutation job: a private Permuter (its own storage
-// backend and I/O statistics), a prepared plan from the manager's shared
-// cache, and a lifecycle the worker pool drives through the State machine.
-// All mutable fields are guarded by mu; the cond gates the worker and the
-// release path on in-flight input uploads.
+// Job is one admitted permutation job: an execution target (either a
+// private per-job Dataset with its own storage, or a handle on a shared
+// daemon Dataset for chained jobs), a prepared plan from the manager's
+// shared Engine, and a lifecycle the worker pool drives through the State
+// machine. All mutable fields are guarded by mu; the cond gates the worker
+// and the release path on in-flight input uploads.
 type Job struct {
 	id      string
 	cfg     bmmc.Config
@@ -24,17 +25,22 @@ type Job struct {
 
 	summary    *PlanSummary
 	plan       *bmmc.Plan
-	planShared bool // plan came from the manager's shared cache
+	planShared bool // plan came from the manager's shared Engine cache
 
-	permuter *bmmc.Permuter
-	dir      string // job-private storage directory ("" for mem)
-	ctx      context.Context
-	cancel   context.CancelFunc
-	events   *broadcaster
-	hook     func(*Job, bmmc.PassEvent) // test instrumentation, run on the executing goroutine
-	enqueue  func(*Job)                 // manager callback releasing an await-input job to the workers
+	ds      *bmmc.Dataset // execution target
+	ownsDS  bool          // per-job storage: release closes and removes it
+	dsEntry *dsEntry      // non-nil for dataset-handle jobs (shared storage)
+	ticket  int           // execution-order ticket on dsEntry
+	dir     string        // job-private storage directory ("" for mem/shared)
+	ctx     context.Context
+	cancel  context.CancelFunc
+	events  *broadcaster
+	hook    func(*Job, bmmc.PassEvent) // test instrumentation, run on the executing goroutine
+	enqueue func(*Job)                 // manager callback releasing an await-input job to the workers
 
 	inputTimer *time.Timer // expires a pending await-input job; nil otherwise
+
+	statsBefore bmmc.Stats // dataset stats at claim time; the job's cost is the delta
 
 	mu          sync.Mutex
 	cond        *sync.Cond // signaled when an upload finishes
@@ -81,6 +87,9 @@ func (j *Job) Status() *JobStatus {
 		Released:    j.released,
 		Submitted:   j.submitted,
 	}
+	if j.dsEntry != nil {
+		st.Dataset = j.dsEntry.id
+	}
 	if j.progress != nil {
 		p := *j.progress
 		st.Progress = &p
@@ -107,9 +116,11 @@ func (j *Job) Status() *JobStatus {
 func (j *Job) Subscribe() (<-chan Event, func()) { return j.events.subscribe() }
 
 // setState transitions the job and publishes the state event; terminal
-// states also stamp the finish time and close the event stream. Callers
-// hold j.mu.
+// states also stamp the finish time, close the event stream, and drop the
+// job's active reference on its shared dataset (so deletes and new streams
+// unblock the moment the chain's last job finishes). Callers hold j.mu.
 func (j *Job) setStateLocked(s State) {
+	wasTerminal := j.state.Terminal()
 	j.state = s
 	if s.Terminal() {
 		j.finished = time.Now()
@@ -117,6 +128,9 @@ func (j *Job) setStateLocked(s State) {
 	j.events.publish(Event{Type: EventState, JobID: j.id, State: s, Error: j.errMsg})
 	if s.Terminal() {
 		j.events.close()
+		if j.dsEntry != nil && !wasTerminal {
+			j.dsEntry.jobDone()
+		}
 	}
 }
 
@@ -140,6 +154,10 @@ func (j *Job) onProgress(ev bmmc.PassEvent) {
 // time. ctx is the transport context (the HTTP request); the job's own
 // context also aborts the read when the job is canceled mid-upload.
 func (j *Job) Upload(ctx context.Context, r io.Reader) error {
+	if j.dsEntry != nil {
+		return &httpError{http.StatusConflict,
+			"job " + j.id + " runs on dataset " + j.dsEntry.id + ": upload via PUT /v1/datasets/" + j.dsEntry.id + "/input before submitting"}
+	}
 	j.mu.Lock()
 	if j.state != StateQueued || j.claimed {
 		st := j.state
@@ -155,7 +173,7 @@ func (j *Job) Upload(ctx context.Context, r io.Reader) error {
 
 	loadCtx, cancelLoad := context.WithCancel(ctx)
 	stop := context.AfterFunc(j.ctx, cancelLoad) // job cancellation aborts the read too
-	err := j.permuter.Load(loadCtx, r)
+	err := j.ds.Load(loadCtx, r)
 	stop()
 	cancelLoad()
 
@@ -184,9 +202,14 @@ func (j *Job) Upload(ctx context.Context, r io.Reader) error {
 }
 
 // outputReadyLocked reports whether the job currently has downloadable
-// output: it must be done and its storage not yet released. Callers hold
+// output: it must be done, own its storage (dataset-handle jobs serve
+// output through the dataset resource), and not be released. Callers hold
 // j.mu.
 func (j *Job) outputReadyLocked() error {
+	if j.dsEntry != nil {
+		return &httpError{http.StatusConflict,
+			"job " + j.id + " runs on dataset " + j.dsEntry.id + ": download via GET /v1/datasets/" + j.dsEntry.id + "/output"}
+	}
 	if j.state != StateDone {
 		return &httpError{http.StatusConflict, "job " + j.id + " is " + string(j.state) + ": output available only when done"}
 	}
@@ -222,7 +245,7 @@ func (j *Job) Download(ctx context.Context, w io.Writer) error {
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	}()
-	return j.permuter.Dump(ctx, w)
+	return j.ds.Dump(ctx, w)
 }
 
 // waitIdleLocked blocks until no upload or download is in flight. Callers

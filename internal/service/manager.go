@@ -70,8 +70,10 @@ var ErrQueueFull = &httpError{http.StatusTooManyRequests, "job queue full"}
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = &httpError{http.StatusServiceUnavailable, "daemon is shutting down"}
 
-// Manager owns the daemon's job table, the FIFO admission queue, the
-// bounded worker pool, the shared plan cache, and the aggregate metrics.
+// Manager owns the daemon's job table, the dataset table, the FIFO
+// admission queue, the bounded worker pool, the one shared execution
+// Engine (and with it the daemon-wide plan cache), and the aggregate
+// metrics.
 type Manager struct {
 	cfg     ManagerConfig
 	log     *slog.Logger
@@ -82,17 +84,20 @@ type Manager struct {
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
-	plans *bmmc.PlanCache // shared across jobs; same machinery as the Permuter cache
+	eng *bmmc.Engine // one stateless engine drives every job's dataset
 
 	mu       sync.Mutex
 	closed   bool
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
+	datasets map[string]*dsEntry
+	dsOrder  []string // creation order, for listing
 	queueLen int      // reserved admission-queue slots
 	seq      int
 	rng      *rand.Rand
 
 	submitted int
+	created   int // datasets ever created
 	agg       struct {
 		passes, ios, reads, writes int
 	}
@@ -120,13 +125,14 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		log = slog.New(slog.DiscardHandler)
 	}
 	m := &Manager{
-		cfg:   cfg,
-		log:   log,
-		queue: make(chan *Job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
-		jobs:  make(map[string]*Job),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		plans: bmmc.NewPlanCache(cfg.PlanCacheEntries),
+		cfg:      cfg,
+		log:      log,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		jobs:     make(map[string]*Job),
+		datasets: make(map[string]*dsEntry),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		eng:      bmmc.NewEngine(bmmc.WithPlanCache(cfg.PlanCacheEntries)),
 	}
 	m.baseDir = cfg.Dir
 	if m.baseDir == "" {
@@ -145,32 +151,59 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	return m, nil
 }
 
-// Submit validates, plans (through the shared plan cache), provisions
-// per-job storage, and enqueues a new job. It returns the admitted job —
-// whose Plan summary quotes class, pass structure, and cost bounds before
-// a single I/O happens — or ErrQueueFull when the admission queue is at
-// capacity.
+// Submit validates, plans (through the shared Engine's plan cache),
+// binds the job to its execution target — a freshly provisioned per-job
+// Dataset, or the shared daemon Dataset named by req.Dataset — and
+// enqueues it. It returns the admitted job, whose Plan summary quotes
+// class, pass structure, and cost bounds before a single I/O happens, or
+// ErrQueueFull when the admission queue is at capacity. Jobs referencing
+// one dataset execute in submission order, so chained permutations
+// compose the way they were submitted.
 func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
-	if err := req.Config.Validate(); err != nil {
-		return nil, &httpError{http.StatusBadRequest, err.Error()}
-	}
 	p, err := bmmc.ParsePermutation([]byte(req.Perm))
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
-	backend := req.Backend
-	if backend == "" {
-		backend = BackendMem
-	}
-	if backend != BackendMem && backend != BackendFile && backend != BackendSharded {
-		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want mem, file, or sharded)", backend)}
-	}
 	fuse := req.Fuse == nil || *req.Fuse
 
-	pl, shared, err := m.plans.PlanFor(req.Config, p, fuse)
+	var entry *dsEntry
+	backend := req.Backend
+	cfg := req.Config
+	if req.Dataset != "" {
+		// Dataset-handle job: the dataset supplies storage and geometry.
+		if req.Backend != "" {
+			return nil, &httpError{http.StatusBadRequest, "dataset jobs take their storage from the dataset: leave backend empty"}
+		}
+		if req.AwaitInput {
+			return nil, &httpError{http.StatusBadRequest, "dataset jobs take their input from the dataset: await_input is not applicable"}
+		}
+		var ok bool
+		entry, ok = m.Dataset(req.Dataset)
+		if !ok {
+			return nil, errUnknownDataset(req.Dataset)
+		}
+		if (cfg != bmmc.Config{}) && cfg != entry.cfg {
+			return nil, &httpError{http.StatusBadRequest,
+				fmt.Sprintf("request geometry %v does not match dataset %s geometry %v (omit config to inherit it)", cfg, entry.id, entry.cfg)}
+		}
+		cfg, backend = entry.cfg, entry.backend
+	} else {
+		if err := cfg.Validate(); err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		if backend == "" {
+			backend = BackendMem
+		}
+		if backend != BackendMem && backend != BackendFile && backend != BackendSharded {
+			return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want mem, file, or sharded)", backend)}
+		}
+	}
+
+	pl, err := m.eng.Plan(cfg, p, bmmc.WithFusion(fuse))
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
+	shared := pl.Cached()
 
 	// Reserve an admission slot before paying for storage provisioning.
 	m.mu.Lock()
@@ -190,7 +223,7 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		id:         id,
-		cfg:        req.Config,
+		cfg:        cfg,
 		backend:    backend,
 		perm:       p,
 		fuse:       fuse,
@@ -208,35 +241,53 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	}
 	j.cond = sync.NewCond(&j.mu)
 
-	be, dir, err := m.provision(id, backend)
-	if err == nil {
-		j.dir = dir
-		j.permuter, err = bmmc.NewPermuter(req.Config,
-			bmmc.WithBackend(be),
-			bmmc.WithFusion(fuse),
-			bmmc.WithProgress(j.onProgress))
-	}
-	if err != nil {
-		cancel()
-		if dir != "" {
-			os.RemoveAll(dir)
+	if entry != nil {
+		// Bind to the shared dataset: take an execution-order ticket and an
+		// active reference. No storage is provisioned and no data moves.
+		ticket, err := entry.bind()
+		if err != nil {
+			cancel()
+			m.mu.Lock()
+			m.queueLen--
+			m.mu.Unlock()
+			return nil, err
 		}
-		m.mu.Lock()
-		m.queueLen--
-		m.mu.Unlock()
-		// A provisioning failure is the daemon\'s problem (full volume,
-		// permissions), not the caller\'s: surface it as a server error.
-		return nil, &httpError{http.StatusInternalServerError, "provisioning job storage: " + err.Error()}
+		j.ds, j.dsEntry, j.ticket = entry.ds, entry, ticket
+		j.inputLoaded = entry.Status().InputLoaded
+	} else {
+		be, dir, err := m.provision("job-"+id, backend)
+		if err == nil {
+			j.dir = dir
+			j.ownsDS = true
+			j.ds, err = bmmc.CreateDataset(cfg, bmmc.WithBackend(be))
+		}
+		if err != nil {
+			cancel()
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			m.mu.Lock()
+			m.queueLen--
+			m.mu.Unlock()
+			// A provisioning failure is the daemon's problem (full volume,
+			// permissions), not the caller's: surface it as a server error.
+			return nil, &httpError{http.StatusInternalServerError, "provisioning job storage: " + err.Error()}
+		}
 	}
 
 	m.mu.Lock()
-	if m.closed { // shutdown raced the provisioning above
+	if m.closed { // shutdown raced the binding above
 		m.queueLen--
 		m.mu.Unlock()
 		cancel()
-		j.permuter.Close()
-		if dir != "" {
-			os.RemoveAll(dir)
+		if j.dsEntry != nil {
+			j.dsEntry.retire(j.ticket) // hand the unused ticket through
+			j.dsEntry.jobDone()
+		} else {
+			j.ds.Close()
+			if j.dir != "" {
+				os.RemoveAll(j.dir)
+			}
 		}
 		return nil, ErrShuttingDown
 	}
@@ -256,9 +307,9 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		}
 		j.mu.Unlock()
 	}
-	m.log.Info("job queued", "job", id, "backend", backend, "config", req.Config.String(),
-		"class", j.summary.Class, "passes", j.summary.PassCount, "cost_ios", j.summary.CostIOs,
-		"plan_shared", shared, "await_input", req.AwaitInput)
+	m.log.Info("job queued", "job", id, "backend", backend, "dataset", req.Dataset,
+		"config", cfg.String(), "class", j.summary.Class, "passes", j.summary.PassCount,
+		"cost_ios", j.summary.CostIOs, "plan_shared", shared, "await_input", req.AwaitInput)
 	return j, nil
 }
 
@@ -276,17 +327,18 @@ func (m *Manager) enqueue(j *Job) {
 	m.queue <- j
 }
 
-// provision creates the storage a job's backend kind needs.
-func (m *Manager) provision(id, kind string) (bmmc.Backend, string, error) {
+// provision creates the storage a backend kind needs, under a uniquely
+// named directory for file-backed kinds ("" for mem).
+func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
 	switch kind {
 	case BackendFile:
-		dir := filepath.Join(m.baseDir, "job-"+id)
+		dir := filepath.Join(m.baseDir, name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, "", err
 		}
 		return bmmc.FileBackend(dir), dir, nil
 	case BackendSharded:
-		dir := filepath.Join(m.baseDir, "job-"+id)
+		dir := filepath.Join(m.baseDir, name)
 		shards := make([]string, m.cfg.Shards)
 		for i := range shards {
 			shards[i] = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
@@ -298,6 +350,105 @@ func (m *Manager) provision(id, kind string) (bmmc.Backend, string, error) {
 	default:
 		return bmmc.MemBackend(), "", nil
 	}
+}
+
+// CreateDataset validates, provisions storage, and registers a new shared
+// dataset holding the canonical records until an upload replaces them.
+func (m *Manager) CreateDataset(req CreateDatasetRequest) (*dsEntry, error) {
+	if err := req.Config.Validate(); err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = BackendMem
+	}
+	if backend != BackendMem && backend != BackendFile && backend != BackendSharded {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want mem, file, or sharded)", backend)}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.seq++
+	id := fmt.Sprintf("d%04d-%06x", m.seq, m.rng.Uint32()&0xffffff)
+	m.mu.Unlock()
+
+	be, dir, err := m.provision("ds-"+id, backend)
+	var ds *bmmc.Dataset
+	if err == nil {
+		ds, err = bmmc.CreateDataset(req.Config, bmmc.WithBackend(be))
+	}
+	if err != nil {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, &httpError{http.StatusInternalServerError, "provisioning dataset storage: " + err.Error()}
+	}
+	entry := newDSEntry(id, backend, req.Config, ds, dir)
+
+	m.mu.Lock()
+	if m.closed { // shutdown raced the provisioning above
+		m.mu.Unlock()
+		ds.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, ErrShuttingDown
+	}
+	m.datasets[id] = entry
+	m.dsOrder = append(m.dsOrder, id)
+	m.created++
+	m.mu.Unlock()
+	m.log.Info("dataset created", "dataset", id, "backend", backend, "config", req.Config.String())
+	return entry, nil
+}
+
+// Dataset looks a dataset up by id.
+func (m *Manager) Dataset(id string) (*dsEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.datasets[id]
+	return d, ok
+}
+
+// Datasets returns every dataset in creation order.
+func (m *Manager) Datasets() []*dsEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*dsEntry, 0, len(m.dsOrder))
+	for _, id := range m.dsOrder {
+		out = append(out, m.datasets[id])
+	}
+	return out
+}
+
+// DeleteDataset removes a dataset: refused with 409 while jobs are bound
+// to it, waits for in-flight uploads and downloads to drain, then closes
+// the storage and removes the provisioned directory. Deleting an
+// already-deleted dataset is a no-op; the metadata stays queryable.
+func (m *Manager) DeleteDataset(id string) (*dsEntry, error) {
+	d, ok := m.Dataset(id)
+	if !ok {
+		return nil, errUnknownDataset(id)
+	}
+	owner, err := d.tryRelease()
+	if err != nil {
+		return nil, err
+	}
+	if !owner {
+		return d, nil
+	}
+	if err := d.ds.Close(); err != nil {
+		m.log.Warn("closing dataset storage", "dataset", id, "err", err)
+	}
+	if d.dir != "" {
+		if err := os.RemoveAll(d.dir); err != nil {
+			m.log.Warn("removing dataset dir", "dataset", id, "err", err)
+		}
+	}
+	m.log.Info("dataset deleted", "dataset", id)
+	return d, nil
 }
 
 // expirePending cancels an await-input job whose upload never arrived
@@ -358,12 +509,21 @@ func (m *Manager) worker() {
 
 // run drives one dequeued job through planning, execution, and its
 // terminal state. A job canceled while queued is only released here —
-// never planned, never executed.
+// never planned, never executed. Dataset-handle jobs first wait for their
+// execution-order ticket, so a chain on one dataset runs in submission
+// order no matter how many workers race, and always retire the ticket on
+// the way out.
 func (m *Manager) run(j *Job) {
 	j.mu.Lock()
 	j.waitIdleLocked()
 	if j.state != StateQueued { // canceled while queued
 		j.mu.Unlock()
+		// Never executed: hand the unused execution ticket through so
+		// later jobs on the dataset are not blocked, and release without
+		// pinning this worker behind the dataset's running predecessors.
+		if j.dsEntry != nil {
+			j.dsEntry.retire(j.ticket)
+		}
 		m.release(j)
 		return
 	}
@@ -372,8 +532,22 @@ func (m *Manager) run(j *Job) {
 	j.setStateLocked(StatePlanning)
 	j.mu.Unlock()
 
+	// Chained jobs wait for their execution-order ticket here — after the
+	// claim, so a cancellation during the wait still resolves through the
+	// ctx check below — and always retire the ticket on the way out.
+	if j.dsEntry != nil {
+		j.dsEntry.waitTurn(j.ticket)
+		defer j.dsEntry.retire(j.ticket)
+	}
+	// The job's cost is the delta its run adds to the dataset's counters —
+	// snapshot after winning the turnstile, so chained predecessors'
+	// I/O is excluded exactly (for per-job storage the dataset is fresh
+	// and the delta is the total). finish always subtracts this snapshot,
+	// including on the canceled-before-execution path below.
+	j.statsBefore = j.ds.Stats()
+
 	// The plan itself was prepared at submit time through the shared
-	// cache; the planning state covers claiming the job, sealing its
+	// Engine; the planning state covers claiming the job, sealing its
 	// input, and binding the plan for execution.
 	if err := j.ctx.Err(); err != nil {
 		m.finish(j, nil, err)
@@ -384,7 +558,10 @@ func (m *Manager) run(j *Job) {
 	j.mu.Unlock()
 	m.log.Info("job running", "job", j.id, "input_loaded", j.Status().InputLoaded)
 
-	rep, err := j.permuter.Execute(j.ctx, j.plan)
+	if j.dsEntry != nil {
+		j.dsEntry.ran()
+	}
+	rep, err := m.eng.Execute(j.ctx, j.plan, j.ds, bmmc.WithProgress(j.onProgress))
 	m.finish(j, rep, err)
 }
 
@@ -393,7 +570,14 @@ func (m *Manager) run(j *Job) {
 // not complete have no output, so their storage is released immediately;
 // done jobs keep storage until downloaded and deleted (or Shutdown).
 func (m *Manager) finish(j *Job, rep *bmmc.Report, err error) {
-	stats := j.permuter.Stats()
+	// The job's cost is the delta over the dataset's counters at claim
+	// time: exact because jobs on one dataset are serialized by the ticket
+	// turnstile (and per-job datasets see only their own job).
+	stats := j.ds.Stats()
+	stats.ParallelReads -= j.statsBefore.ParallelReads
+	stats.ParallelWrites -= j.statsBefore.ParallelWrites
+	stats.BlocksRead -= j.statsBefore.BlocksRead
+	stats.BlocksWritten -= j.statsBefore.BlocksWritten
 	j.mu.Lock()
 	switch {
 	case err == nil:
@@ -428,6 +612,11 @@ func (m *Manager) finish(j *Job, rep *bmmc.Report, err error) {
 
 	if state == StateDone {
 		m.log.Info("job done", "job", j.id, "passes", rep.Passes, "parallel_ios", rep.ParallelIOs)
+		if j.dsEntry != nil {
+			// Nothing to download from the job itself; the chained output
+			// lives on the dataset. Mark the job released immediately.
+			m.release(j)
+		}
 	} else {
 		m.log.Info("job finished", "job", j.id, "state", string(state), "err", j.Status().Error)
 		m.release(j)
@@ -479,8 +668,10 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	return j, nil
 }
 
-// release closes the job's Permuter and removes its private storage. It
-// waits for in-flight uploads and downloads to drain first (marking the
+// release retires a job's hold on storage. For per-job storage it closes
+// the Dataset and removes the private directory; for dataset-handle jobs
+// the shared dataset stays untouched (its lifecycle is DeleteDataset's).
+// It waits for in-flight uploads and downloads to drain first (marking the
 // job released up front so no new stream can start) and is idempotent.
 func (m *Manager) release(j *Job) {
 	j.mu.Lock()
@@ -492,7 +683,10 @@ func (m *Manager) release(j *Job) {
 	j.waitIdleLocked()
 	j.mu.Unlock()
 	j.cancel()
-	if err := j.permuter.Close(); err != nil {
+	if !j.ownsDS {
+		return
+	}
+	if err := j.ds.Close(); err != nil {
 		m.log.Warn("closing job storage", "job", j.id, "err", err)
 	}
 	if j.dir != "" {
@@ -517,7 +711,15 @@ func (m *Manager) Metrics() *Metrics {
 		ParallelReads:  m.agg.reads,
 		ParallelWrites: m.agg.writes,
 	}
-	cs := m.plans.Stats()
+	mt.DatasetsCreated = m.created
+	for _, d := range m.datasets {
+		st := d.Status()
+		if !st.Released {
+			mt.DatasetsActive++
+		}
+		mt.DatasetJobsRun += st.JobsRun
+	}
+	cs := m.eng.CacheStats()
 	mt.PlanCacheHits, mt.PlanCacheMisses, mt.PlanCacheSize = cs.Hits, cs.Misses, cs.Size
 	if total := cs.Hits + cs.Misses; total > 0 {
 		mt.PlanCacheRate = float64(cs.Hits) / float64(total)
@@ -543,7 +745,9 @@ func (m *Manager) Metrics() *Metrics {
 
 // Shutdown drains the daemon: no new submissions are admitted, queued jobs
 // are canceled, and running jobs get until ctx's deadline to finish before
-// their contexts are canceled. All job storage is released before return.
+// their contexts are canceled. All job storage is released and all shared
+// datasets are drained (in-flight downloads finish) and removed before
+// return.
 func (m *Manager) Shutdown(ctx context.Context) {
 	m.mu.Lock()
 	if m.closed {
@@ -555,6 +759,10 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
+	}
+	datasets := make([]*dsEntry, 0, len(m.datasets))
+	for _, d := range m.datasets {
+		datasets = append(datasets, d)
 	}
 	m.mu.Unlock()
 
@@ -588,8 +796,19 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	for _, j := range jobs {
 		m.release(j)
 	}
+	// Every job is terminal, so each dataset's active count is zero:
+	// tryRelease only has to wait out in-flight download streams, exactly
+	// the way job release drains its data plane.
+	for _, d := range datasets {
+		if owner, err := d.tryRelease(); err == nil && owner {
+			d.ds.Close()
+			if d.dir != "" {
+				os.RemoveAll(d.dir)
+			}
+		}
+	}
 	if m.ownsDir {
 		os.RemoveAll(m.baseDir)
 	}
-	m.log.Info("job manager stopped", "jobs_processed", len(jobs))
+	m.log.Info("job manager stopped", "jobs_processed", len(jobs), "datasets", len(datasets))
 }

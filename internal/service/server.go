@@ -26,6 +26,10 @@ func errUnknownJob(id string) error {
 	return &httpError{http.StatusNotFound, fmt.Sprintf("unknown job %q", id)}
 }
 
+func errUnknownDataset(id string) error {
+	return &httpError{http.StatusNotFound, fmt.Sprintf("unknown dataset %q", id)}
+}
+
 // maxSubmitBody bounds POST /v1/jobs bodies; a marshaled permutation on
 // 64-bit addresses is under 5 KB, so 1 MB is generous.
 const maxSubmitBody = 1 << 20
@@ -39,11 +43,18 @@ const maxSubmitBody = 1 << 20
 //	DELETE /v1/jobs/{id}        cancel (or release a terminal job)
 //	PUT    /v1/jobs/{id}/input  upload N records in the 16-byte wire format
 //	GET    /v1/jobs/{id}/output download the permuted records
+//	POST   /v1/datasets         create a dataset (CreateDatasetRequest -> DatasetStatus, 201)
+//	GET    /v1/datasets         list datasets in creation order
+//	GET    /v1/datasets/{id}    dataset status
+//	DELETE /v1/datasets/{id}    delete (409 while jobs are bound; waits for streams)
+//	PUT    /v1/datasets/{id}/input  upload N records once, for any number of jobs
+//	GET    /v1/datasets/{id}/output download the dataset's current records
 //	GET    /v1/metrics          daemon-wide gauges
 //
 // Errors are JSON objects {"error": "..."} with the appropriate status:
-// 400 for invalid requests, 404 for unknown jobs, 409 for wrong-state data
-// plane calls, 429 when the admission queue is full.
+// 400 for invalid requests, 404 for unknown jobs or datasets, 409 for
+// wrong-state data plane calls (including dataset deletes while jobs are
+// bound), 410 for deleted datasets, 429 when the admission queue is full.
 func NewHandler(m *Manager, logger *slog.Logger) http.Handler {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -57,6 +68,12 @@ func NewHandler(m *Manager, logger *slog.Logger) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("PUT /v1/jobs/{id}/input", s.input)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.output)
+	mux.HandleFunc("POST /v1/datasets", s.createDataset)
+	mux.HandleFunc("GET /v1/datasets", s.listDatasets)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.datasetStatus)
+	mux.HandleFunc("DELETE /v1/datasets/{id}", s.deleteDataset)
+	mux.HandleFunc("PUT /v1/datasets/{id}/input", s.datasetInput)
+	mux.HandleFunc("GET /v1/datasets/{id}/output", s.datasetOutput)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	return mux
 }
@@ -169,6 +186,93 @@ func (s *server) output(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.m.Metrics())
+}
+
+func (s *server) dataset(w http.ResponseWriter, r *http.Request) (*dsEntry, bool) {
+	d, ok := s.m.Dataset(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, errUnknownDataset(r.PathValue("id")))
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *server) createDataset(w http.ResponseWriter, r *http.Request) {
+	var req CreateDatasetRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, &httpError{http.StatusBadRequest, "decoding request: " + err.Error()})
+		return
+	}
+	d, err := s.m.CreateDataset(req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, d.Status())
+}
+
+func (s *server) listDatasets(w http.ResponseWriter, r *http.Request) {
+	datasets := s.m.Datasets()
+	out := make([]*DatasetStatus, len(datasets))
+	for i, d := range datasets {
+		out[i] = d.Status()
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) datasetStatus(w http.ResponseWriter, r *http.Request) {
+	if d, ok := s.dataset(w, r); ok {
+		s.writeJSON(w, http.StatusOK, d.Status())
+	}
+}
+
+func (s *server) deleteDataset(w http.ResponseWriter, r *http.Request) {
+	d, err := s.m.DeleteDataset(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, d.Status())
+}
+
+func (s *server) datasetInput(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	if want := int64(d.cfg.N) * bmmc.RecordBytes; r.ContentLength >= 0 && r.ContentLength != want {
+		s.writeErr(w, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("input must be exactly N*%d = %d bytes, got Content-Length %d", bmmc.RecordBytes, want, r.ContentLength)})
+		return
+	}
+	if err := d.Upload(r.Context(), r.Body); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) datasetOutput(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.dataset(w, r)
+	if !ok {
+		return
+	}
+	// Admit the stream before committing headers: once startStream
+	// succeeds the dataset cannot gain a job or be deleted under us, so
+	// wrong-state requests get a clean JSON error and admitted requests
+	// get the full byte stream — never a 200 with a truncated body.
+	if err := d.startStream(); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer d.endStream(false)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(int64(d.cfg.N)*bmmc.RecordBytes))
+	if err := d.ds.Dump(r.Context(), w); err != nil {
+		// Headers are committed; log and cut the stream short.
+		s.log.Warn("dataset output stream aborted", "dataset", d.id, "err", err)
+	}
 }
 
 // events streams a job's lifecycle as server-sent events: one "data:" line

@@ -60,12 +60,21 @@ const (
 
 // SubmitRequest is the body of POST /v1/jobs: the machine geometry, the
 // permutation in the MarshalPermutation text format, and the storage the
-// job's simulated disks should live on.
+// job runs on — either a per-job backend kind provisioned for this job
+// alone, or (via Dataset) a handle on a shared daemon dataset so chained
+// permutations run back-to-back on the same storage with zero re-upload.
 type SubmitRequest struct {
-	Config  bmmc.Config `json:"config"`
+	Config  bmmc.Config `json:"config,omitempty"`
 	Perm    string      `json:"perm"`
 	Backend string      `json:"backend,omitempty"` // "mem" (default), "file", "sharded"
 	Fuse    *bool       `json:"fuse,omitempty"`    // pass fusion; nil means on
+	// Dataset names a dataset created via POST /v1/datasets. The job then
+	// executes on that dataset's storage — input is whatever the dataset
+	// currently holds, output stays on the dataset for the next job or a
+	// final download — and jobs referencing one dataset run in submission
+	// order. Config may be omitted (the dataset's geometry is inherited)
+	// and Backend/AwaitInput must be: the dataset owns storage and data.
+	Dataset string `json:"dataset,omitempty"`
 	// AwaitInput holds the job out of the execution queue — while still
 	// occupying an admission slot — until a PUT /input upload completes, so
 	// workers never race ahead of the data plane. The daemon cancels the
@@ -74,6 +83,30 @@ type SubmitRequest struct {
 	// the job is runnable immediately and permutes the canonical records
 	// (or whatever an upload managed to land while it sat queued).
 	AwaitInput bool `json:"await_input,omitempty"`
+}
+
+// CreateDatasetRequest is the body of POST /v1/datasets: the machine
+// geometry and the storage kind the dataset's simulated disks live on.
+// The dataset is created holding the canonical records MakeRecord(0..N-1);
+// replace them with PUT /v1/datasets/{id}/input.
+type CreateDatasetRequest struct {
+	Config  bmmc.Config `json:"config"`
+	Backend string      `json:"backend,omitempty"` // "mem" (default), "file", "sharded"
+}
+
+// DatasetStatus is the wire rendering of one dataset: GET
+// /v1/datasets/{id}. ActiveJobs counts jobs bound to the dataset that have
+// not reached a terminal state; while it is nonzero the data plane is
+// closed (409) and DELETE is refused (409).
+type DatasetStatus struct {
+	ID          string      `json:"id"`
+	Config      bmmc.Config `json:"config"`
+	Backend     string      `json:"backend"`
+	InputLoaded bool        `json:"input_loaded"`       // user records uploaded (else canonical)
+	ActiveJobs  int         `json:"active_jobs"`        // bound jobs not yet terminal
+	JobsRun     int         `json:"jobs_run"`           // jobs that executed on this dataset
+	Released    bool        `json:"released,omitempty"` // deleted; storage reclaimed
+	Created     time.Time   `json:"created"`
 }
 
 // PassSummary is one one-pass permutation within a PlanSummary.
@@ -148,6 +181,7 @@ type JobStatus struct {
 	Error       string       `json:"error,omitempty"`
 	Config      bmmc.Config  `json:"config"`
 	Backend     string       `json:"backend"`
+	Dataset     string       `json:"dataset,omitempty"` // shared dataset the job runs on
 	Plan        *PlanSummary `json:"plan"`
 	InputLoaded bool         `json:"input_loaded"`       // user records uploaded (else canonical)
 	Released    bool         `json:"released,omitempty"` // storage reclaimed; output gone
@@ -174,6 +208,10 @@ type Metrics struct {
 	QueueDepth    int `json:"queue_depth"`    // jobs waiting in the admission queue
 	QueueCapacity int `json:"queue_capacity"` // admission queue bound (backpressure beyond it)
 	Workers       int `json:"workers"`        // worker pool size
+
+	DatasetsCreated int `json:"datasets_created"` // datasets ever created
+	DatasetsActive  int `json:"datasets_active"`  // datasets not yet deleted
+	DatasetJobsRun  int `json:"dataset_jobs_run"` // jobs executed via dataset handles
 
 	Passes         int `json:"passes"`          // aggregate executed passes
 	ParallelIOs    int `json:"parallel_ios"`    // aggregate parallel I/Os
