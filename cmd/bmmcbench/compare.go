@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// minCompareElapsed is the noise floor for the regression gate: experiments
+// faster than this are dominated by scheduler and allocator jitter rather
+// than the code under test, so their ratios are reported but never fail
+// the comparison.
+const minCompareElapsed = 50 * time.Millisecond
+
+// compareSnapshots loads two -json snapshots (the "old" baseline and the
+// "new" candidate) and compares per-experiment wall-clock. Experiments are
+// keyed by ID plus Title, so a geometry change makes an experiment "new"
+// rather than silently comparing incomparable runs. It prints one line per
+// shared experiment and returns an error naming every experiment whose
+// elapsed time regressed by more than tolerance (a fraction: 0.10 = 10%).
+func compareSnapshots(oldPath, newPath string, tolerance float64) error {
+	oldTabs, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newTabs, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	key := func(t *experiments.Table) string { return t.ID + " | " + t.Title }
+	baseline := make(map[string]*experiments.Table, len(oldTabs))
+	for _, t := range oldTabs {
+		baseline[key(t)] = t
+	}
+	var regressions []string
+	shared := 0
+	for _, nt := range newTabs {
+		ot, ok := baseline[key(nt)]
+		if !ok {
+			fmt.Printf("%-24s NEW      %12v\n", nt.ID, nt.Elapsed.Round(time.Microsecond))
+			continue
+		}
+		shared++
+		delete(baseline, key(nt))
+		if ot.Elapsed <= 0 || nt.Elapsed <= 0 {
+			fmt.Printf("%-24s UNTIMED\n", nt.ID)
+			continue
+		}
+		ratio := float64(nt.Elapsed) / float64(ot.Elapsed)
+		verdict := "ok"
+		switch {
+		case nt.Elapsed < minCompareElapsed && ot.Elapsed < minCompareElapsed:
+			verdict = "noise" // below the floor in both runs: informational only
+		case ratio > 1+tolerance:
+			verdict = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %v -> %v (%.2fx)",
+				nt.ID, ot.Elapsed.Round(time.Microsecond), nt.Elapsed.Round(time.Microsecond), ratio))
+		case ratio < 1-tolerance:
+			verdict = "improved"
+		}
+		fmt.Printf("%-24s %8.2fx  %12v -> %12v  %s\n",
+			nt.ID, ratio, ot.Elapsed.Round(time.Microsecond), nt.Elapsed.Round(time.Microsecond), verdict)
+	}
+	for k := range baseline {
+		fmt.Printf("%-24s REMOVED\n", k)
+	}
+	if shared == 0 {
+		return fmt.Errorf("bmmcbench: snapshots share no experiments (old %s, new %s)", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bmmcbench: %d experiment(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), tolerance*100, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+func readSnapshot(path string) ([]*experiments.Table, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bmmcbench: reading snapshot: %w", err)
+	}
+	var tabs []*experiments.Table
+	if err := json.Unmarshal(raw, &tabs); err != nil {
+		return nil, fmt.Errorf("bmmcbench: parsing %s: %w", path, err)
+	}
+	return tabs, nil
+}

@@ -7,10 +7,17 @@
 //
 //	bmmcbench [-experiment name] [-N n] [-D d] [-B b] [-M m] [-seed s]
 //	          [-json] [-pipeline] [-workers w] [-concurrent] [-fuse] [-cache c]
+//	bmmcbench -compare old.json new.json [-tolerance frac]
 //
 // Experiment names: table1, tightbounds, crossover, mld, detect, potential,
 // transpose, scaling, lemma9, ablation, inverse, pipeline, fusion,
 // plancache, backend, chain, or "all".
+//
+// -compare gates a perf trajectory: it reads two -json snapshots, matches
+// experiments by ID and geometry, prints per-experiment wall-clock ratios,
+// and exits non-zero if any experiment slowed down by more than -tolerance
+// (default 0.10, i.e. 10%). Sub-noise-floor experiments never fail the
+// gate. CI runs it against the checked-in BENCH_*.json baselines.
 //
 // -pipeline, -workers and -concurrent select the execution mode of the
 // pass runner (prefetching, scatter worker pool, per-disk goroutine
@@ -50,8 +57,23 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "dispatch per-disk transfers on goroutines (SetConcurrent)")
 		fuse       = flag.Bool("fuse", false, "run factored-driver workloads through the plan-fusion optimizer")
 		cache      = flag.Int("cache", experiments.PlanCacheSize, "plan-cache capacity for the plancache experiment")
+
+		compare   = flag.Bool("compare", false, "compare two -json snapshots (old new) instead of running experiments")
+		tolerance = flag.Float64("tolerance", 0.10, "with -compare: max tolerated wall-clock regression as a fraction")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bmmcbench -compare [-tolerance frac] old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareSnapshots(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := pdm.Config{N: *n, D: *d, B: *b, M: *m}
 	if err := cfg.Validate(); err != nil {

@@ -88,11 +88,6 @@ func (ds *Dataset) Sync() error { return ds.sys.Sync() }
 // used afterwards; in-flight runs or reads must have finished.
 func (ds *Dataset) Close() error { return ds.sys.Close() }
 
-// loadChunkRecords is how many records Load/Dump move per context check —
-// large enough that the encoding loop dominates, small enough that
-// cancellation is prompt.
-const loadChunkRecords = 1 << 12
-
 // Load replaces the dataset's stored records with exactly N records read
 // from r in the library's wire format (pdm.RecordBytes bytes per record,
 // Key then Tag, little-endian — the same layout the file backends store).
@@ -104,26 +99,32 @@ const loadChunkRecords = 1 << 12
 // error (io.ErrUnexpectedEOF). Loading is not counted as parallel I/O —
 // it models the data already residing on the disks. Load takes the
 // dataset's exclusive run lock, so it never interleaves with a running
-// execution; ctx cancellation aborts between chunks with the stored
-// records unchanged.
+// execution; ctx cancellation and short reads abort with the stored
+// records unchanged. The bytes move through the zero-copy streaming data
+// plane (pdm.System.LoadFrom): block-sized slabs from a pooled arena, no
+// per-record decode on little-endian hosts.
 func (ds *Dataset) Load(ctx context.Context, r io.Reader) error {
-	cfg := ds.sys.Config()
-	recs := make([]pdm.Record, cfg.N)
-	buf := make([]byte, loadChunkRecords*pdm.RecordBytes)
-	for off := 0; off < cfg.N; off += loadChunkRecords {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: Load canceled at record %d/%d: %w", off, cfg.N, err)
-		}
-		nrec := min(loadChunkRecords, cfg.N-off)
-		chunk := buf[:nrec*pdm.RecordBytes]
-		if _, err := io.ReadFull(r, chunk); err != nil {
-			return fmt.Errorf("core: Load: reading records %d..%d of %d: %w", off, off+nrec-1, cfg.N, err)
-		}
-		for i := 0; i < nrec; i++ {
-			recs[off+i] = pdm.DecodeRecord(chunk[i*pdm.RecordBytes:])
-		}
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	if _, err := ds.sys.LoadFrom(ctx, ds.sys.Source(), r); err != nil {
+		return fmt.Errorf("core: Load: %w", err)
 	}
-	return ds.LoadRecords(recs)
+	return nil
+}
+
+// ReadFrom implements io.ReaderFrom as Load with a background context,
+// returning the bytes consumed. Unlike the usual ReadFrom contract it
+// stops after exactly N*pdm.RecordBytes bytes rather than at EOF, and a
+// short stream is an error; io.Copy(dataset, r) therefore moves one
+// dataset's worth of records and no more.
+func (ds *Dataset) ReadFrom(r io.Reader) (int64, error) {
+	ds.sys.AcquireRun()
+	defer ds.sys.ReleaseRun()
+	n, err := ds.sys.LoadFrom(context.Background(), ds.sys.Source(), r)
+	if err != nil {
+		return n, fmt.Errorf("core: Load: %w", err)
+	}
+	return n, nil
 }
 
 // Dump writes the stored records to w in address order, in the same wire
@@ -132,28 +133,30 @@ func (ds *Dataset) Load(ctx context.Context, r io.Reader) error {
 // regardless of how many passes have run. Not counted as parallel I/O.
 // Dump holds the shared read lock, so any number of Dumps may stream
 // concurrently while executions wait; ctx cancellation aborts between
-// chunks (w may have received a prefix).
+// chunks (w may have received a prefix). Like Load it runs on the
+// streaming data plane (pdm.System.DumpTo): whole stripes into a pooled
+// arena — via copy-free block views when the backend offers them — and no
+// per-record encode on little-endian hosts.
 func (ds *Dataset) Dump(ctx context.Context, w io.Writer) error {
-	recs, err := ds.Records()
-	if err != nil {
-		return err
-	}
-	cfg := ds.sys.Config()
-	buf := make([]byte, loadChunkRecords*pdm.RecordBytes)
-	for off := 0; off < cfg.N; off += loadChunkRecords {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: Dump canceled at record %d/%d: %w", off, cfg.N, err)
-		}
-		nrec := min(loadChunkRecords, cfg.N-off)
-		chunk := buf[:nrec*pdm.RecordBytes]
-		for i := 0; i < nrec; i++ {
-			recs[off+i].Encode(chunk[i*pdm.RecordBytes:])
-		}
-		if _, err := w.Write(chunk); err != nil {
-			return fmt.Errorf("core: Dump: writing records %d..%d of %d: %w", off, off+nrec-1, cfg.N, err)
-		}
+	ds.sys.AcquireRead()
+	defer ds.sys.ReleaseRead()
+	if _, err := ds.sys.DumpTo(ctx, ds.sys.Source(), w); err != nil {
+		return fmt.Errorf("core: Dump: %w", err)
 	}
 	return nil
+}
+
+// WriteTo implements io.WriterTo as Dump with a background context,
+// returning the bytes written (N*pdm.RecordBytes on success), so
+// io.Copy(w, dataset) streams the dataset without an intermediate buffer.
+func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
+	ds.sys.AcquireRead()
+	defer ds.sys.ReleaseRead()
+	n, err := ds.sys.DumpTo(context.Background(), ds.sys.Source(), w)
+	if err != nil {
+		return n, fmt.Errorf("core: Dump: %w", err)
+	}
+	return n, nil
 }
 
 // Records returns the stored records in address order (diagnostic; not

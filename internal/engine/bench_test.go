@@ -91,3 +91,40 @@ func BenchmarkMemBMMCSequential(b *testing.B) {
 func BenchmarkMemBMMCPipelined(b *testing.B) {
 	benchmarkMemBMMC(b, DefaultOptions())
 }
+
+// BenchmarkScatterKernel isolates the scatter inner loops on an MRC pass
+// whose permutation fixes the low lg B address bits, so the coalesced
+// kernel moves one block-sized run per Apply while the forced variant
+// walks record by record. RAM-backed and sequential, so the scatter loop
+// dominates the measurement.
+func benchmarkScatterKernel(b *testing.B, force bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(43))
+	cfg := benchCfg
+	k := cfg.LgB()
+	a := gf2.Identity(cfg.LgN())
+	a.SetSubmatrix(k, k, gf2.RandomMRC(rng, cfg.LgN()-k, cfg.LgM()-k))
+	p := perm.MustNew(a, 0)
+	sys, err := pdm.NewMemSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	if err := LoadSequential(sys); err != nil {
+		b.Fatal(err)
+	}
+	forceRecordKernel = force
+	defer func() { forceRecordKernel = false }()
+	opt := Options{Pipeline: false, Workers: 1}
+	b.SetBytes(int64(cfg.N) * pdm.RecordBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunMRCPassOpt(context.Background(), sys, p, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScatterKernelCoalesced(b *testing.B) { benchmarkScatterKernel(b, false) }
+
+func BenchmarkScatterKernelRecord(b *testing.B) { benchmarkScatterKernel(b, true) }

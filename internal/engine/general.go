@@ -95,6 +95,8 @@ type sortStrategy struct {
 
 func (st *sortStrategy) kind() string { return "sort" }
 
+func (st *sortStrategy) kernel() string { return "sort" }
+
 func (st *sortStrategy) loads() int { return st.cfg.Memoryloads() }
 
 func (st *sortStrategy) prepare(ml int) (loadPlan, error) {
@@ -126,7 +128,7 @@ func mergePass(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint6
 	// by fanIn); the last group may be partial, so round up once over the
 	// whole stripe range — runStripes need not divide Stripes evenly.
 	groups := (cfg.Stripes() + runStripes*fanIn - 1) / (runStripes * fanIn)
-	opt.emit("merge", 0, groups)
+	opt.emit("merge", "merge", 0, groups)
 	done := 0
 	for group := 0; group*runStripes < cfg.Stripes(); group += fanIn {
 		if err := ctx.Err(); err != nil {
@@ -149,7 +151,7 @@ func mergePass(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint6
 			return err
 		}
 		done++
-		opt.emit("merge", done, groups)
+		opt.emit("merge", "merge", done, groups)
 	}
 	return nil
 }

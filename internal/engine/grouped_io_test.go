@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/pdm"
+	"repro/internal/perm"
+)
+
+// The runner hands whole memoryloads of operations to the grouped parallel
+// I/O path; these tests pin it against the one-operation-at-a-time path via
+// the forceUngroupedIO hook, requiring identical records, Stats, and traces
+// for every pass kind on both the RAM and file backends. Sequential options
+// keep the trace order deterministic.
+
+// runConformance executes fn on a freshly loaded system and returns the
+// final record layout, the model stats, and the full parallel-I/O trace.
+func runConformance(t *testing.T, cfg pdm.Config, backend string, fn func(*pdm.System) error) ([]pdm.Record, pdm.Stats, []pdm.TraceEntry) {
+	t.Helper()
+	factory := pdm.MemDiskFactory
+	if backend == "file" {
+		factory = pdm.FileDiskFactory(t.TempDir())
+	}
+	sys, err := pdm.NewSystem(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := LoadSequential(sys); err != nil {
+		t.Fatal(err)
+	}
+	tr := new(pdm.Trace).Attach(sys)
+	if err := fn(sys); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := sys.DumpRecords(sys.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, sys.Stats(), tr.Entries
+}
+
+func TestGroupedIOMatchesUngrouped(t *testing.T) {
+	cfg := pdm.Config{N: 1 << 12, D: 4, B: 8, M: 1 << 8}
+	opt := Options{Pipeline: false, Workers: 1}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	mld := randomMLD(rng, cfg.LgN(), cfg.LgB(), cfg.LgM())
+	invMLD := randomMLD(rng, cfg.LgN(), cfg.LgB(), cfg.LgM()).Inverse()
+	bitrev := perm.BitReversal(cfg.LgN())
+	cases := map[string]func(*pdm.System) error{
+		"bmmc-bitrev": func(s *pdm.System) error {
+			_, err := RunBMMCOpt(ctx, s, bitrev, opt)
+			return err
+		},
+		"mrc": func(s *pdm.System) error {
+			return RunMRCPassOpt(ctx, s, perm.GrayCode(cfg.LgN()), opt)
+		},
+		"mld": func(s *pdm.System) error {
+			return RunMLDPassOpt(ctx, s, mld, opt)
+		},
+		"mld-inverse": func(s *pdm.System) error {
+			return RunMLDInversePassOpt(ctx, s, invMLD, opt)
+		},
+	}
+	for _, backend := range []string{"mem", "file"} {
+		for name, fn := range cases {
+			t.Run(backend+"/"+name, func(t *testing.T) {
+				recsG, statsG, traceG := runConformance(t, cfg, backend, fn)
+				defer func() { forceUngroupedIO = false }()
+				forceUngroupedIO = true
+				recsU, statsU, traceU := runConformance(t, cfg, backend, fn)
+				forceUngroupedIO = false
+				if !reflect.DeepEqual(recsG, recsU) {
+					t.Error("grouped I/O produced a different record layout")
+				}
+				if !reflect.DeepEqual(statsG, statsU) {
+					t.Errorf("stats diverge: grouped %+v, ungrouped %+v", statsG, statsU)
+				}
+				if !reflect.DeepEqual(traceG, traceU) {
+					t.Error("grouped I/O produced a different parallel-I/O trace")
+				}
+			})
+		}
+	}
+}

@@ -35,7 +35,13 @@ func RunMLDInversePassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt
 	if !inv.IsMLD(b, m) {
 		return fmt.Errorf("engine: inverse is not MLD for b=%d m=%d", b, m)
 	}
-	st := &invMLDStrategy{cfg: cfg, applier: p.Compile(), invApplier: inv.Compile()}
+	applier := p.Compile()
+	st := &invMLDStrategy{
+		cfg:        cfg,
+		applier:    applier,
+		invApplier: inv.Compile(),
+		run:        runLength(applier.RunBits(), cfg.LgB()),
+	}
 	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
@@ -50,9 +56,22 @@ type invMLDStrategy struct {
 	cfg        pdm.Config
 	applier    *perm.Compiled // the permutation p itself
 	invApplier *perm.Compiled // p^{-1}, used to plan the gather reads
+	run        int            // records per coalesced scatter run (1 = per-record kernel)
+
+	// writeOps is the cached striped write schedule, retargeted per load on
+	// the main goroutine. The prepare scratch below lives on the prefetch
+	// goroutine; the read schedule it builds is consumed before the next
+	// prepare begins, so its backing arrays are reusable — unlike blockOf,
+	// which travels in the plan and stays live through the load's scatter.
+	writeOps [][]pdm.BlockIO
+	pByDisk  [][]pdm.BlockIO
+	pReads   [][]pdm.BlockIO
+	pFrameOf map[int]int
 }
 
 func (st *invMLDStrategy) kind() string { return "MLD^-1" }
+
+func (st *invMLDStrategy) kernel() string { return kernelName(st.run) }
 
 func (st *invMLDStrategy) loads() int { return st.cfg.Memoryloads() }
 
@@ -62,9 +81,25 @@ func (st *invMLDStrategy) prepare(tml int) (loadPlan, error) {
 	// inv(base|j) for j = 0..M-1. By the MLD properties of the inverse
 	// (read in reverse), they occupy M/B full source blocks, M/BD per disk.
 	base := uint64(tml) * uint64(cfg.M)
-	byDisk := make([][]pdm.BlockIO, cfg.D)
-	frameOf := make(map[int]int, cfg.Frames()) // global source block -> frame
-	blockOf := make([]int, 0, cfg.Frames())    // frame -> global source block
+	if st.pByDisk == nil {
+		st.pByDisk = make([][]pdm.BlockIO, cfg.D)
+		for d := range st.pByDisk {
+			st.pByDisk[d] = make([]pdm.BlockIO, 0, cfg.FramesPerDisk())
+		}
+		st.pReads = make([][]pdm.BlockIO, cfg.FramesPerDisk())
+		ios := make([]pdm.BlockIO, cfg.FramesPerDisk()*cfg.D)
+		for wave := range st.pReads {
+			st.pReads[wave] = ios[wave*cfg.D : (wave+1)*cfg.D]
+		}
+		st.pFrameOf = make(map[int]int, cfg.Frames())
+	}
+	byDisk := st.pByDisk
+	for d := range byDisk {
+		byDisk[d] = byDisk[d][:0]
+	}
+	clear(st.pFrameOf)
+	frameOf := st.pFrameOf                  // global source block -> frame
+	blockOf := make([]int, 0, cfg.Frames()) // frame -> global source block
 	for j := 0; j < cfg.M; j++ {
 		x := st.invApplier.Apply(base | uint64(j))
 		sb := cfg.BlockIndex(x)
@@ -93,13 +128,11 @@ func (st *invMLDStrategy) prepare(tml int) (loadPlan, error) {
 		}
 	}
 	// Gather with M/BD independent parallel reads.
-	reads := make([][]pdm.BlockIO, cfg.FramesPerDisk())
+	reads := st.pReads
 	for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
-		ios := make([]pdm.BlockIO, cfg.D)
-		for disk := range ios {
-			ios[disk] = byDisk[disk][wave]
+		for disk := range reads[wave] {
+			reads[wave][disk] = byDisk[disk][wave]
 		}
-		reads[wave] = ios
 	}
 	return loadPlan{reads: reads, units: cfg.Frames(), ctx: blockOf}, nil
 }
@@ -113,6 +146,30 @@ func (st *invMLDStrategy) scatter(tml int, plan loadPlan, in, out *pdm.Buffer, l
 	// The record read into frame f at offset off has source address
 	// (block base of f) | off; route it to its target offset within this
 	// memoryload.
+	if st.run > 1 {
+		// Run-coalescing kernel: within a frame the source offsets are
+		// consecutive, so target addresses advance in lockstep up to each
+		// aligned run boundary (run <= B keeps every segment inside one
+		// frame), and the escape check per segment covers all its records.
+		for f := lo; f < hi; f++ {
+			frame := in.Frame(f)
+			blockBase := uint64(blockOf[f]) << uint(b)
+			for off := 0; off < len(frame); {
+				seg := st.run - (off & (st.run - 1))
+				if off+seg > len(frame) {
+					seg = len(frame) - off
+				}
+				y := st.applier.Apply(blockBase | uint64(off))
+				if cfg.MemoryloadOf(y) != tml {
+					return nil, fmt.Errorf("engine: record %d escaped target memoryload %d", blockBase|uint64(off), tml)
+				}
+				d := int(y & mask)
+				copy(dst[d:d+seg], frame[off:off+seg])
+				off += seg
+			}
+		}
+		return nil, nil
+	}
 	for f := lo; f < hi; f++ {
 		frame := in.Frame(f)
 		blockBase := uint64(blockOf[f]) << uint(b)
@@ -129,5 +186,5 @@ func (st *invMLDStrategy) scatter(tml int, plan loadPlan, in, out *pdm.Buffer, l
 
 func (st *invMLDStrategy) writes(tml int, _ loadPlan, _ []any) ([][]pdm.BlockIO, error) {
 	// Emit the memoryload with striped writes.
-	return stripedOps(st.cfg, tml), nil
+	return retargetStriped(&st.writeOps, st.cfg, tml), nil
 }

@@ -136,6 +136,8 @@ func (st *naiveStrategy) forEachRecord(round int, visit func(t, off int, x uint6
 
 func (st *naiveStrategy) kind() string { return "naive" }
 
+func (st *naiveStrategy) kernel() string { return "pull" }
+
 func (st *naiveStrategy) loads() int { return st.firstLoad[len(st.wavesIn)] }
 
 // buildRound computes the round's wave schedule: ordered per-disk source

@@ -27,7 +27,8 @@ func RunMRCPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Option
 	if !p.IsMRC(m) {
 		return fmt.Errorf("engine: permutation is not MRC for m=%d", m)
 	}
-	st := &mrcStrategy{cfg: cfg, applier: p.Compile()}
+	applier := p.Compile()
+	st := &mrcStrategy{cfg: cfg, applier: applier, run: runLength(applier.RunBits(), cfg.LgM())}
 	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
@@ -41,14 +42,23 @@ func RunMRCPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Option
 type mrcStrategy struct {
 	cfg     pdm.Config
 	applier *perm.Compiled
+	run     int // records per coalesced scatter run (1 = per-record kernel)
+
+	// Cached striped schedules, retargeted per load. Reads are planned on
+	// the prefetch goroutine and writes issued on the main goroutine, so
+	// each side owns its own template.
+	readOps  [][]pdm.BlockIO
+	writeOps [][]pdm.BlockIO
 }
 
 func (st *mrcStrategy) kind() string { return "MRC" }
 
+func (st *mrcStrategy) kernel() string { return kernelName(st.run) }
+
 func (st *mrcStrategy) loads() int { return st.cfg.Memoryloads() }
 
 func (st *mrcStrategy) prepare(ml int) (loadPlan, error) {
-	return loadPlan{reads: stripedOps(st.cfg, ml), units: st.cfg.M}, nil
+	return loadPlan{reads: retargetStriped(&st.readOps, st.cfg, ml), units: st.cfg.M}, nil
 }
 
 func (st *mrcStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
@@ -59,6 +69,30 @@ func (st *mrcStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi i
 	// in[i] holds the record with source address base|i; its target
 	// address shares one memoryload number across the whole load.
 	tml := -1
+	if st.run > 1 {
+		// Run-coalescing kernel: the permutation fixes the low lg(run)
+		// address bits, so target addresses advance in lockstep with the
+		// source index up to each aligned run boundary — one Apply and
+		// one copy cover the whole segment, and MemoryloadOf is constant
+		// across it (run <= M), so the MRC invariant check per segment
+		// covers every record.
+		for i := lo; i < hi; {
+			seg := st.run - (i & (st.run - 1))
+			if i+seg > hi {
+				seg = hi - i
+			}
+			y := st.applier.Apply(base | uint64(i))
+			if l := cfg.MemoryloadOf(y); tml < 0 {
+				tml = l
+			} else if l != tml {
+				return nil, fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
+			}
+			d := int(y & mask)
+			copy(dst[d:d+seg], src[i:i+seg])
+			i += seg
+		}
+		return tml, nil
+	}
 	for i := lo; i < hi; i++ {
 		y := st.applier.Apply(base | uint64(i))
 		if l := cfg.MemoryloadOf(y); tml < 0 {
@@ -84,7 +118,7 @@ func (st *mrcStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO
 			return nil, fmt.Errorf("engine: MRC pass scattered memoryload %d across targets %d and %d", ml, tml, l)
 		}
 	}
-	return stripedOps(st.cfg, tml), nil
+	return retargetStriped(&st.writeOps, st.cfg, tml), nil
 }
 
 // RunMLDPass performs the MLD permutation p in one pass: striped reads of
@@ -109,7 +143,8 @@ func RunMLDPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Option
 	if !p.IsMLD(b, m) {
 		return fmt.Errorf("engine: permutation is not MLD for b=%d m=%d", b, m)
 	}
-	st := &mldStrategy{cfg: cfg, applier: p.Compile()}
+	applier := p.Compile()
+	st := &mldStrategy{cfg: cfg, applier: applier, run: runLength(applier.RunBits(), cfg.LgM())}
 	if err := runPass(ctx, sys, st, opt); err != nil {
 		return err
 	}
@@ -124,6 +159,19 @@ func RunMLDPassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Option
 type mldStrategy struct {
 	cfg     pdm.Config
 	applier *perm.Compiled
+	run     int // records per coalesced scatter run (1 = per-record kernel)
+
+	// readOps is the cached striped read schedule, retargeted per load on
+	// the prefetch goroutine.
+	readOps [][]pdm.BlockIO
+
+	// Write-stage scratch, reused across loads. writes runs only on the
+	// main goroutine, one load at a time, and the System consumes the
+	// returned operations synchronously, so reuse is safe.
+	wFill   []int
+	wLoadOf []int
+	wByDisk [][]pdm.BlockIO
+	wOps    [][]pdm.BlockIO
 }
 
 // mldShard carries one scatter shard's clustering observations: records
@@ -135,10 +183,12 @@ type mldShard struct {
 
 func (st *mldStrategy) kind() string { return "MLD" }
 
+func (st *mldStrategy) kernel() string { return kernelName(st.run) }
+
 func (st *mldStrategy) loads() int { return st.cfg.Memoryloads() }
 
 func (st *mldStrategy) prepare(ml int) (loadPlan, error) {
-	return loadPlan{reads: stripedOps(st.cfg, ml), units: st.cfg.M}, nil
+	return loadPlan{reads: retargetStriped(&st.readOps, st.cfg, ml), units: st.cfg.M}, nil
 }
 
 func (st *mldStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi int) (any, error) {
@@ -148,6 +198,42 @@ func (st *mldStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi i
 	sh := mldShard{fill: make([]int, cfg.Frames()), loadOf: make([]int, cfg.Frames())}
 	for f := range sh.loadOf {
 		sh.loadOf[f] = -1
+	}
+	if st.run > 1 {
+		// Run-coalescing kernel. The target buffer index r*B + Offset(y)
+		// equals the low lg M bits of y (RelBlock and Offset are adjacent
+		// bit fields), so a contiguous run of target addresses is a
+		// contiguous span of the output buffer: one Apply and one copy per
+		// segment. The memoryload is constant across a segment (run <= M),
+		// so the property-2 check folds into per-block accounting over the
+		// span instead of per-record lookups.
+		mask := uint64(cfg.M - 1)
+		for i := lo; i < hi; {
+			seg := st.run - (i & (st.run - 1))
+			if i+seg > hi {
+				seg = hi - i
+			}
+			y := st.applier.Apply(base | uint64(i))
+			l := cfg.MemoryloadOf(y)
+			d := int(y & mask)
+			copy(dst[d:d+seg], src[i:i+seg])
+			for j := 0; j < seg; {
+				r := (d + j) / cfg.B
+				step := cfg.B - (d+j)%cfg.B
+				if j+step > seg {
+					step = seg - j
+				}
+				if sh.loadOf[r] < 0 {
+					sh.loadOf[r] = l
+				} else if sh.loadOf[r] != l {
+					return nil, fmt.Errorf("engine: MLD property 2 violated: relative block %d maps to memoryloads %d and %d", r, sh.loadOf[r], l)
+				}
+				sh.fill[r] += step
+				j += step
+			}
+			i += seg
+		}
+		return sh, nil
 	}
 	for i := lo; i < hi; i++ {
 		y := st.applier.Apply(base | uint64(i))
@@ -167,9 +253,19 @@ func (st *mldStrategy) scatter(ml int, _ loadPlan, in, out *pdm.Buffer, lo, hi i
 func (st *mldStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO, error) {
 	cfg := st.cfg
 	b, m := cfg.LgB(), cfg.LgM()
-	fill := make([]int, cfg.Frames())
-	loadOf := make([]int, cfg.Frames())
-	for f := range loadOf {
+	if st.wFill == nil {
+		st.wFill = make([]int, cfg.Frames())
+		st.wLoadOf = make([]int, cfg.Frames())
+		st.wByDisk = make([][]pdm.BlockIO, cfg.D)
+		st.wOps = make([][]pdm.BlockIO, cfg.FramesPerDisk())
+		ios := make([]pdm.BlockIO, cfg.FramesPerDisk()*cfg.D)
+		for wave := range st.wOps {
+			st.wOps[wave] = ios[wave*cfg.D : (wave+1)*cfg.D]
+		}
+	}
+	fill, loadOf := st.wFill, st.wLoadOf
+	for f := range fill {
+		fill[f] = 0
 		loadOf[f] = -1
 	}
 	for _, raw := range shards {
@@ -196,7 +292,10 @@ func (st *mldStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO
 	}
 	// Group the M/B target blocks by destination disk (property 3: exactly
 	// M/BD per disk) and write them in M/BD independent waves.
-	byDisk := make([][]pdm.BlockIO, cfg.D)
+	byDisk := st.wByDisk
+	for d := range byDisk {
+		byDisk[d] = byDisk[d][:0]
+	}
 	for r := 0; r < cfg.Frames(); r++ {
 		y0 := uint64(loadOf[r])<<uint(m) | uint64(r)<<uint(b)
 		disk := cfg.DiskOf(y0)
@@ -211,13 +310,11 @@ func (st *mldStrategy) writes(ml int, _ loadPlan, shards []any) ([][]pdm.BlockIO
 			return nil, fmt.Errorf("engine: MLD property 3 violated: disk %d receives %d blocks, want M/BD=%d", disk, len(blocks), cfg.FramesPerDisk())
 		}
 	}
-	ops := make([][]pdm.BlockIO, cfg.FramesPerDisk())
+	ops := st.wOps
 	for wave := 0; wave < cfg.FramesPerDisk(); wave++ {
-		ios := make([]pdm.BlockIO, cfg.D)
-		for disk := range ios {
-			ios[disk] = byDisk[disk][wave]
+		for disk := range ops[wave] {
+			ops[wave][disk] = byDisk[disk][wave]
 		}
-		ops[wave] = ios
 	}
 	return ops, nil
 }

@@ -46,12 +46,17 @@ import (
 // PassEvent is one progress report from the pass runner: load Load of
 // Loads in pass Pass of Passes has completed (Load 0 marks the start of a
 // pass). Kind names the pass's algorithm ("MRC", "MLD", "MLD^-1", "sort",
-// "naive"). Multi-pass drivers stamp Pass/Passes; a directly-invoked
-// single pass reports Pass = Passes = 1.
+// "naive"). Kernel names the scatter inner loop the runner picked for the
+// pass: "record" (one Apply per record), "runN" (run-coalescing — one
+// Apply plus one copy per N-record contiguous run), or the algorithm's own
+// loop for the baselines ("sort", "merge", "pull"). Multi-pass drivers
+// stamp Pass/Passes; a directly-invoked single pass reports
+// Pass = Passes = 1.
 type PassEvent struct {
 	Pass   int    // 1-based pass number within the run
 	Passes int    // total passes in the run
 	Kind   string // pass algorithm name
+	Kernel string // scatter kernel the pass executes with
 	Load   int    // memoryloads completed so far in this pass
 	Loads  int    // total loads in the pass
 }
@@ -92,9 +97,13 @@ func (o Options) workerCount() int {
 // produced on the reader goroutine and handed to the scatter/write stages,
 // so a strategy must keep per-load state here rather than on itself.
 type loadPlan struct {
-	reads [][]pdm.BlockIO // parallel read operations fetching the load
-	units int             // shardable scatter units (records, frames, pulls)
-	ctx   any             // strategy-private per-load state
+	// reads holds the parallel read operations fetching the load. The
+	// runner consumes it during the read stage only, so a strategy may
+	// reuse the backing arrays for later loads (see retargetStriped);
+	// ctx, by contrast, stays live until the load's writes complete.
+	reads [][]pdm.BlockIO
+	units int // shardable scatter units (records, frames, pulls)
+	ctx   any // strategy-private per-load state
 }
 
 // passStrategy is the part of a pass that differs between engines: how many
@@ -103,6 +112,9 @@ type loadPlan struct {
 type passStrategy interface {
 	// kind names the pass's algorithm for progress reporting.
 	kind() string
+	// kernel names the scatter inner loop the strategy selected for this
+	// pass (see PassEvent.Kernel).
+	kernel() string
 	// loads returns the number of loads in the pass.
 	loads() int
 	// prepare plans load ml. It runs on the reader goroutine when
@@ -132,7 +144,7 @@ func runPass(ctx context.Context, sys *pdm.System, st passStrategy, opt Options)
 	src, tgt := sys.Source(), sys.Target()
 	loads := st.loads()
 	out := sys.AcquireBuffer()
-	opt.emit(st.kind(), 0, loads)
+	opt.emit(st.kind(), st.kernel(), 0, loads)
 
 	if !opt.Pipeline {
 		in := sys.AcquireBuffer()
@@ -150,7 +162,7 @@ func runPass(ctx context.Context, sys *pdm.System, st passStrategy, opt Options)
 			if err := scatterAndWrite(sys, tgt, st, ml, plan, in, out, opt); err != nil {
 				return err
 			}
-			opt.emit(st.kind(), ml+1, loads)
+			opt.emit(st.kind(), st.kernel(), ml+1, loads)
 		}
 		return nil
 	}
@@ -214,27 +226,68 @@ func runPass(ctx context.Context, sys *pdm.System, st passStrategy, opt Options)
 			abort()
 			return err
 		}
-		opt.emit(st.kind(), ml+1, loads)
+		opt.emit(st.kind(), st.kernel(), ml+1, loads)
 	}
 	return nil
 }
 
 // emit delivers one progress event, defaulting the pass coordinates to a
 // single-pass run; multi-pass drivers override them by wrapping Progress.
-func (o Options) emit(kind string, load, loads int) {
+func (o Options) emit(kind, kernel string, load, loads int) {
 	if o.Progress == nil {
 		return
 	}
-	o.Progress(PassEvent{Pass: 1, Passes: 1, Kind: kind, Load: load, Loads: loads})
+	o.Progress(PassEvent{Pass: 1, Passes: 1, Kind: kind, Kernel: kernel, Load: load, Loads: loads})
 }
 
-func readLoad(sys *pdm.System, src pdm.Portion, plan loadPlan, in *pdm.Buffer) error {
-	for _, ios := range plan.reads {
-		if err := sys.ParallelReadInto(src, ios, in); err != nil {
-			return err
-		}
+// forceRecordKernel disables run coalescing when true, so equivalence
+// tests can pin the coalesced kernels byte-for-byte against the per-record
+// oracle path. Never set outside tests.
+var forceRecordKernel = false
+
+// runLength picks a strategy's scatter run: 2^k records per coalesced
+// copy, where k is the applier's run width clamped to maxBits (lg M for
+// the memoryload-indexed scatters, lg B for the frame-indexed one — a run
+// must never cross the unit the surrounding bookkeeping assumes
+// invariant). A result of 1 selects the per-record kernel.
+func runLength(runBits, maxBits int) int {
+	if forceRecordKernel {
+		return 1
 	}
-	return nil
+	if runBits > maxBits {
+		runBits = maxBits
+	}
+	return 1 << uint(runBits)
+}
+
+// kernelName names the scatter kernel runLength selected.
+func kernelName(run int) string {
+	if run <= 1 {
+		return "record"
+	}
+	return fmt.Sprintf("run%d", run)
+}
+
+// forceUngroupedIO routes the runner's reads and writes through one
+// ParallelReadInto/ParallelWriteFrom call per operation instead of the
+// grouped syscall-batching path, so equivalence tests can pin the grouped
+// path byte-for-byte (records, Stats, trace) against the one-at-a-time
+// semantics. Never set outside tests.
+var forceUngroupedIO = false
+
+func readLoad(sys *pdm.System, src pdm.Portion, plan loadPlan, in *pdm.Buffer) error {
+	if forceUngroupedIO {
+		for _, ios := range plan.reads {
+			if err := sys.ParallelReadInto(src, ios, in); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The whole load's reads are known up front, so the System can coalesce
+	// their per-disk blocks into range transfers while still counting and
+	// tracing each operation individually.
+	return sys.ParallelReadGroup(src, plan.reads, in)
 }
 
 func scatterAndWrite(sys *pdm.System, tgt pdm.Portion, st passStrategy, ml int, plan loadPlan, in, out *pdm.Buffer, opt Options) error {
@@ -246,12 +299,15 @@ func scatterAndWrite(sys *pdm.System, tgt pdm.Portion, st passStrategy, ml int, 
 	if err != nil {
 		return err
 	}
-	for _, ios := range writes {
-		if err := sys.ParallelWriteFrom(tgt, ios, out); err != nil {
-			return err
+	if forceUngroupedIO {
+		for _, ios := range writes {
+			if err := sys.ParallelWriteFrom(tgt, ios, out); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+	return sys.ParallelWriteGroup(tgt, writes, out)
 }
 
 // scatterShards splits the load's scatter units across up to nw goroutines
@@ -302,12 +358,35 @@ func scatterShards(st passStrategy, ml int, plan loadPlan, in, out *pdm.Buffer, 
 func stripedOps(cfg pdm.Config, ml int) [][]pdm.BlockIO {
 	spm := cfg.StripesPerMemoryload()
 	ops := make([][]pdm.BlockIO, spm)
+	ios := make([]pdm.BlockIO, spm*cfg.D)
 	for sw := 0; sw < spm; sw++ {
-		ios := make([]pdm.BlockIO, cfg.D)
-		for disk := range ios {
-			ios[disk] = pdm.BlockIO{Disk: disk, Block: ml*spm + sw, Frame: sw*cfg.D + disk}
+		ops[sw] = ios[sw*cfg.D : (sw+1)*cfg.D]
+		for disk := range ops[sw] {
+			ops[sw][disk] = pdm.BlockIO{Disk: disk, Block: ml*spm + sw, Frame: sw*cfg.D + disk}
 		}
-		ops[sw] = ios
 	}
 	return ops
+}
+
+// retargetStriped repoints a cached striped schedule at memoryload ml,
+// building it on first use. Reusing the template across loads keeps the
+// per-load planning allocation-free; it is safe because the System consumes
+// an operation list synchronously (the backend moves the bytes and the
+// trace copies the entries before the call returns), so no reference to the
+// template outlives the call that used it. A strategy must keep separate
+// templates for reads and writes: under pipelining, planning runs on the
+// prefetch goroutine while the writes of the previous load run on the main
+// goroutine.
+func retargetStriped(ops *[][]pdm.BlockIO, cfg pdm.Config, ml int) [][]pdm.BlockIO {
+	if *ops == nil {
+		*ops = stripedOps(cfg, ml)
+		return *ops
+	}
+	spm := cfg.StripesPerMemoryload()
+	for sw, ios := range *ops {
+		for d := range ios {
+			ios[d].Block = ml*spm + sw
+		}
+	}
+	return *ops
 }

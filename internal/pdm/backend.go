@@ -45,10 +45,54 @@ type Backend interface {
 	Close() error
 }
 
+// RangeXfer names one contiguous run of physical blocks moving to or from a
+// single disk: blocks [Block, Block+len(Data)/B) of disk Disk. The System's
+// grouped parallel-I/O path coalesces a group's per-disk blocks into such
+// runs so file-backed disks service each run with a single syscall.
+type RangeXfer struct {
+	Disk  int
+	Block int
+	Data  []Record // a whole number of blocks, len(Data) % blockSize == 0
+}
+
+// RangeBackend is an optional Backend extension: backends that can service
+// runs of consecutive blocks move each transfer's run in one operation.
+// Unlike ReadBlocks/WriteBlocks batches, one call may carry several
+// transfers for the same disk (distinct runs); per-disk serialization
+// remains the backend's responsibility. Implementations must move exactly
+// the records the equivalent per-block sequence would — range transfers
+// carry no accounting of their own, because the System counts and traces
+// the model's parallel I/Os before regrouping them into runs.
+type RangeBackend interface {
+	// ReadBlockRanges fills each transfer's Data from its run of blocks.
+	ReadBlockRanges(xfers []RangeXfer) error
+	// WriteBlockRanges stores each transfer's Data at its run of blocks.
+	WriteBlockRanges(xfers []RangeXfer) error
+}
+
 // concurrentSetter is implemented by backends that can toggle concurrent
 // per-disk dispatch within one batch; System.SetConcurrent forwards to it.
 type concurrentSetter interface {
 	SetConcurrent(on bool)
+}
+
+// BlockViewer is an optional Backend extension: backends whose storage is
+// plain host memory can expose a physical block's records as a direct
+// view, letting bulk readers (System.DumpTo, System.RecordAt) skip the
+// copy through a transfer buffer. The view aliases live storage — callers
+// may only read it, and only while they hold a lock excluding writes to
+// the block (the dataset read lock on every bulk path). Backends without
+// an in-memory representation simply don't implement it.
+type BlockViewer interface {
+	// BlockView returns a read-only view of physical block `block` of
+	// disk `disk`, or false when no copy-free view is available.
+	BlockView(disk, block int) ([]Record, bool)
+}
+
+// blockViewer is the per-disk analog BlockViewer delegates to (MemDisk
+// implements it).
+type blockViewer interface {
+	BlockView(block int) ([]Record, bool)
 }
 
 // syncer is the optional flush hook a Disk may implement (FileDisk does);
@@ -65,6 +109,7 @@ type diskBackend struct {
 	factory    DiskFactory
 	disks      []Disk
 	mu         []sync.Mutex
+	blockSize  int
 	concurrent bool
 }
 
@@ -111,6 +156,7 @@ func (b *diskBackend) Open(numDisks, numBlocks, blockSize int) error {
 	}
 	b.disks = make([]Disk, numDisks)
 	b.mu = make([]sync.Mutex, numDisks)
+	b.blockSize = blockSize
 	for i := 0; i < numDisks; i++ {
 		d, err := b.factory(i, numBlocks, blockSize)
 		if err != nil {
@@ -130,9 +176,23 @@ func (b *diskBackend) Open(numDisks, numBlocks, blockSize int) error {
 // SetConcurrent toggles per-disk goroutine dispatch within one batch.
 func (b *diskBackend) SetConcurrent(on bool) { b.concurrent = on }
 
+// BlockView implements BlockViewer by delegating to the disk when its
+// implementation offers a copy-free view (MemDisk does; file-backed disks
+// do not).
+func (b *diskBackend) BlockView(disk, block int) ([]Record, bool) {
+	if disk < 0 || disk >= len(b.disks) {
+		return nil, false
+	}
+	v, ok := b.disks[disk].(blockViewer)
+	if !ok {
+		return nil, false
+	}
+	return v.BlockView(block)
+}
+
 // ReadBlocks implements Backend.
 func (b *diskBackend) ReadBlocks(xfers []BlockXfer) error {
-	return b.dispatch(xfers, func(x BlockXfer) error {
+	return dispatch(b, xfers, func(x BlockXfer) error {
 		b.mu[x.Disk].Lock()
 		defer b.mu[x.Disk].Unlock()
 		return b.disks[x.Disk].ReadBlock(x.Block, x.Data)
@@ -141,17 +201,57 @@ func (b *diskBackend) ReadBlocks(xfers []BlockXfer) error {
 
 // WriteBlocks implements Backend.
 func (b *diskBackend) WriteBlocks(xfers []BlockXfer) error {
-	return b.dispatch(xfers, func(x BlockXfer) error {
+	return dispatch(b, xfers, func(x BlockXfer) error {
 		b.mu[x.Disk].Lock()
 		defer b.mu[x.Disk].Unlock()
 		return b.disks[x.Disk].WriteBlock(x.Block, x.Data)
 	})
 }
 
-// dispatch runs one transfer per BlockXfer, sequentially or on one
-// goroutine per disk, and returns the first error. The batch's transfers
-// touch distinct disks (System.validate enforces it), so they commute.
-func (b *diskBackend) dispatch(xfers []BlockXfer, op func(BlockXfer) error) error {
+// ReadBlockRanges implements RangeBackend. Disks that support BlockRangeIO
+// (MemDisk, FileDisk) service a run in one operation; wrapped or custom
+// disks fall back to per-block calls, preserving their semantics — a fault
+// injector still sees every block.
+func (b *diskBackend) ReadBlockRanges(xfers []RangeXfer) error {
+	return dispatch(b, xfers, func(x RangeXfer) error {
+		b.mu[x.Disk].Lock()
+		defer b.mu[x.Disk].Unlock()
+		d := b.disks[x.Disk]
+		if r, ok := d.(BlockRangeIO); ok {
+			return r.ReadBlockRange(x.Block, x.Data)
+		}
+		for i := 0; i*b.blockSize < len(x.Data); i++ {
+			if err := d.ReadBlock(x.Block+i, x.Data[i*b.blockSize:(i+1)*b.blockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteBlockRanges implements RangeBackend (see ReadBlockRanges).
+func (b *diskBackend) WriteBlockRanges(xfers []RangeXfer) error {
+	return dispatch(b, xfers, func(x RangeXfer) error {
+		b.mu[x.Disk].Lock()
+		defer b.mu[x.Disk].Unlock()
+		d := b.disks[x.Disk]
+		if r, ok := d.(BlockRangeIO); ok {
+			return r.WriteBlockRange(x.Block, x.Data)
+		}
+		for i := 0; i*b.blockSize < len(x.Data); i++ {
+			if err := d.WriteBlock(x.Block+i, x.Data[i*b.blockSize:(i+1)*b.blockSize]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// dispatch runs one transfer per element, sequentially or on one goroutine
+// per transfer, and returns the first error. Block batches touch distinct
+// disks (System.validate enforces it) so their transfers commute; range
+// batches may repeat a disk, where the per-disk mutex inside op serializes.
+func dispatch[T any](b *diskBackend, xfers []T, op func(T) error) error {
 	if b.disks == nil {
 		return fmt.Errorf("pdm: backend not opened")
 	}
@@ -167,7 +267,7 @@ func (b *diskBackend) dispatch(xfers []BlockXfer, op func(BlockXfer) error) erro
 	var wg sync.WaitGroup
 	for i, x := range xfers {
 		wg.Add(1)
-		go func(i int, x BlockXfer) {
+		go func(i int, x T) {
 			defer wg.Done()
 			errs[i] = op(x)
 		}(i, x)

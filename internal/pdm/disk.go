@@ -17,6 +17,22 @@ type Disk interface {
 	Close() error
 }
 
+// BlockRangeIO is an optional Disk extension: disks whose storage is one
+// contiguous address space can move a run of consecutive blocks in a single
+// operation. dst/src spans blocks [block0, block0+len/B); the length must be
+// a positive multiple of the block size. Implementations must move exactly
+// the records the equivalent sequence of per-block ReadBlock/WriteBlock
+// calls would — range transfers are a wall-clock optimization (one syscall
+// instead of one per block on file-backed disks), never a semantic change.
+// The model's cost accounting is unaffected because it lives entirely above
+// the Disk layer: the System counts parallel I/Os, not storage operations.
+type BlockRangeIO interface {
+	// ReadBlockRange copies blocks [block0, block0+len(dst)/B) into dst.
+	ReadBlockRange(block0 int, dst []Record) error
+	// WriteBlockRange overwrites blocks [block0, block0+len(src)/B) from src.
+	WriteBlockRange(block0 int, src []Record) error
+}
+
 // MemDisk is a RAM-backed Disk used for fast simulation.
 type MemDisk struct {
 	blockSize int
@@ -49,6 +65,36 @@ func (d *MemDisk) WriteBlock(blockNum int, src []Record) error {
 	return nil
 }
 
+// BlockView returns the backing slice of block blockNum without copying,
+// or false when blockNum is out of range. The view aliases the stored
+// records: it is safe to read only while no concurrent WriteBlock targets
+// the block — the dataset-level read lock guarantees that on every bulk
+// dump path, which is where the copy-free view pays off.
+func (d *MemDisk) BlockView(blockNum int) ([]Record, bool) {
+	if blockNum < 0 || blockNum >= d.NumBlocks() {
+		return nil, false
+	}
+	return d.data[blockNum*d.blockSize : (blockNum+1)*d.blockSize], true
+}
+
+// ReadBlockRange implements BlockRangeIO: one copy covers the whole run.
+func (d *MemDisk) ReadBlockRange(block0 int, dst []Record) error {
+	if err := d.checkRange(block0, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.data[block0*d.blockSize:])
+	return nil
+}
+
+// WriteBlockRange implements BlockRangeIO.
+func (d *MemDisk) WriteBlockRange(block0 int, src []Record) error {
+	if err := d.checkRange(block0, len(src)); err != nil {
+		return err
+	}
+	copy(d.data[block0*d.blockSize:], src)
+	return nil
+}
+
 // NumBlocks implements Disk.
 func (d *MemDisk) NumBlocks() int { return len(d.data) / d.blockSize }
 
@@ -61,6 +107,17 @@ func (d *MemDisk) check(blockNum, n int) error {
 	}
 	if n != d.blockSize {
 		return fmt.Errorf("pdm: buffer holds %d records, block holds %d", n, d.blockSize)
+	}
+	return nil
+}
+
+func (d *MemDisk) checkRange(block0, n int) error {
+	if n <= 0 || n%d.blockSize != 0 {
+		return fmt.Errorf("pdm: range of %d records is not a positive multiple of block size %d", n, d.blockSize)
+	}
+	blocks := n / d.blockSize
+	if block0 < 0 || block0+blocks > d.NumBlocks() {
+		return fmt.Errorf("pdm: block range [%d,%d) out of range [0,%d)", block0, block0+blocks, d.NumBlocks())
 	}
 	return nil
 }

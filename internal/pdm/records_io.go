@@ -1,0 +1,53 @@
+package pdm
+
+import "io"
+
+// EncodeRecords writes the wire format of src into dst (at least
+// len(src)*RecordBytes long), one Record.Encode per record. It is the
+// portable slab conversion and the oracle the zero-copy views are pinned
+// against.
+func EncodeRecords(dst []byte, src []Record) {
+	for i, r := range src {
+		r.Encode(dst[i*RecordBytes:])
+	}
+}
+
+// DecodeRecords fills dst from len(dst)*RecordBytes wire-format bytes of
+// src, one DecodeRecord per record.
+func DecodeRecords(dst []Record, src []byte) {
+	for i := range dst {
+		dst[i] = DecodeRecord(src[i*RecordBytes:])
+	}
+}
+
+// ReadRecords fills dst with len(dst) records read from r in the wire
+// format, returning the bytes consumed. On little-endian hosts the read
+// lands directly in dst's memory (no per-record decode, no intermediate
+// buffer); otherwise the bytes pass through a scratch slab and a portable
+// decode. Short input returns io.ErrUnexpectedEOF with the bytes consumed
+// so far.
+func ReadRecords(r io.Reader, dst []Record) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if RecordSlabViews {
+		return io.ReadFull(r, RecordsToBytes(dst))
+	}
+	buf := make([]byte, len(dst)*RecordBytes)
+	n, err := io.ReadFull(r, buf)
+	if err != nil {
+		return n, err
+	}
+	DecodeRecords(dst, buf)
+	return n, nil
+}
+
+// WriteRecords writes src to w in the wire format, returning the bytes
+// written. On little-endian hosts the write streams straight from the
+// record slab.
+func WriteRecords(w io.Writer, src []Record) (int, error) {
+	if len(src) == 0 {
+		return 0, nil
+	}
+	return w.Write(RecordsToBytes(src))
+}

@@ -1,0 +1,47 @@
+//go:build amd64 || 386 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package pdm
+
+import "unsafe"
+
+// RecordSlabViews reports whether RecordsToBytes and BytesToRecords return
+// aliasing views of their argument rather than converted copies. On
+// little-endian hosts a Record's in-memory layout is exactly its wire
+// format (two little-endian uint64s), so a record slab can be reinterpreted
+// as its on-disk bytes for free; big-endian hosts fall back to the portable
+// per-record conversion in records_io.go.
+const RecordSlabViews = true
+
+// RecordsToBytes returns the wire-format bytes of rs. On this architecture
+// the result aliases rs — writing through either view is visible in the
+// other, and no bytes are copied. The wire format is pinned byte-identical
+// to per-record Record.Encode by TestRecordsToBytesMatchesEncode.
+func RecordsToBytes(rs []Record) []byte {
+	if len(rs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&rs[0])), len(rs)*RecordBytes)
+}
+
+// BytesToRecords interprets wire-format bytes as records. On this
+// architecture the result aliases b when b is Record-aligned (always the
+// case for slabs produced by RecordsToBytes); a misaligned slab — possible
+// for byte slices of foreign origin — is converted through the portable
+// copy instead, so the result is correct either way. Callers must not rely
+// on aliasing; treat the result as a read-only view. len(b) must be a
+// multiple of RecordBytes.
+func BytesToRecords(b []byte) []Record {
+	n := len(b) / RecordBytes
+	if n == 0 {
+		return nil
+	}
+	if len(b)%RecordBytes != 0 {
+		panic("pdm: BytesToRecords on a partial record")
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(Record{}) != 0 {
+		out := make([]Record, n)
+		DecodeRecords(out, b)
+		return out
+	}
+	return unsafe.Slice((*Record)(unsafe.Pointer(&b[0])), n)
+}

@@ -1,0 +1,33 @@
+//go:build !(amd64 || 386 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package pdm
+
+// RecordSlabViews reports whether the slab conversions alias their
+// argument. On big-endian hosts they cannot — the wire format is
+// little-endian — so both directions convert through a fresh copy.
+const RecordSlabViews = false
+
+// RecordsToBytes returns the wire-format bytes of rs as a fresh copy.
+func RecordsToBytes(rs []Record) []byte {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]byte, len(rs)*RecordBytes)
+	EncodeRecords(out, rs)
+	return out
+}
+
+// BytesToRecords converts wire-format bytes into a fresh record slice.
+// len(b) must be a multiple of RecordBytes.
+func BytesToRecords(b []byte) []Record {
+	n := len(b) / RecordBytes
+	if n == 0 {
+		return nil
+	}
+	if len(b)%RecordBytes != 0 {
+		panic("pdm: BytesToRecords on a partial record")
+	}
+	out := make([]Record, n)
+	DecodeRecords(out, b)
+	return out
+}

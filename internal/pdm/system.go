@@ -171,26 +171,28 @@ func (s *System) validate(p Portion, ios []BlockIO) error {
 	if p != PortionA && p != PortionB {
 		return fmt.Errorf("pdm: invalid portion %d", p)
 	}
-	seenDisk := make([]bool, s.cfg.D)
-	seenFrame := make(map[int]bool, len(ios))
-	for _, io := range ios {
+	// The duplicate checks scan earlier entries rather than building a set:
+	// len(ios) <= D and D is small, so the quadratic scan beats a per-call
+	// map — validate runs once per counted parallel I/O, squarely on the
+	// hot path.
+	for i, io := range ios {
 		if io.Disk < 0 || io.Disk >= s.cfg.D {
 			return fmt.Errorf("pdm: disk %d out of range [0,%d)", io.Disk, s.cfg.D)
 		}
-		if seenDisk[io.Disk] {
-			return fmt.Errorf("pdm: two blocks on disk %d in one parallel I/O", io.Disk)
-		}
-		seenDisk[io.Disk] = true
 		if io.Block < 0 || io.Block >= s.cfg.BlocksPerDisk() {
 			return fmt.Errorf("pdm: block %d out of range [0,%d)", io.Block, s.cfg.BlocksPerDisk())
 		}
 		if io.Frame < 0 || io.Frame >= s.cfg.Frames() {
 			return fmt.Errorf("pdm: frame %d out of range [0,%d)", io.Frame, s.cfg.Frames())
 		}
-		if seenFrame[io.Frame] {
-			return fmt.Errorf("pdm: frame %d used twice in one parallel I/O", io.Frame)
+		for _, prev := range ios[:i] {
+			if prev.Disk == io.Disk {
+				return fmt.Errorf("pdm: two blocks on disk %d in one parallel I/O", io.Disk)
+			}
+			if prev.Frame == io.Frame {
+				return fmt.Errorf("pdm: frame %d used twice in one parallel I/O", io.Frame)
+			}
 		}
-		seenFrame[io.Frame] = true
 	}
 	return nil
 }
@@ -245,15 +247,18 @@ func (s *System) LoadRecords(p Portion, records []Record) error {
 	if len(records) != s.cfg.N {
 		return fmt.Errorf("pdm: LoadRecords got %d records, want N = %d", len(records), s.cfg.N)
 	}
-	buf := make([]Record, s.cfg.B)
+	// Hand the backend one whole stripe per call, with the transfer
+	// slices aliasing the caller's records — address order within a
+	// stripe is exactly D consecutive blocks, one per disk, so nothing
+	// needs staging through a scratch block.
+	xs := make([]BlockXfer, s.cfg.D)
 	for stripe := 0; stripe < s.cfg.Stripes(); stripe++ {
 		for disk := 0; disk < s.cfg.D; disk++ {
 			base := s.cfg.Addr(stripe, disk, 0)
-			copy(buf, records[base:base+uint64(s.cfg.B)])
-			x := []BlockXfer{{Disk: disk, Block: s.physBlock(p, stripe), Data: buf}}
-			if err := s.be.WriteBlocks(x); err != nil {
-				return err
-			}
+			xs[disk] = BlockXfer{Disk: disk, Block: s.physBlock(p, stripe), Data: records[base : base+uint64(s.cfg.B)]}
+		}
+		if err := s.be.WriteBlocks(xs); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -267,26 +272,33 @@ func (s *System) LoadRecords(p Portion, records []Record) error {
 // portion holding the output of the most recent pass.
 func (s *System) DumpRecords(p Portion) ([]Record, error) {
 	out := make([]Record, s.cfg.N)
-	buf := make([]Record, s.cfg.B)
+	xs := make([]BlockXfer, s.cfg.D)
 	for stripe := 0; stripe < s.cfg.Stripes(); stripe++ {
 		for disk := 0; disk < s.cfg.D; disk++ {
-			x := []BlockXfer{{Disk: disk, Block: s.physBlock(p, stripe), Data: buf}}
-			if err := s.be.ReadBlocks(x); err != nil {
-				return nil, err
-			}
 			base := s.cfg.Addr(stripe, disk, 0)
-			copy(out[base:base+uint64(s.cfg.B)], buf)
+			xs[disk] = BlockXfer{Disk: disk, Block: s.physBlock(p, stripe), Data: out[base : base+uint64(s.cfg.B)]}
+		}
+		if err := s.be.ReadBlocks(xs); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
 }
 
 // RecordAt returns the record stored at address x in portion p. Not counted
-// as I/O; intended for spot checks in tests.
+// as I/O; intended for spot checks in tests. Backends offering copy-free
+// block views serve it without a block copy.
 func (s *System) RecordAt(p Portion, x uint64) (Record, error) {
-	buf := make([]Record, s.cfg.B)
 	disk := s.cfg.DiskOf(x)
-	xf := []BlockXfer{{Disk: disk, Block: s.physBlock(p, s.cfg.StripeOf(x)), Data: buf}}
+	block := s.physBlock(p, s.cfg.StripeOf(x))
+	if v, ok := s.be.(BlockViewer); ok {
+		if recs, ok := v.BlockView(disk, block); ok {
+			return recs[s.cfg.Offset(x)], nil
+		}
+	}
+	buf := AcquireSlab(s.cfg.B)
+	defer ReleaseSlab(buf)
+	xf := []BlockXfer{{Disk: disk, Block: block, Data: buf}}
 	if err := s.be.ReadBlocks(xf); err != nil {
 		return Record{}, err
 	}

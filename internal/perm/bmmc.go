@@ -99,6 +99,24 @@ func (p BMMC) FixedPoints() uint64 {
 	return 1 << uint(p.Bits()-aPlusI.Rank())
 }
 
+// ContiguousRunBits returns the largest k such that p maps every aligned
+// run of 2^k consecutive source addresses to 2^k consecutive target
+// addresses in order: Apply(x)+i = Apply(x+i) whenever x+i stays inside
+// x's aligned 2^k run. That holds exactly when A fixes the low k address
+// bits — rows and columns 0..k-1 are those of the identity, so y_lo = x_lo
+// and the high output bits ignore x_lo — and c's low k bits are zero. The
+// engines' run-coalescing scatter kernels move such runs with a single
+// address computation and one copy; k = 0 (any permutation that touches
+// bit 0) degenerates to the per-record kernel.
+func (p BMMC) ContiguousRunBits() int {
+	n := p.Bits()
+	k := 0
+	for k < n && p.A.Row(k) == gf2.Vec(1)<<uint(k) && p.A.Col(k) == gf2.Vec(1)<<uint(k) && p.C.Bit(k) == 0 {
+		k++
+	}
+	return k
+}
+
 // Gamma returns the submatrix A_{b..n-1, 0..b-1} of size lg(N/B) x lg B —
 // the paper's gamma, whose rank controls both the lower bound (Theorem 3)
 // and the upper bound (Theorem 21).

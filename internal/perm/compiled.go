@@ -1,20 +1,26 @@
 package perm
 
-import "repro/internal/gf2"
+import (
+	"math/bits"
+
+	"repro/internal/gf2"
+)
 
 // Compiled is a table-driven form of a BMMC permutation. Apply on the
 // Matrix form costs one AND+popcount per matrix row; the compiled form
 // splits the source address into bytes and XORs eight precomputed partial
 // products, independent of n. Engines compile once per pass and then map
-// millions of addresses.
+// millions of addresses — or, when the permutation fixes its low address
+// bits (RunBits > 0), one run of addresses per Apply plus a block copy.
 type Compiled struct {
-	tab [8][256]uint64 // tab[k][v] = A * (v << 8k) over GF(2)
-	c   uint64
+	tab     [8][256]uint64 // tab[k][v] = A * (v << 8k) over GF(2)
+	c       uint64
+	runBits int // lg of the largest aligned source run moved contiguously
 }
 
-// Compile precomputes the byte-lookup tables for p.
+// Compile precomputes the byte-lookup tables and the run width for p.
 func (p BMMC) Compile() *Compiled {
-	ca := &Compiled{c: uint64(p.C)}
+	ca := &Compiled{c: uint64(p.C), runBits: p.ContiguousRunBits()}
 	n := p.Bits()
 	// Column images: colImage[j] = A * e_j.
 	var colImage [gf2.MaxDim]uint64
@@ -29,7 +35,7 @@ func (p BMMC) Compile() *Compiled {
 		for v := 1; v < 256; v++ {
 			// One new bit relative to v with that bit cleared.
 			low := v & (v - 1)
-			bit := base + trailingZeros8(v^low)
+			bit := base + bits.TrailingZeros8(uint8(v^low))
 			img := uint64(0)
 			if bit < n {
 				img = colImage[bit]
@@ -39,6 +45,13 @@ func (p BMMC) Compile() *Compiled {
 	}
 	return ca
 }
+
+// RunBits returns the largest k such that the permutation moves aligned
+// runs of 2^k consecutive source addresses to 2^k consecutive target
+// addresses (see BMMC.ContiguousRunBits). The run-coalescing scatter
+// kernels replace 2^k Apply calls and record moves with one Apply and one
+// copy per run.
+func (ca *Compiled) RunBits() int { return ca.runBits }
 
 // Apply maps a source address to its target address, equal to
 // BMMC.Apply for addresses below 2^n.
@@ -52,13 +65,4 @@ func (ca *Compiled) Apply(x uint64) uint64 {
 		ca.tab[6][x>>48&0xff] ^
 		ca.tab[7][x>>56&0xff] ^
 		ca.c
-}
-
-func trailingZeros8(v int) int {
-	n := 0
-	for v&1 == 0 {
-		v >>= 1
-		n++
-	}
-	return n
 }
