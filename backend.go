@@ -43,6 +43,23 @@ func FileBackend(dir string) Backend { return pdm.FileBackend(dir) }
 // independently seeking spindles.
 func ShardedBackend(dirs ...string) Backend { return pdm.ShardedFileBackend(dirs...) }
 
+// RangeXfer is one multi-block transfer within a RangeBackend batch:
+// len(Data)/blockSize consecutive physical blocks of disk Disk starting
+// at Block move to or from the Data slice in one operation.
+type RangeXfer = pdm.RangeXfer
+
+// RangeBackend is the optional coalesced-transfer extension of Backend.
+// When a backend implements it, the disk system merges runs of
+// consecutive physical blocks within a grouped parallel I/O into single
+// range transfers — one pread/pwrite per run on file-backed storage —
+// without changing the model's operation counts.
+type RangeBackend = pdm.RangeBackend
+
+// ErrInjectedFault is the sentinel wrapped by every failure the chaos
+// wrappers in repro/backendtest/chaos inject. Errors.Is-match it to tell
+// a simulated adversarial-storage fault from a genuine backend error.
+var ErrInjectedFault = pdm.ErrInjectedFault
+
 // WithBackend selects the Permuter's storage backend. The Permuter opens
 // and owns it: Close closes it. The default is MemBackend().
 func WithBackend(b Backend) Option { return core.WithBackend(b) }

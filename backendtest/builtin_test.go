@@ -28,3 +28,26 @@ func TestShardedBackend(t *testing.T) {
 		return bmmc.ShardedBackend(t.TempDir(), t.TempDir())
 	})
 }
+
+// The built-ins certify against the chaos harness too, so the adversarial
+// wrappers offered to backend authors are known to compose with every
+// shipped backend — range-capable (file, sharded) and not (mem relies on
+// the wrappers' per-block range emulation at this geometry).
+
+func TestChaosMemBackend(t *testing.T) {
+	backendtest.RunChaos(t, func(t *testing.T) bmmc.Backend {
+		return bmmc.MemBackend()
+	})
+}
+
+func TestChaosFileBackend(t *testing.T) {
+	backendtest.RunChaos(t, func(t *testing.T) bmmc.Backend {
+		return bmmc.FileBackend(t.TempDir())
+	})
+}
+
+func TestChaosShardedBackend(t *testing.T) {
+	backendtest.RunChaos(t, func(t *testing.T) bmmc.Backend {
+		return bmmc.ShardedBackend(t.TempDir(), t.TempDir())
+	})
+}

@@ -19,10 +19,16 @@ import "sort"
 // order-dependent — falls back to the one-at-a-time path, as do backends
 // without range support.
 //
-// The only observable difference is on error paths: the group validates
-// every operation up front and counts nothing on failure, where the loop
-// would have counted the waves preceding the invalid one. Either way the
-// run aborts, so no successful execution can tell the paths apart.
+// Error paths match the loop too: when a coalesced range transfer fails —
+// a flaky disk, a torn range that moved only a prefix — the group degrades
+// to the one-at-a-time reference path and replays the whole group from
+// scratch. Reads are idempotent and writes re-send the same bytes from the
+// unchanged buffer frames, so the replay is safe; it counts exactly the
+// waves that complete before its own failure (no double-count — the failed
+// batched attempt counted nothing) and lets transient faults that spare
+// the per-block path recover entirely. Validation errors surface before
+// any transfer and count nothing, same as the loop's up-front validation
+// of its first wave would abort it.
 
 // rangeRef locates one block of a grouped parallel I/O: its physical block
 // number on its disk, and the buffer frame it moves to or from.
@@ -52,8 +58,12 @@ func (s *System) ParallelReadGroup(p Portion, group [][]BlockIO, buf *Buffer) er
 	slab := AcquireSlab(total * bs)
 	xfers, runs := buildRuns(perDisk, slab, bs, buf)
 	if err := rb.ReadBlockRanges(xfers); err != nil {
+		// The batched transfer failed partway; nothing was counted. Replay
+		// the group through the per-block reference path: reads are
+		// idempotent, so the replay either completes (transient fault) or
+		// stops at a wave boundary with exactly the completed waves counted.
 		ReleaseSlab(slab)
-		return err
+		return s.readGroupLoop(p, group, buf)
 	}
 	// Scatter each multi-block run from its scratch span to the frames the
 	// individual operations addressed. Single-block runs already landed in
@@ -100,7 +110,11 @@ func (s *System) ParallelWriteGroup(p Portion, group [][]BlockIO, buf *Buffer) e
 	err = rb.WriteBlockRanges(xfers)
 	ReleaseSlab(slab)
 	if err != nil {
-		return err
+		// The batched transfer failed partway (possibly mid-range); nothing
+		// was counted. Replay through the per-block reference path, which
+		// re-sends the same bytes from the unchanged buffer frames: every
+		// block lands whole, and only completed waves are counted.
+		return s.writeGroupLoop(p, group, buf)
 	}
 	s.accountGroup(IOWrite, p, group)
 	return nil

@@ -61,6 +61,11 @@ type ManagerConfig struct {
 	// every progress event — deterministic instrumentation for cancellation
 	// and race tests.
 	hook func(*Job, bmmc.PassEvent)
+	// wrapBackend, when set by tests, wraps every backend this manager
+	// provisions (per-job and dataset storage alike) before first use —
+	// the seam the chaos suite injects fault and latency adversaries
+	// through.
+	wrapBackend func(kind string, be bmmc.Backend) bmmc.Backend
 }
 
 // ErrQueueFull is returned by Submit when the admission queue is at
@@ -330,15 +335,17 @@ func (m *Manager) enqueue(j *Job) {
 // provision creates the storage a backend kind needs, under a uniquely
 // named directory for file-backed kinds ("" for mem).
 func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
+	var be bmmc.Backend
+	var dir string
 	switch kind {
 	case BackendFile:
-		dir := filepath.Join(m.baseDir, name)
+		dir = filepath.Join(m.baseDir, name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, "", err
 		}
-		return bmmc.FileBackend(dir), dir, nil
+		be = bmmc.FileBackend(dir)
 	case BackendSharded:
-		dir := filepath.Join(m.baseDir, name)
+		dir = filepath.Join(m.baseDir, name)
 		shards := make([]string, m.cfg.Shards)
 		for i := range shards {
 			shards[i] = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
@@ -346,10 +353,14 @@ func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
 				return nil, "", err
 			}
 		}
-		return bmmc.ShardedBackend(shards...), dir, nil
+		be = bmmc.ShardedBackend(shards...)
 	default:
-		return bmmc.MemBackend(), "", nil
+		be = bmmc.MemBackend()
 	}
+	if m.cfg.wrapBackend != nil {
+		be = m.cfg.wrapBackend(kind, be)
+	}
+	return be, dir, nil
 }
 
 // CreateDataset validates, provisions storage, and registers a new shared
