@@ -18,6 +18,8 @@
 package chaos
 
 import (
+	"time"
+
 	bmmc "repro"
 	"repro/internal/pdm"
 )
@@ -41,8 +43,14 @@ type (
 	// deterministic count window, Mode, and an optional shared Log.
 	FlakyOptions = pdm.FlakyOptions
 	// LatencyOptions configures Latency: Seed, PerBlock service time,
-	// Jitter fraction, per-disk skew factors, and an optional Log.
+	// Jitter fraction, an optional Dist from the distribution catalog,
+	// per-disk skew factors, and an optional Log.
 	LatencyOptions = pdm.LatencyOptions
+	// LatencyDist is a per-block service-time law for Latency: the
+	// constant-plus-jitter default, or a catalog entry built with
+	// Lognormal or Pareto. Distributions are sampled deterministically
+	// per (seed, kind, disk, block, visit), exactly like fault decisions.
+	LatencyDist = pdm.LatencyDist
 	// TornOptions configures TornRange: Seed and Rate for hash-driven
 	// tears, TearNth (1-based; 0 disables) for a deterministic count
 	// trigger, Mode, and an optional Log.
@@ -77,6 +85,23 @@ func Flaky(inner bmmc.Backend, o FlakyOptions) *FlakyBackend {
 // overlap like independent spindles; sequential callers pay the sum.
 func Latency(inner bmmc.Backend, o LatencyOptions) *LatencyBackend {
 	return pdm.NewLatencyBackend(inner, o)
+}
+
+// Lognormal returns a catalog service-time law for LatencyOptions.Dist:
+// lognormal with the given per-block median and log-scale shape sigma —
+// the body of real spinning-disk traces, most operations near the median
+// with a smooth right tail.
+func Lognormal(median time.Duration, sigma float64) LatencyDist {
+	return pdm.LognormalLatency(median, sigma)
+}
+
+// Pareto returns a catalog service-time law for LatencyOptions.Dist: a
+// power-law tail with minimum per-block time scale and tail index alpha
+// (smaller alpha, heavier tail). cap, when positive, clamps individual
+// samples so a seeded schedule cannot stall unbounded; 0 leaves the tail
+// free.
+func Pareto(scale time.Duration, alpha float64, cap time.Duration) LatencyDist {
+	return pdm.ParetoLatency(scale, alpha, cap)
 }
 
 // TornRange wraps inner so multi-block range transfers tear: a seeded

@@ -34,10 +34,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"syscall"
+	"time"
 
 	bmmc "repro"
 	"repro/internal/service"
@@ -49,6 +53,9 @@ type (
 	SubmitRequest = service.SubmitRequest
 	// CreateDatasetRequest is the body of a dataset creation.
 	CreateDatasetRequest = service.CreateDatasetRequest
+	// HandoffRequest is the body of a dataset handoff (replication to
+	// another daemon) — the cluster rebalance primitive.
+	HandoffRequest = service.HandoffRequest
 	// DatasetStatus is a dataset's full wire state.
 	DatasetStatus = service.DatasetStatus
 	// JobStatus is a job's full wire state.
@@ -97,8 +104,10 @@ func (e *APIError) Error() string {
 
 // Client talks to one bmmcd daemon. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retry   RetryPolicy
 }
 
 // Option customizes a Client.
@@ -110,6 +119,98 @@ type Option func(*Client)
 // open for the life of a job; use per-call contexts for deadlines.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds each attempt of every non-streaming call. Streaming
+// calls — record uploads and downloads, Watch — are exempt, since they
+// legitimately hold a connection open for the life of a transfer or job;
+// bound those with per-call contexts. Zero (the default) disables the
+// bound.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry enables transparent retry of transient failures — connection
+// refused/reset, HTTP 502, HTTP 503 — with exponential backoff and
+// jitter. Retry is off by default: bmmcd's own 429 backpressure is the
+// caller's to handle, and most callers talk to one daemon whose absence
+// is final. The coordinator enables it for internal coordinator→worker
+// calls, where a worker restarting between heartbeats is routine.
+//
+// Only calls whose bodies can be replayed are retried: JSON requests and
+// body-less methods. Streaming uploads from a one-shot reader and
+// streaming downloads get a single attempt regardless of policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// RetryPolicy shapes WithRetry backoff. The zero value disables retry.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first;
+	// values below 2 disable retry.
+	Attempts int
+	// BaseDelay is the pre-jitter backoff before the first retry,
+	// doubling each retry after that. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter backoff. Defaults to 2s.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is a policy suited to intra-cluster calls: 4 attempts,
+// 50ms base delay doubling to a 2s cap, with jitter.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// backoffDelay is the pre-jitter backoff before retry n (0-based):
+// BaseDelay·2ⁿ, capped at MaxDelay.
+func backoffDelay(p RetryPolicy, n int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepBackoff waits the jittered backoff before retry n, or returns
+// early when ctx ends. Jitter draws uniformly from [d/2, d) so a fleet
+// of callers that failed together does not retry in lockstep.
+func sleepBackoff(ctx context.Context, p RetryPolicy, n int) error {
+	d := backoffDelay(p, n)
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientErr reports whether a transport error is worth retrying:
+// connection refused or reset, but never the caller's own context ending.
+func transientErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// retryStatus reports whether an HTTP status signals a transient
+// upstream condition (a worker restarting behind the coordinator).
+func retryStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -175,6 +276,15 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 	return &st, nil
 }
 
+// Jobs lists every job in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	var out []*JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CreateDataset creates a shared daemon dataset: storage provisioned once,
 // holding the canonical records until UploadDataset replaces them, reusable
 // by any number of chained jobs submitted with NewDatasetSubmitRequest.
@@ -214,6 +324,22 @@ func (c *Client) Datasets(ctx context.Context) ([]*DatasetStatus, error) {
 func (c *Client) DeleteDataset(ctx context.Context, id string) (*DatasetStatus, error) {
 	var st DatasetStatus
 	if err := c.do(ctx, http.MethodDelete, "/v1/datasets/"+id, "", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// HandoffDataset replicates the dataset onto the daemon at req.Target by
+// replaying the record wire format, optionally deleting the local copy
+// once the replica is durable. The cluster coordinator drives rebalances
+// through this; it works against any daemon.
+func (c *Client) HandoffDataset(ctx context.Context, id string, req HandoffRequest) (*DatasetStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var st DatasetStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets/"+id+"/handoff", "application/json", bytes.NewReader(body), &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -322,7 +448,10 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(Event)) (*JobStat
 	return c.Status(ctx, id)
 }
 
-// do performs a request and decodes a JSON response into out (when non-nil).
+// do performs a request and decodes a JSON response into out (when
+// non-nil), applying the client's timeout and retry policy. Requests
+// whose body cannot be replayed (one-shot streaming uploads) get exactly
+// one attempt regardless of policy.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -331,19 +460,59 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	resp, err := c.hc.Do(req)
+	attempts := 1
+	if c.retry.Attempts > 1 && (body == nil || req.GetBody != nil) {
+		attempts = c.retry.Attempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, c.retry, attempt-1); err != nil {
+				return lastErr
+			}
+		}
+		retryable, err := c.attempt(ctx, req, attempt, contentType != "application/octet-stream", out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt performs one try of a do request, reporting whether a failure
+// is transient (and so retryable under the client's policy). timed is
+// false for record streams, which are exempt from the client timeout.
+func (c *Client) attempt(ctx context.Context, req *http.Request, attempt int, timed bool, out any) (retryable bool, err error) {
+	cancel := context.CancelFunc(func() {})
+	if timed && c.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+	}
+	defer cancel()
+	areq := req.Clone(ctx)
+	if attempt > 0 && req.GetBody != nil {
+		b, err := req.GetBody()
+		if err != nil {
+			return false, err
+		}
+		areq.Body = b
+	}
+	resp, err := c.hc.Do(areq)
 	if err != nil {
-		return err
+		return transientErr(err), err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return apiError(resp)
+		return retryStatus(resp.StatusCode), apiError(resp)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
-		return nil
+		return false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return false, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // apiError decodes the daemon's {"error": ...} body into an *APIError.

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flaky503 returns a handler that answers 503 to the first fail requests
+// on any path, then delegates, and the request counter.
+func flaky503(fail int64, next http.Handler) (http.Handler, *atomic.Int64) {
+	var n atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= fail {
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+	return h, &n
+}
+
+func TestRetryRecoversFrom503(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"jobs_submitted": 7}`)
+	})
+	h, n := flaky503(2, ok)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond}))
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics with retry: %v", err)
+	}
+	if m.JobsSubmitted != 7 {
+		t.Fatalf("JobsSubmitted = %d, want 7", m.JobsSubmitted)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestRetryOffByDefault(t *testing.T) {
+	h, n := flaky503(1, http.NotFoundHandler())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	_, err := New(srv.URL).Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("default client error = %v, want APIError 503", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (retry must be off by default)", got)
+	}
+}
+
+func TestRetryExhaustsOnPersistent503(t *testing.T) {
+	h, n := flaky503(100, http.NotFoundHandler())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond}))
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want APIError 503 after exhausting retries", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly Attempts=3", got)
+	}
+}
+
+func TestRetryConnectRefused(t *testing.T) {
+	// Reserve a port with no listener behind it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	c := New("http://"+addr, WithRetry(RetryPolicy{Attempts: 3, BaseDelay: 40 * time.Millisecond}))
+	start := time.Now()
+	_, err = c.Metrics(context.Background())
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("error = %v, want connection refused", err)
+	}
+	// Two backoffs with jitter in [d/2, d): at least 20ms + 40ms.
+	if el := time.Since(start); el < 55*time.Millisecond {
+		t.Fatalf("retries finished in %v — backoff between attempts missing", el)
+	}
+}
+
+// oneShotReader is an io.Reader that http.NewRequest cannot snapshot, so
+// requests carrying it must never be replayed.
+type oneShotReader struct{ r io.Reader }
+
+func (o oneShotReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestRetryNeverReplaysOneShotBody(t *testing.T) {
+	h, n := flaky503(100, http.NotFoundHandler())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetry(RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond}))
+	body := oneShotReader{io.LimitReader(neverEOF{}, 16)}
+	err := c.UploadDataset(context.Background(), "d0000-000000", body)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("upload error = %v, want APIError 503", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d upload requests, want 1 (one-shot body must not be replayed)", got)
+	}
+}
+
+type neverEOF struct{}
+
+func (neverEOF) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestTimeoutBoundsSlowCall(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithTimeout(30*time.Millisecond))
+	start := time.Now()
+	_, err := c.Metrics(context.Background())
+	if err == nil {
+		t.Fatal("Metrics against a stalled server succeeded")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("timeout took %v, want ~30ms", el)
+	}
+}
+
+func TestTimeoutExemptsRecordStreams(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Trickle a response past the client timeout.
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		time.Sleep(80 * time.Millisecond)
+		w.Write([]byte("payload"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithTimeout(30*time.Millisecond))
+	var sink countWriter
+	if err := c.DownloadDataset(context.Background(), "d0000-000000", &sink); err != nil {
+		t.Fatalf("streaming download hit the non-streaming timeout: %v", err)
+	}
+	if sink != 7 {
+		t.Fatalf("downloaded %d bytes, want 7", sink)
+	}
+}
+
+type countWriter int
+
+func (c *countWriter) Write(p []byte) (int, error) { *c += countWriter(len(p)); return len(p), nil }
+
+func TestBackoffDelayShape(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for n, w := range want {
+		if got := backoffDelay(p, n); got != w*time.Millisecond {
+			t.Fatalf("backoffDelay(n=%d) = %v, want %v", n, got, w*time.Millisecond)
+		}
+	}
+	if got := backoffDelay(RetryPolicy{}, 0); got != 50*time.Millisecond {
+		t.Fatalf("zero-policy base = %v, want 50ms default", got)
+	}
+}
+
+func TestTransientErrClassification(t *testing.T) {
+	refused := &url.Error{Op: "Get", URL: "http://x", Err: &net.OpError{Err: syscall.ECONNREFUSED}}
+	if !transientErr(refused) {
+		t.Fatal("connection refused not classified transient")
+	}
+	if transientErr(context.Canceled) || transientErr(context.DeadlineExceeded) {
+		t.Fatal("context errors classified transient")
+	}
+	if transientErr(errors.New("parse failure")) {
+		t.Fatal("generic error classified transient")
+	}
+}

@@ -1,0 +1,93 @@
+// Command bmmc-coord runs the cluster coordinator: the control plane of a
+// bmmcd fleet. Workers (bmmcd -coord) register with it over HTTP/JSON,
+// heartbeat for liveness, and leave gracefully; the coordinator places
+// datasets on workers by consistent hashing on dataset id, rebalances on
+// membership change by replaying the 16-byte record wire format between
+// workers, and proxies the entire single-daemon /v1 surface so clients use
+// a cluster exactly as they use one daemon.
+//
+// Datasets created with "stripes": k spread over k ring-chosen workers as
+// contiguous record ranges; a BMMC permutation over such a dataset
+// decomposes into per-node sub-passes plus a block-exchange phase run by
+// the coordinator itself.
+//
+// Usage:
+//
+//	bmmc-coord [-addr host:port] [-heartbeat d] [-vnodes n] [-seed s] [-log-json]
+//
+// The coordinator announces its bound address on startup ("bmmc-coord
+// listening addr=..."), so -addr may use port 0. It keeps no durable
+// state: restart it and workers re-join on their next heartbeat, and their
+// datasets are re-adopted from the workers' own listings.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9430", "listen address (port 0 for OS-assigned)")
+		heartbeat = flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "worker heartbeat cadence")
+		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the placement ring")
+		seed      = flag.Int64("seed", 1, "seed for dataset- and job-id generation")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	coord := cluster.New(cluster.Options{
+		HeartbeatInterval: *heartbeat,
+		VNodes:            *vnodes,
+		Seed:              *seed,
+		Logger:            logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listening", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: cluster.NewHandler(coord)}
+	logger.Info("bmmc-coord listening", "addr", ln.Addr().String(),
+		"heartbeat", heartbeat.String(), "vnodes", *vnodes)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drain.String())
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		coord.Shutdown()
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	coord.Shutdown()
+	logger.Info("bmmc-coord stopped")
+}

@@ -16,6 +16,14 @@
 //
 //	bmmcd [-addr host:port] [-dir path] [-shards s] [-max-jobs q]
 //	      [-workers w] [-seed s] [-drain timeout] [-log-json]
+//	      [-coord url] [-advertise url] [-worker-id id]
+//
+// With -coord, the daemon additionally joins the cluster coordinator at
+// that URL as a worker: it registers under -worker-id (default: derived
+// from the bound address), heartbeats on the coordinator's cadence, and on
+// shutdown leaves gracefully — its datasets are handed off to other
+// workers before the listener closes. -advertise overrides the base URL
+// the coordinator uses to reach this daemon (default: the bound address).
 //
 // The daemon logs one structured line per lifecycle event and announces
 // its bound address on startup ("bmmcd listening addr=..."), so -addr may
@@ -31,6 +39,8 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net"
 	"net/http"
@@ -39,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -53,6 +64,10 @@ func main() {
 		inWait  = flag.Duration("input-wait", service.DefaultInputWait, "how long an await_input job may wait for its upload before being canceled")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
 		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+
+		coord     = flag.String("coord", "", "cluster coordinator URL to join as a worker (empty: standalone)")
+		advertise = flag.String("advertise", "", "base URL the coordinator reaches this daemon at (default: bound address)")
+		workerID  = flag.String("worker-id", "", "stable worker id in the cluster (default: derived from bound address)")
 	)
 	flag.Parse()
 
@@ -61,6 +76,31 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listening", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+
+	if *coord != "" {
+		if *advertise == "" {
+			*advertise = "http://" + ln.Addr().String()
+		}
+		if *workerID == "" {
+			*workerID = "worker-" + ln.Addr().String()
+		}
+		// Workers with identical seeds would mint identical job ids, and
+		// the coordinator routes jobs by id; unless the operator pinned a
+		// seed, derive one from the worker's identity.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if !seedSet {
+			h := fnv.New64a()
+			fmt.Fprint(h, *workerID)
+			*seed = int64(h.Sum64())
+		}
+	}
 
 	mgr, err := service.NewManager(service.ManagerConfig{
 		Workers:    *workers,
@@ -75,18 +115,17 @@ func main() {
 		logger.Error("starting job manager", "err", err)
 		os.Exit(1)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		logger.Error("listening", "addr", *addr, "err", err)
-		os.Exit(1)
-	}
 	srv := &http.Server{Handler: service.NewHandler(mgr, logger)}
 	logger.Info("bmmcd listening", "addr", ln.Addr().String(),
 		"workers", *workers, "max_jobs", *maxJobs, "shards", *shards)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var member *cluster.Member
+	if *coord != "" {
+		member = cluster.StartMember(*coord, *workerID, *advertise, logger)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -101,6 +140,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if member != nil {
+		// Leave BEFORE closing the listener: the coordinator drains our
+		// datasets by pulling handoff streams through it.
+		if err := member.Leave(ctx); err != nil {
+			logger.Warn("cluster leave", "err", err)
+		}
+	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("http shutdown", "err", err)
 	}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Member is a worker's side of the cluster protocol: join the coordinator
+// (retrying until it is reachable), heartbeat on the coordinator's cadence,
+// re-join when a heartbeat answers 404 (the coordinator restarted and lost
+// its registry), and leave gracefully — which blocks until the coordinator
+// has handed off every dataset the worker holds.
+type Member struct {
+	coord string // coordinator base URL
+	id    string // this worker's id
+	addr  string // base URL the coordinator reaches this worker at
+	log   *slog.Logger
+	hc    *http.Client
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartMember registers worker id (serving at advertise) with the
+// coordinator at coordURL and keeps the membership alive in the
+// background. It returns immediately; joining retries until the
+// coordinator answers, so workers and coordinator may start in any order.
+func StartMember(coordURL, id, advertise string, logger *slog.Logger) *Member {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	m := &Member{
+		coord: strings.TrimRight(coordURL, "/"),
+		id:    id,
+		addr:  advertise,
+		log:   logger,
+		hc:    &http.Client{Timeout: 10 * time.Second},
+		quit:  make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+// run joins, then heartbeats until Leave. A 404 heartbeat means the
+// coordinator no longer knows us — re-join and continue.
+func (m *Member) run() {
+	defer m.wg.Done()
+	interval := m.join()
+	if interval <= 0 {
+		return // Leave called before the first join landed
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			status, err := m.post("/cluster/v1/heartbeat", joinRequest{ID: m.id}, nil)
+			switch {
+			case err != nil:
+				m.log.Warn("cluster heartbeat failed", "coord", m.coord, "err", err)
+			case status == http.StatusNotFound:
+				m.log.Info("coordinator lost our registration; re-joining", "coord", m.coord)
+				if ni := m.join(); ni > 0 && ni != interval {
+					interval = ni
+					t.Reset(interval)
+				}
+			case status >= 400:
+				m.log.Warn("cluster heartbeat refused", "status", status)
+			}
+		}
+	}
+}
+
+// join registers with the coordinator, retrying every second until it
+// succeeds or Leave is called. It returns the heartbeat interval the
+// coordinator asked for, or 0 when shutting down.
+func (m *Member) join() time.Duration {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		var jr joinResponse
+		status, err := m.post("/cluster/v1/join", joinRequest{ID: m.id, Addr: m.addr}, &jr)
+		if err == nil && status == http.StatusOK {
+			m.log.Info("joined cluster", "coord", m.coord, "worker", m.id, "heartbeat", jr.HeartbeatInterval)
+			if jr.HeartbeatInterval > 0 {
+				return jr.HeartbeatInterval
+			}
+			return DefaultHeartbeatInterval
+		}
+		if err != nil {
+			m.log.Info("coordinator not reachable yet; retrying join", "coord", m.coord, "err", err)
+		} else {
+			m.log.Warn("join refused; retrying", "coord", m.coord, "status", status)
+		}
+		select {
+		case <-m.quit:
+			return 0
+		case <-t.C:
+		}
+	}
+}
+
+// Leave announces a graceful departure and blocks until the coordinator
+// has drained this worker's datasets (or ctx ends). Call it BEFORE
+// shutting the worker's HTTP listener down: the coordinator pulls handoff
+// streams through that listener while Leave is in flight.
+func (m *Member) Leave(ctx context.Context) error {
+	m.once.Do(func() { close(m.quit) })
+	m.wg.Wait()
+	body, err := json.Marshal(joinRequest{ID: m.id})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.coord+"/cluster/v1/leave", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The drain hands off every local dataset synchronously; do not apply
+	// the short heartbeat timeout.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 400 && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("leave refused: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// post sends one JSON control-plane request, decoding a 200 body into out
+// when non-nil.
+func (m *Member) post(path string, v any, out any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, m.coord+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring places string keys (dataset ids) on nodes (worker ids) by
+// consistent hashing with virtual nodes: each node projects vnodes
+// points onto a 64-bit circle, and a key belongs to the first node point
+// clockwise of the key's hash. Membership changes therefore move only the
+// keys whose arc changed owner — the property that keeps a rebalance
+// proportional to the churn, not to the cluster.
+//
+// The ring is not safe for concurrent use; the coordinator guards it with
+// its own lock.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &ring{vnodes: vnodes}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// add projects node onto the circle. Adding a present node is a no-op.
+func (r *ring) add(node string) {
+	for _, p := range r.points {
+		if p.node == node {
+			return
+		}
+	}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("%s#%d", node, i)), node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// remove takes node off the circle. Removing an absent node is a no-op.
+func (r *ring) remove(node string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// nodes returns the distinct members, in circle order of first point.
+func (r *ring) size() int {
+	seen := map[string]bool{}
+	for _, p := range r.points {
+		seen[p.node] = true
+	}
+	return len(seen)
+}
+
+// owner returns the node owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	o := r.owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+// owners returns up to k distinct nodes for key, walking clockwise from
+// the key's hash — the placement for a k-striped dataset. Fewer than k
+// members yields fewer owners.
+func (r *ring) owners(key string, k int) []string {
+	if len(r.points) == 0 || k <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= ringHash(key)
+	})
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < k; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -77,6 +77,12 @@ type ChaosOp struct {
 	Blocks int    // blocks covered (1 for single-block ops, >1 for ranges)
 	Visit  int    // prior armed ops on the same (kind, disk, block)
 	Fault  string // injected fault description, "" when the op ran clean
+
+	// Delay is the simulated service time a LatencyBackend charged the
+	// operation (zero for fault-only wrappers). It is part of the
+	// deterministic schedule — same seed, same workload, same delays —
+	// but not of String, so golden schedules are latency-agnostic.
+	Delay time.Duration
 }
 
 func (o ChaosOp) String() string {
@@ -170,6 +176,7 @@ const (
 	saltFault  = 0x8e51_ecf3_27bd_1a01
 	saltJitter = 0x1b87_3f04_9c4d_66fd
 	saltTear   = 0x5ff2_ab09_d033_7e55
+	saltDist   = 0x7a44_91de_0b5c_23c9
 )
 
 // chance reports a deterministic Bernoulli draw: true with probability p.
@@ -501,12 +508,94 @@ type LatencyOptions struct {
 	// Jitter varies each operation's latency by up to this fraction of its
 	// mean, deterministically per (kind, disk, block, visit). 0 disables.
 	Jitter float64
+	// Dist, when non-nil, replaces the constant-plus-jitter law
+	// (PerBlock/Jitter) with a per-block service-time distribution from
+	// the catalog — LognormalLatency or ParetoLatency — sampled
+	// deterministically per (kind, disk, block, visit) from Seed.
+	// DiskFactors still apply on top.
+	Dist LatencyDist
 	// DiskFactors skews per-disk speed: disk d's latency is multiplied by
 	// DiskFactors[d % len]. Nil means uniform disks; {10, 1, 1, 1} makes
 	// disk 0 ten times slower than the rest.
 	DiskFactors []float64
 	// Log, when non-nil, records the operation schedule.
 	Log *ChaosLog
+}
+
+// LatencyDist is a per-block service-time law for LatencyBackend: it maps
+// two independent uniform draws in (0,1] — pure hashes of (seed, kind,
+// disk, block, visit) — to one block's service time, so a distribution is
+// exactly as deterministic and interleaving-independent as the constant
+// law it replaces. Construct values with LognormalLatency or
+// ParetoLatency.
+type LatencyDist interface {
+	// sample maps two uniforms in (0,1] to one block's service time.
+	sample(u1, u2 float64) time.Duration
+	// String names the distribution and its parameters.
+	String() string
+}
+
+// lognormalDist models the body of real spinning-disk service-time traces:
+// most operations near the median, a smooth right tail.
+type lognormalDist struct {
+	median time.Duration
+	sigma  float64
+}
+
+// LognormalLatency returns a lognormal service-time law with the given
+// median per-block time and log-scale shape sigma (sigma 0 degenerates to
+// the constant law; 0.5 is a mild tail, 1.5 a heavy one). The mean is
+// median * exp(sigma²/2).
+func LognormalLatency(median time.Duration, sigma float64) LatencyDist {
+	return lognormalDist{median: median, sigma: sigma}
+}
+
+func (d lognormalDist) sample(u1, u2 float64) time.Duration {
+	// Box–Muller: z is standard normal; exp(sigma·z) is lognormal with
+	// median 1.
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return time.Duration(float64(d.median) * math.Exp(d.sigma*z))
+}
+
+func (d lognormalDist) String() string {
+	return fmt.Sprintf("lognormal(median=%v, sigma=%g)", d.median, d.sigma)
+}
+
+// paretoDist models the pathological tail: the occasional operation that
+// takes orders of magnitude longer than the median (firmware stalls,
+// sector retries).
+type paretoDist struct {
+	scale time.Duration
+	alpha float64
+	cap   time.Duration
+}
+
+// ParetoLatency returns a Pareto (power-law tail) service-time law:
+// samples are scale * U^(-1/alpha), so scale is the minimum per-block time
+// and smaller alpha means a heavier tail (alpha <= 1 has infinite mean).
+// cap, when positive, clamps individual samples so a deterministic test
+// schedule cannot stall for unbounded wall-clock; 0 leaves the tail
+// unclamped.
+func ParetoLatency(scale time.Duration, alpha float64, cap time.Duration) LatencyDist {
+	return paretoDist{scale: scale, alpha: alpha, cap: cap}
+}
+
+func (d paretoDist) sample(u1, _ float64) time.Duration {
+	t := time.Duration(float64(d.scale) * math.Pow(u1, -1/d.alpha))
+	if d.cap > 0 && t > d.cap {
+		t = d.cap
+	}
+	return t
+}
+
+func (d paretoDist) String() string {
+	return fmt.Sprintf("pareto(scale=%v, alpha=%g, cap=%v)", d.scale, d.alpha, d.cap)
+}
+
+// distUniform maps a hash to a uniform draw in (0,1]: never exactly 0, so
+// log and negative powers stay finite.
+func distUniform(h uint64) float64 {
+	return (float64(h>>11) + 1) / float64(1<<53)
 }
 
 // LatencyBackend delays every operation of any Backend by a seeded,
@@ -548,15 +637,23 @@ func (l *LatencyBackend) delay(kind IOKind, disk, block, blocks int) {
 	if !armed {
 		return
 	}
-	l.st.log.add(ChaosOp{Op: op, Kind: kind, Disk: disk, Block: block, Blocks: blocks, Visit: visit})
-	d := float64(l.o.PerBlock) * float64(blocks)
+	var d float64
+	if l.o.Dist != nil {
+		u1 := distUniform(chaosHash(l.o.Seed, saltDist, kind, disk, block, visit))
+		u2 := distUniform(chaosHash(l.o.Seed, saltJitter, kind, disk, block, visit))
+		d = float64(l.o.Dist.sample(u1, u2)) * float64(blocks)
+	} else {
+		d = float64(l.o.PerBlock) * float64(blocks)
+		if l.o.Jitter > 0 {
+			u := float64(chaosHash(l.o.Seed, saltJitter, kind, disk, block, visit)) / math.MaxUint64
+			d *= 1 + l.o.Jitter*(2*u-1)
+		}
+	}
 	if len(l.o.DiskFactors) > 0 {
 		d *= l.o.DiskFactors[disk%len(l.o.DiskFactors)]
 	}
-	if l.o.Jitter > 0 {
-		u := float64(chaosHash(l.o.Seed, saltJitter, kind, disk, block, visit)) / math.MaxUint64
-		d *= 1 + l.o.Jitter*(2*u-1)
-	}
+	l.st.log.add(ChaosOp{Op: op, Kind: kind, Disk: disk, Block: block, Blocks: blocks, Visit: visit,
+		Delay: time.Duration(d)})
 	if d > 0 {
 		time.Sleep(time.Duration(d))
 	}

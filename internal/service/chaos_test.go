@@ -32,7 +32,7 @@ func TestChaosJobFaultReleasesSlot(t *testing.T) {
 	cfg := ManagerConfig{
 		Workers:    1,
 		QueueDepth: 4,
-		wrapBackend: func(kind string, be bmmc.Backend) bmmc.Backend {
+		WrapBackend: func(kind string, be bmmc.Backend) bmmc.Backend {
 			if !inject.Load() {
 				return be
 			}
@@ -121,7 +121,7 @@ func TestChaosDatasetSurvivesFaultedJob(t *testing.T) {
 	m := newTestManager(t, ManagerConfig{
 		Workers:    1,
 		QueueDepth: 4,
-		wrapBackend: func(kind string, be bmmc.Backend) bmmc.Backend {
+		WrapBackend: func(kind string, be bmmc.Backend) bmmc.Backend {
 			fb := pdm.NewFlakyBackend(be, pdm.FlakyOptions{FailAfterN: 1})
 			fb.Disarm() // dataset provisioning loads canonical records clean
 			flaky = fb
@@ -130,7 +130,7 @@ func TestChaosDatasetSurvivesFaultedJob(t *testing.T) {
 	})
 	d := createDS(t, m, BackendFile)
 	if flaky == nil {
-		t.Fatal("wrapBackend seam was not applied to dataset storage")
+		t.Fatal("WrapBackend seam was not applied to dataset storage")
 	}
 	p := bmmc.GrayCode(testConfig.LgN())
 

@@ -41,6 +41,7 @@ type dsEntry struct {
 	jobsRun    int          // jobs that executed on this dataset
 	loaded     bool         // user records uploaded (else canonical)
 	streams    int          // uploads + downloads in flight
+	handoff    bool         // replica transfer in flight; data and job planes closed
 	released   bool         // storage closed and removed (or being removed)
 }
 
@@ -69,6 +70,9 @@ func (d *dsEntry) bind() (int, error) {
 	}
 	if d.streams > 0 {
 		return 0, &httpError{http.StatusConflict, "dataset " + d.id + " has an upload or download in flight"}
+	}
+	if d.handoff {
+		return 0, d.errHandoff()
 	}
 	d.active++
 	t := d.nextTicket
@@ -130,8 +134,61 @@ func (d *dsEntry) startStream() error {
 	if d.active > 0 {
 		return &httpError{http.StatusConflict, "dataset " + d.id + " has active jobs: wait for them before streaming data"}
 	}
+	if d.handoff {
+		return d.errHandoff()
+	}
 	d.streams++
 	return nil
+}
+
+// errHandoff is the wrong-state error for calls racing a handoff; 503
+// marks it transient, since the dataset reappears (here or on the
+// handoff target) moments later.
+func (d *dsEntry) errHandoff() error {
+	return &httpError{http.StatusServiceUnavailable, "dataset " + d.id + " is being handed off to another node"}
+}
+
+// beginHandoff closes both planes for a replica transfer: no new job may
+// bind and no new stream may start until finishHandoff. It holds a stream
+// slot so deletion drains behind it like behind any data-plane user.
+func (d *dsEntry) beginHandoff() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.released {
+		return d.errGone()
+	}
+	if d.active > 0 {
+		return &httpError{http.StatusConflict, "dataset " + d.id + " has active jobs: await them before handing off"}
+	}
+	if d.streams > 0 {
+		return &httpError{http.StatusConflict, "dataset " + d.id + " has an upload or download in flight"}
+	}
+	if d.handoff {
+		return d.errHandoff()
+	}
+	d.handoff = true
+	d.streams++
+	return nil
+}
+
+// finishHandoff reopens the dataset — or, when deleteLocal is set after a
+// successful transfer, atomically releases it so no job can slip in
+// between the transfer and the delete. It reports whether the caller now
+// owns the storage teardown, exactly like tryRelease.
+func (d *dsEntry) finishHandoff(deleteLocal bool) (owner bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handoff = false
+	d.streams--
+	if deleteLocal && !d.released {
+		d.released = true
+		for d.streams > 0 {
+			d.cond.Wait()
+		}
+		owner = true
+	}
+	d.cond.Broadcast()
+	return owner
 }
 
 // endStream retires a stream, marking the dataset loaded when an upload

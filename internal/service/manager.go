@@ -56,16 +56,17 @@ type ManagerConfig struct {
 	InputWait time.Duration
 	// Logger receives structured lifecycle logs; nil discards them.
 	Logger *slog.Logger
+	// WrapBackend, when set, wraps every backend this manager provisions
+	// (per-job and dataset storage alike) before first use — the seam the
+	// chaos suites inject fault and latency adversaries through, for this
+	// package's tests and for cluster-level tests that poison one worker's
+	// storage.
+	WrapBackend func(kind string, be bmmc.Backend) bmmc.Backend
 
 	// hook, when set by tests, runs on each job's executing goroutine after
 	// every progress event — deterministic instrumentation for cancellation
 	// and race tests.
 	hook func(*Job, bmmc.PassEvent)
-	// wrapBackend, when set by tests, wraps every backend this manager
-	// provisions (per-job and dataset storage alike) before first use —
-	// the seam the chaos suite injects fault and latency adversaries
-	// through.
-	wrapBackend func(kind string, be bmmc.Backend) bmmc.Backend
 }
 
 // ErrQueueFull is returned by Submit when the admission queue is at
@@ -357,8 +358,8 @@ func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
 	default:
 		be = bmmc.MemBackend()
 	}
-	if m.cfg.wrapBackend != nil {
-		be = m.cfg.wrapBackend(kind, be)
+	if m.cfg.WrapBackend != nil {
+		be = m.cfg.WrapBackend(kind, be)
 	}
 	return be, dir, nil
 }
@@ -376,13 +377,25 @@ func (m *Manager) CreateDataset(req CreateDatasetRequest) (*dsEntry, error) {
 	if backend != BackendMem && backend != BackendFile && backend != BackendSharded {
 		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown backend %q (want mem, file, or sharded)", backend)}
 	}
+	if req.Stripes > 1 {
+		return nil, &httpError{http.StatusBadRequest, "striped datasets exist only behind a cluster coordinator: a single daemon holds whole datasets"}
+	}
+	if err := validDatasetID(req.ID); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	m.seq++
-	id := fmt.Sprintf("d%04d-%06x", m.seq, m.rng.Uint32()&0xffffff)
+	id := req.ID
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("d%04d-%06x", m.seq, m.rng.Uint32()&0xffffff)
+	} else if old, ok := m.datasets[id]; ok && !old.Status().Released {
+		m.mu.Unlock()
+		return nil, &httpError{http.StatusConflict, fmt.Sprintf("dataset %q already exists", id)}
+	}
 	m.mu.Unlock()
 
 	be, dir, err := m.provision("ds-"+id, backend)
@@ -399,20 +412,52 @@ func (m *Manager) CreateDataset(req CreateDatasetRequest) (*dsEntry, error) {
 	entry := newDSEntry(id, backend, req.Config, ds, dir)
 
 	m.mu.Lock()
-	if m.closed { // shutdown raced the provisioning above
-		m.mu.Unlock()
+	err = nil
+	switch old, exists := m.datasets[id]; {
+	case m.closed: // shutdown raced the provisioning above
+		err = ErrShuttingDown
+	case exists && !old.Status().Released: // a same-id create raced us
+		err = &httpError{http.StatusConflict, fmt.Sprintf("dataset %q already exists", id)}
+	case exists: // re-creating a deleted id: replace, keep its list slot
+		m.datasets[id] = entry
+	default:
+		m.datasets[id] = entry
+		m.dsOrder = append(m.dsOrder, id)
+	}
+	if err == nil {
+		m.created++
+	}
+	m.mu.Unlock()
+	if err != nil {
 		ds.Close()
 		if dir != "" {
 			os.RemoveAll(dir)
 		}
-		return nil, ErrShuttingDown
+		return nil, err
 	}
-	m.datasets[id] = entry
-	m.dsOrder = append(m.dsOrder, id)
-	m.created++
-	m.mu.Unlock()
 	m.log.Info("dataset created", "dataset", id, "backend", backend, "config", req.Config.String())
 	return entry, nil
+}
+
+// validDatasetID vets a caller-supplied dataset id: it becomes a path
+// segment in URLs and in provisioned directory names, so it is limited to
+// a conservative charset.
+func validDatasetID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 128 {
+		return &httpError{http.StatusBadRequest, "dataset id exceeds 128 bytes"}
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return &httpError{http.StatusBadRequest, fmt.Sprintf("dataset id %q: only letters, digits, '-', '_', '.' are allowed", id)}
+		}
+	}
+	return nil
 }
 
 // Dataset looks a dataset up by id.

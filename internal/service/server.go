@@ -49,6 +49,7 @@ const maxSubmitBody = 1 << 20
 //	DELETE /v1/datasets/{id}    delete (409 while jobs are bound; waits for streams)
 //	PUT    /v1/datasets/{id}/input  upload N records once, for any number of jobs
 //	GET    /v1/datasets/{id}/output download the dataset's current records
+//	POST   /v1/datasets/{id}/handoff replicate the dataset to another daemon (HandoffRequest)
 //	GET    /v1/metrics          daemon-wide gauges
 //
 // Errors are JSON objects {"error": "..."} with the appropriate status:
@@ -74,6 +75,7 @@ func NewHandler(m *Manager, logger *slog.Logger) http.Handler {
 	mux.HandleFunc("DELETE /v1/datasets/{id}", s.deleteDataset)
 	mux.HandleFunc("PUT /v1/datasets/{id}/input", s.datasetInput)
 	mux.HandleFunc("GET /v1/datasets/{id}/output", s.datasetOutput)
+	mux.HandleFunc("POST /v1/datasets/{id}/handoff", s.datasetHandoff)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	return mux
 }
@@ -251,6 +253,21 @@ func (s *server) datasetInput(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) datasetHandoff(w http.ResponseWriter, r *http.Request) {
+	var req HandoffRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, &httpError{http.StatusBadRequest, "decoding request: " + err.Error()})
+		return
+	}
+	d, err := s.m.HandoffDataset(r.Context(), r.PathValue("id"), req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, d.Status())
 }
 
 func (s *server) datasetOutput(w http.ResponseWriter, r *http.Request) {

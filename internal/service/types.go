@@ -92,6 +92,28 @@ type SubmitRequest struct {
 type CreateDatasetRequest struct {
 	Config  bmmc.Config `json:"config"`
 	Backend string      `json:"backend,omitempty"` // "mem" (default), "file", "sharded"
+	// ID, when set, names the dataset instead of letting the daemon
+	// generate an id — the cluster coordinator uses this so a dataset
+	// keeps one stable name no matter which worker currently holds it.
+	// Creating over a live id is refused (409); re-creating a deleted id
+	// is allowed, since a rebalance legitimately moves a dataset away and
+	// later back.
+	ID string `json:"id,omitempty"`
+	// Stripes, when > 1 on a request to the cluster coordinator, spreads
+	// the dataset over that many workers as contiguous record ranges. A
+	// single daemon refuses it: one node holds whole datasets only.
+	Stripes int `json:"stripes,omitempty"`
+}
+
+// HandoffRequest is the body of POST /v1/datasets/{id}/handoff: replicate
+// the dataset to the daemon at Target (base URL) by replaying the 16-byte
+// record wire format, optionally under a different id there, and
+// optionally delete the local copy once the replica is durable — the
+// cluster rebalance primitive.
+type HandoffRequest struct {
+	Target string `json:"target"`           // receiving daemon's base URL
+	ID     string `json:"id,omitempty"`     // id at the target (default: same id)
+	Delete bool   `json:"delete,omitempty"` // drop the local copy after success
 }
 
 // DatasetStatus is the wire rendering of one dataset: GET
@@ -207,7 +229,7 @@ type Metrics struct {
 
 	QueueDepth    int `json:"queue_depth"`    // jobs waiting in the admission queue
 	QueueCapacity int `json:"queue_capacity"` // admission queue bound (backpressure beyond it)
-	Workers       int `json:"workers"`        // worker pool size
+	Workers       int `json:"worker_pool"`    // execution worker pool size (cluster: summed over nodes; "workers" there is the per-node array)
 
 	DatasetsCreated int `json:"datasets_created"` // datasets ever created
 	DatasetsActive  int `json:"datasets_active"`  // datasets not yet deleted
