@@ -44,6 +44,7 @@ import (
 	"time"
 
 	bmmc "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -68,6 +69,11 @@ type (
 	Progress = service.Progress
 	// Metrics is the daemon-wide gauge set.
 	Metrics = service.Metrics
+	// JobTrace is a job's span trace: one span per pass, memoryload wave,
+	// and instrumented backend operation.
+	JobTrace = service.JobTrace
+	// Span is one timed interval within a job trace.
+	Span = obs.Span
 	// Event is one message on a job's event stream.
 	Event = service.Event
 	// State is a job lifecycle state.
@@ -366,6 +372,17 @@ func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// Trace fetches a job's span trace: pass, memoryload, and backend-I/O
+// spans from the daemon's bounded per-job ring. Against a coordinator,
+// striped jobs answer with worker sub-job spans stitched under one trace.
+func (c *Client) Trace(ctx context.Context, id string) (*JobTrace, error) {
+	var tr JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", "", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Upload streams the job's input records — exactly N records in the

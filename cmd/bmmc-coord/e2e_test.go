@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -19,7 +20,32 @@ import (
 	bmmc "repro"
 	"repro/client"
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
 )
+
+// scrapeExposition fetches a /metrics endpoint and strict-parses the
+// Prometheus text format, failing the test on any grammar violation.
+func scrapeExposition(t *testing.T, url string) []obs.Family {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	fams, err := obstest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("exposition failed strict parse: %v", err)
+	}
+	return fams
+}
 
 // proc is one running binary (coordinator or worker) under test.
 type proc struct {
@@ -248,6 +274,13 @@ func TestClusterEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if err != nil || len(cm.Workers) != 3 {
 		t.Fatalf("cluster metrics: err=%v workers=%d, want 3", err, len(cm.Workers))
+	}
+
+	// The coordinator's Prometheus endpoint merges every worker's families
+	// and must survive a strict parse mid-run with worker pass I/Os in it.
+	fams := scrapeExposition(t, coordURL+"/metrics")
+	if got := obstest.Sum(fams, "bmmc_pass_ios", nil); got == 0 {
+		t.Fatal("merged cluster exposition carries no bmmc_pass_ios series")
 	}
 
 	// Graceful drain of one worker: its stripes hand off during SIGINT, so

@@ -13,7 +13,13 @@
 //
 // Usage:
 //
-//	bmmc-coord [-addr host:port] [-heartbeat d] [-vnodes n] [-seed s] [-log-json]
+//	bmmc-coord [-addr host:port] [-heartbeat d] [-vnodes n] [-seed s]
+//	           [-log-json] [-log-level l] [-pprof-addr host:port]
+//
+// GET /metrics serves the cluster-wide Prometheus exposition: the
+// coordinator's own families merged with a live scrape of every worker's
+// /metrics, worker series tagged with a worker label (failed scrapes are
+// skipped and counted in bmmc_coord_scrape_failures_total).
 //
 // The coordinator announces its bound address on startup ("bmmc-coord
 // listening addr=..."), so -addr may use port 0. It keeps no durable
@@ -25,7 +31,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log/slog"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 )
 
@@ -44,14 +51,20 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for dataset- and job-id generation")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
 		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		pprofAdr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+	logger, err := cliutil.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmmc-coord:", err)
+		os.Exit(2)
 	}
-	logger := slog.New(handler)
+	if _, err := cliutil.ServePprof(*pprofAdr, logger); err != nil {
+		logger.Error("starting pprof", "err", err)
+		os.Exit(1)
+	}
 
 	coord := cluster.New(cluster.Options{
 		HeartbeatInterval: *heartbeat,

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"regexp"
@@ -15,6 +17,8 @@ import (
 
 	bmmc "repro"
 	"repro/client"
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
 )
 
 // daemon is one running bmmcd binary under test.
@@ -173,7 +177,37 @@ func TestBmmcdEndToEnd(t *testing.T) {
 		t.Fatalf("metrics %+v do not match the oracle run (%d parallel I/Os)", mt, rep.ParallelIOs)
 	}
 
+	// The Prometheus exposition must parse strictly and report the same
+	// pass I/O count the oracle measured.
+	fams := scrapeExposition(t, "http://"+d.addr+"/metrics")
+	if got := obstest.Sum(fams, "bmmc_pass_ios", nil); int(got) != rep.ParallelIOs {
+		t.Fatalf("bmmc_pass_ios = %v, oracle measured %d", got, rep.ParallelIOs)
+	}
+
 	d.drain(t)
+}
+
+// scrapeExposition fetches a /metrics endpoint and strict-parses the
+// Prometheus text format, failing the test on any grammar violation.
+func scrapeExposition(t *testing.T, url string) []obs.Family {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	fams, err := obstest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("exposition failed strict parse: %v", err)
+	}
+	return fams
 }
 
 // TestBmmcdDatasetChain is the chained-jobs CI step: against the real

@@ -15,8 +15,13 @@
 // Usage:
 //
 //	bmmcd [-addr host:port] [-dir path] [-shards s] [-max-jobs q]
-//	      [-workers w] [-seed s] [-drain timeout] [-log-json]
-//	      [-coord url] [-advertise url] [-worker-id id]
+//	      [-workers w] [-seed s] [-drain timeout] [-log-json] [-log-level l]
+//	      [-pprof-addr host:port] [-coord url] [-advertise url] [-worker-id id]
+//
+// GET /metrics serves the daemon's Prometheus exposition (per-op backend
+// latency, per-pass I/O counts next to the paper's bounds, queue and plan
+// cache state) and GET /v1/jobs/{id}/trace a job's span trace; -pprof-addr
+// additionally serves net/http/pprof on its own listener.
 //
 // With -coord, the daemon additionally joins the cluster coordinator at
 // that URL as a worker: it registers under -worker-id (default: derived
@@ -41,7 +46,6 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,21 +53,24 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9432", "listen address (port 0 for OS-assigned)")
-		dir     = flag.String("dir", "", "base directory for job storage (empty: private temp dir)")
-		shards  = flag.Int("shards", service.DefaultShards, "shard directories per sharded-backend job")
-		maxJobs = flag.Int("max-jobs", service.DefaultQueueDepth, "admission queue depth (backpressure beyond it)")
-		workers = flag.Int("workers", service.DefaultWorkers, "worker pool size (jobs executing concurrently)")
-		seed    = flag.Int64("seed", 1, "seed for job-id generation")
-		inWait  = flag.Duration("input-wait", service.DefaultInputWait, "how long an await_input job may wait for its upload before being canceled")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
-		logJSON = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+		addr     = flag.String("addr", "127.0.0.1:9432", "listen address (port 0 for OS-assigned)")
+		dir      = flag.String("dir", "", "base directory for job storage (empty: private temp dir)")
+		shards   = flag.Int("shards", service.DefaultShards, "shard directories per sharded-backend job")
+		maxJobs  = flag.Int("max-jobs", service.DefaultQueueDepth, "admission queue depth (backpressure beyond it)")
+		workers  = flag.Int("workers", service.DefaultWorkers, "worker pool size (jobs executing concurrently)")
+		seed     = flag.Int64("seed", 1, "seed for job-id generation")
+		inWait   = flag.Duration("input-wait", service.DefaultInputWait, "how long an await_input job may wait for its upload before being canceled")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGINT/SIGTERM")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of key=value text")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 
 		coord     = flag.String("coord", "", "cluster coordinator URL to join as a worker (empty: standalone)")
 		advertise = flag.String("advertise", "", "base URL the coordinator reaches this daemon at (default: bound address)")
@@ -71,11 +78,15 @@ func main() {
 	)
 	flag.Parse()
 
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+	logger, err := cliutil.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmmcd:", err)
+		os.Exit(2)
 	}
-	logger := slog.New(handler)
+	if _, err := cliutil.ServePprof(*pprofAdr, logger); err != nil {
+		logger.Error("starting pprof", "err", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

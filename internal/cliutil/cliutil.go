@@ -1,6 +1,7 @@
 // Package cliutil holds the helpers the command-line tools share: the
-// named permutation catalog behind every -perm flag and the loader for
-// marshal-format permutation files, so bmmcperm and bmmcplan cannot
+// named permutation catalog behind every -perm flag, the loader for
+// marshal-format permutation files, and the daemons' common logging and
+// pprof setup — so bmmcperm, bmmcplan, bmmcd, and bmmc-coord cannot
 // drift apart.
 package cliutil
 

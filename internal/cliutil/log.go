@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the daemons' shared slog setup: level parsed from a
+// -log-level flag value (debug, info, warn, error), key=value text on
+// stderr by default, JSON with -log-json.
+func NewLogger(level string, json bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, opts)
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
+// ServePprof exposes net/http/pprof on its own listener when addr is
+// non-empty, so profiling never shares a port with the public API. It
+// returns the bound address ("" when disabled); the server lives for the
+// process and dies with it, which is all a profiling sidecar needs.
+func ServePprof(addr string, log *slog.Logger) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Warn("pprof server stopped", "err", err)
+		}
+	}()
+	log.Info("pprof listening", "addr", ln.Addr().String())
+	return ln.Addr().String(), nil
+}

@@ -84,6 +84,7 @@ type Coordinator struct {
 	reg *registry
 	hc  *http.Client // shared transport for every worker call
 	eng *bmmc.Engine // plans striped jobs and quotes their summaries
+	obs *coordObs    // coordinator Prometheus registry + scrape fan-out
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -136,6 +137,7 @@ func New(o Options) *Coordinator {
 		sjobs:      make(map[string]*stripedJob),
 		rng:        rand.New(rand.NewSource(o.Seed)),
 	}
+	c.obs = newCoordObs(c)
 	c.wg.Add(1)
 	go c.sweep()
 	return c

@@ -63,7 +63,7 @@ type WorkerMetrics struct {
 	Addr    string           `json:"addr"`
 	Health  Health           `json:"health"`
 	Metrics *service.Metrics `json:"metrics,omitempty"`
-	Error   string           `json:"error,omitempty"` // metrics fetch failure
+	Error   string           `json:"scrape_error,omitempty"` // metrics fetch failure; worker skipped from sums
 }
 
 // ClusterMetrics is GET /v1/metrics at the coordinator: the single-daemon
@@ -84,6 +84,7 @@ func (c *Coordinator) ClusterMetrics(ctx context.Context) *ClusterMetrics {
 		m, err := c.workerClient(w.Addr).Metrics(ctx)
 		if err != nil {
 			wm.Error = err.Error()
+			c.obs.scrapeFails.With(w.ID).Inc()
 		} else {
 			wm.Metrics = m
 			addMetrics(&out.Metrics, m)
@@ -252,7 +253,10 @@ func (c *Coordinator) jobStatuses(ctx context.Context) []*service.JobStatus {
 //	POST /cluster/v1/leave     graceful drain: stripes hand off before the reply
 //	GET  /cluster/v1/workers   registry snapshot with health and placement counts
 //
-// GET /v1/metrics answers the ClusterMetrics superset of the daemon schema.
+// GET /v1/metrics answers the ClusterMetrics superset of the daemon schema,
+// GET /metrics the Prometheus exposition (coordinator families merged with
+// every worker's, worker series tagged with a worker label), and
+// GET /v1/jobs/{id}/trace a striped job's stitched cross-worker trace.
 func NewHandler(c *Coordinator) http.Handler {
 	h := &handler{c: c}
 	mux := http.NewServeMux()
@@ -265,6 +269,7 @@ func NewHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", h.listJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", h.jobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", h.jobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.jobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.jobCancel)
 	mux.HandleFunc("PUT /v1/jobs/{id}/input", h.jobProxy)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", h.jobProxy)
@@ -277,6 +282,7 @@ func NewHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{id}/output", h.datasetOutput)
 
 	mux.HandleFunc("GET /v1/metrics", h.metrics)
+	mux.HandleFunc("GET /metrics", h.promMetrics)
 	return mux
 }
 

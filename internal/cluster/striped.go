@@ -10,6 +10,7 @@ import (
 
 	bmmc "repro"
 	"repro/client"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -24,6 +25,7 @@ type stripedJob struct {
 	submitted time.Time
 	ctx       context.Context
 	cancelFn  context.CancelFunc
+	trace     *obs.TraceBuffer // coordinator-side spans (stripe/gather/scatter)
 
 	mu       sync.Mutex
 	state    service.State
@@ -31,6 +33,7 @@ type stripedJob struct {
 	report   *service.RunReport
 	started  *time.Time
 	finished *time.Time
+	refs     []subJobRef // worker sub-jobs spawned, for trace stitching
 	subs     map[chan service.Event]struct{}
 }
 
@@ -39,6 +42,7 @@ func newStripedJob(id, dataset string, summary *service.PlanSummary) *stripedJob
 	return &stripedJob{
 		id: id, dataset: dataset, summary: summary, submitted: time.Now(),
 		ctx: ctx, cancelFn: cancel,
+		trace: obs.NewTraceBuffer(id, 0),
 		state: service.StateQueued,
 		subs:  make(map[chan service.Event]struct{}),
 	}
@@ -190,7 +194,10 @@ func (c *Coordinator) runStripedLocal(sj *stripedJob, locals []bmmc.Permutation,
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			rep, err := c.runSubJob(sj.ctx, stripes[s], locals[s])
+			start := time.Now()
+			rep, subID, err := c.runSubJob(sj.ctx, sj, stripes[s], locals[s])
+			span := obs.Span{Name: obs.SpanStripe, Pass: s,
+				Worker: stripes[s].worker, JobID: subID, Start: start, End: time.Now()}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -199,6 +206,8 @@ func (c *Coordinator) runStripedLocal(sj *stripedJob, locals []bmmc.Permutation,
 				}
 				return
 			}
+			span.IOs = rep.ParallelIOs
+			sj.addSpan(span)
 			agg.Passes += rep.Passes
 			agg.ParallelIOs += rep.ParallelIOs
 			agg.ParallelReads += rep.ParallelReads
@@ -229,27 +238,28 @@ func (c *Coordinator) runStripedLocal(sj *stripedJob, locals []bmmc.Permutation,
 }
 
 // runSubJob executes one local BMMC on one stripe's worker and waits for
-// the terminal state.
-func (c *Coordinator) runSubJob(ctx context.Context, s stripeLoc, lp bmmc.Permutation) (*service.RunReport, error) {
+// the terminal state, recording the sub-job on sj for trace stitching.
+func (c *Coordinator) runSubJob(ctx context.Context, sj *stripedJob, s stripeLoc, lp bmmc.Permutation) (*service.RunReport, string, error) {
 	wc, err := c.clientFor(s.worker)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	js, err := wc.Submit(ctx, client.NewDatasetSubmitRequest(s.dsID, lp))
 	if err != nil {
-		return nil, asGatewayErr(err)
+		return nil, "", asGatewayErr(err)
 	}
+	sj.addRef(s.worker, js.ID)
 	final, err := wc.Watch(ctx, js.ID, nil)
 	if err != nil {
-		return nil, asGatewayErr(err)
+		return nil, js.ID, asGatewayErr(err)
 	}
 	if final.State != service.StateDone {
-		return nil, fmt.Errorf("sub-job %s: %s (%s)", final.ID, final.State, final.Error)
+		return nil, js.ID, fmt.Errorf("sub-job %s: %s (%s)", final.ID, final.State, final.Error)
 	}
 	if final.Report == nil {
-		return &service.RunReport{}, nil
+		return &service.RunReport{}, js.ID, nil
 	}
-	return final.Report, nil
+	return final.Report, js.ID, nil
 }
 
 // runStripedExchange is the general path for permutations whose A_hl
@@ -267,9 +277,11 @@ func (c *Coordinator) runStripedExchange(sj *stripedJob, perm bmmc.Permutation, 
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		if err := wc.DownloadDataset(sj.ctx, s.dsID, buf); err != nil {
 			return asGatewayErr(err)
 		}
+		sj.addSpan(spanSince(obs.SpanGather, s.worker, start))
 	}
 	out := permuteRecords(perm, buf.Bytes())
 	for j, s := range stripes {
@@ -277,9 +289,11 @@ func (c *Coordinator) runStripedExchange(sj *stripedJob, perm bmmc.Permutation, 
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		if err := wc.UploadDataset(sj.ctx, s.dsID, bytes.NewReader(out[int64(j)*per:int64(j+1)*per])); err != nil {
 			return asGatewayErr(err)
 		}
+		sj.addSpan(spanSince(obs.SpanScatter, s.worker, start))
 	}
 	sj.mu.Lock()
 	sj.report = &service.RunReport{Passes: 1}

@@ -1,0 +1,239 @@
+// Package obstest validates Prometheus text expositions strictly — far
+// beyond what a tolerant scraper needs — so CI can fail on malformed
+// output from either daemon. On top of obs.ParseText it enforces that
+// every family has a known TYPE declared before its samples, that no
+// series (name + label set) repeats, and that histograms are complete
+// (every declared bucket cumulative and non-decreasing, a +Inf bucket,
+// matching _sum/_count).
+package obstest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Parse strictly validates a text exposition and returns its families.
+func Parse(text string) ([]obs.Family, error) {
+	if err := checkTypeOrder(text); err != nil {
+		return nil, err
+	}
+	fams, err := obs.ParseText(strings.NewReader(text))
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		switch f.Type {
+		case obs.TypeCounter, obs.TypeGauge, obs.TypeHistogram:
+		case "":
+			return nil, fmt.Errorf("family %s has samples but no TYPE line", f.Name)
+		default:
+			return nil, fmt.Errorf("family %s has unknown type %q", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			key := seriesKey(s)
+			if seen[key] {
+				return nil, fmt.Errorf("duplicate series %s", key)
+			}
+			seen[key] = true
+			if f.Type == obs.TypeCounter && s.Value < 0 {
+				return nil, fmt.Errorf("counter series %s is negative (%g)", key, s.Value)
+			}
+		}
+		if f.Type == obs.TypeHistogram {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// checkTypeOrder enforces that a family's TYPE line precedes its samples.
+func checkTypeOrder(text string) error {
+	typed := map[string]bool{}
+	hist := map[string]bool{}
+	for n, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				typed[f[2]] = true
+				if f[3] == obs.TypeHistogram {
+					hist[f[2]] = true
+				}
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		ok := typed[name]
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name && hist[base] {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("line %d: sample %s before its TYPE declaration", n+1, name)
+		}
+	}
+	return nil
+}
+
+func checkHistogram(f obs.Family) error {
+	// Group component samples by their non-le label set.
+	type hstate struct {
+		les                      []float64
+		counts                   []float64
+		sum                      float64
+		count                    float64
+		hasSum, hasCount, hasInf bool
+	}
+	groups := map[string]*hstate{}
+	get := func(labels []obs.Label) *hstate {
+		var parts []string
+		for _, l := range labels {
+			if l.Name != "le" {
+				parts = append(parts, l.Name+"="+l.Value)
+			}
+		}
+		k := strings.Join(parts, ",")
+		if g, ok := groups[k]; ok {
+			return g
+		}
+		g := &hstate{}
+		groups[k] = g
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s.Labels)
+		switch {
+		case s.Name == f.Name+"_sum":
+			g.sum, g.hasSum = s.Value, true
+		case s.Name == f.Name+"_count":
+			g.count, g.hasCount = s.Value, true
+		case s.Name == f.Name+"_bucket":
+			le := ""
+			for _, l := range s.Labels {
+				if l.Name == "le" {
+					le = l.Value
+				}
+			}
+			if le == "+Inf" {
+				g.hasInf = true
+				g.les = append(g.les, math.Inf(1))
+			} else {
+				var v float64
+				if _, err := fmt.Sscanf(le, "%g", &v); err != nil {
+					return fmt.Errorf("%s: unparsable le=%q", f.Name, le)
+				}
+				g.les = append(g.les, v)
+			}
+			g.counts = append(g.counts, s.Value)
+		default:
+			return fmt.Errorf("%s: unexpected sample name %s in histogram family", f.Name, s.Name)
+		}
+	}
+	for k, g := range groups {
+		if !g.hasSum || !g.hasCount || !g.hasInf {
+			return fmt.Errorf("%s{%s}: incomplete histogram (sum=%v count=%v +Inf=%v)",
+				f.Name, k, g.hasSum, g.hasCount, g.hasInf)
+		}
+		if !sort.Float64sAreSorted(g.les) {
+			return fmt.Errorf("%s{%s}: bucket bounds out of order", f.Name, k)
+		}
+		for i := 1; i < len(g.counts); i++ {
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s{%s}: bucket counts not cumulative at le=%g", f.Name, k, g.les[i])
+			}
+		}
+		if inf := g.counts[len(g.counts)-1]; inf != g.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %g != count %g", f.Name, k, inf, g.count)
+		}
+	}
+	return nil
+}
+
+func seriesKey(s obs.Sample) string {
+	parts := make([]string, 0, len(s.Labels))
+	for _, l := range s.Labels {
+		parts = append(parts, l.Name+"="+l.Value)
+	}
+	return s.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Value finds the single sample matching name and the given label
+// restrictions (the sample may carry extra labels). It errors when zero
+// or multiple samples match.
+func Value(fams []obs.Family, name string, labels map[string]string) (float64, error) {
+	var found []float64
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				got, has := labelValue(s.Labels, k)
+				if !has || got != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = append(found, s.Value)
+			}
+		}
+	}
+	switch len(found) {
+	case 0:
+		return 0, fmt.Errorf("no sample %s%v", name, labels)
+	case 1:
+		return found[0], nil
+	default:
+		return 0, fmt.Errorf("%d samples match %s%v", len(found), name, labels)
+	}
+}
+
+// Sum totals every sample with the given name matching the label
+// restrictions (zero matches sum to 0).
+func Sum(fams []obs.Family, name string, labels map[string]string) float64 {
+	var total float64
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				got, has := labelValue(s.Labels, k)
+				if !has || got != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				total += s.Value
+			}
+		}
+	}
+	return total
+}
+
+func labelValue(ls []obs.Label, name string) (string, bool) {
+	for _, l := range ls {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}

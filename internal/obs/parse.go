@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text-format exposition into families.
+// It accepts the subset this package writes plus ignorable comment lines.
+// Samples that arrive before any TYPE line for their family are grouped
+// under an implicit untyped family. Timestamps are rejected: neither our
+// registries nor the coordinator's scrapes ever carry them, so one is a
+// sign we're scraping something we don't understand.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	byName := map[string]*Family{}
+	var order []string
+
+	fam := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				f := fam(fields[2])
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+					}
+					f.Type = fields[3]
+				} else if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+			}
+			continue // other comments are ignored per the format spec
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := fam(familyOf(name, byName))
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Family, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out, nil
+}
+
+// familyOf maps a sample name to its family name, folding histogram
+// component suffixes back onto a known family.
+func familyOf(name string, byName map[string]*Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := byName[base]; ok && f.Type == TypeHistogram {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, ls, perr := parseLabels(rest)
+		if perr != nil {
+			return "", nil, 0, perr
+		}
+		labels, rest = ls, rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("sample %q carries a timestamp or trailing garbage", line)
+	}
+	value, err = parseFloat(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a {name="value",...} block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels []Label, err error) {
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			sort.Slice(labels, func(a, b int) bool { return labels[a].Name < labels[b].Name })
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", s)
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %s missing quoted value in %q", name, s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in %q", s[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// Relabel returns families with an extra label stamped on every sample,
+// skipping samples that already carry it. Used by the coordinator to tag
+// scraped worker metrics with worker="id".
+func Relabel(fams []Family, name, value string) []Family {
+	out := make([]Family, len(fams))
+	for i, f := range fams {
+		nf := Family{Name: f.Name, Help: f.Help, Type: f.Type, Samples: make([]Sample, len(f.Samples))}
+		for j, s := range f.Samples {
+			has := false
+			for _, l := range s.Labels {
+				if l.Name == name {
+					has = true
+					break
+				}
+			}
+			if has {
+				nf.Samples[j] = s
+			} else {
+				nf.Samples[j] = Sample{Name: s.Name, Labels: withLabel(s.Labels, name, value), Value: s.Value}
+			}
+		}
+		out[i] = nf
+	}
+	return out
+}
+
+// Merge combines family sets by name, keeping first-seen HELP/TYPE and
+// concatenating samples. The result is sorted by family name.
+func Merge(sets ...[]Family) []Family {
+	byName := map[string]*Family{}
+	var names []string
+	for _, set := range sets {
+		for _, f := range set {
+			if have, ok := byName[f.Name]; ok {
+				have.Samples = append(have.Samples, f.Samples...)
+				continue
+			}
+			cp := f
+			cp.Samples = append([]Sample{}, f.Samples...)
+			byName[f.Name] = &cp
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]Family, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byName[n])
+	}
+	return out
+}

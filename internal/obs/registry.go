@@ -1,0 +1,427 @@
+// Package obs is a dependency-free observability kit for the bmmc stack:
+// a Prometheus text-exposition registry (counters, gauges, histograms,
+// with labeled variants), a parser for the same format so the coordinator
+// can scrape and re-expose worker registries, and a bounded span buffer
+// for per-job I/O traces.
+//
+// The registry deliberately implements only what the daemons need from
+// the exposition format (version 0.0.4): HELP/TYPE metadata, escaped
+// label values, cumulative histogram buckets with the +Inf bound, and
+// deterministic (sorted) output so tests can diff scrapes byte-for-byte.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the TYPE line vocabulary we emit.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// DefLatencyBuckets spans sub-microsecond memory-backend ops through
+// multi-second chaos-injected stalls.
+var DefLatencyBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+	1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5,
+}
+
+// DefWaitBuckets covers queue-wait times: milliseconds to a minute.
+var DefWaitBuckets = []float64{
+	1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 15, 60,
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. All methods are safe for concurrent use. Registering the same
+// name twice with compatible metadata returns the existing family;
+// incompatible re-registration panics (a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted family names
+	onScrape []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// OnScrape registers fn to run at the start of every Gather/WriteText,
+// before the family snapshot is taken. Use it to refresh gauges that
+// mirror external state (queue depth, runtime stats).
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+type family struct {
+	name, help, typ string
+	labels          []string  // label names for children, nil for unlabeled
+	buckets         []float64 // histogram upper bounds (without +Inf)
+
+	mu       sync.Mutex
+	children map[string]*series
+	order    []string // sorted child keys
+}
+
+// series is one labeled time series: a scalar for counters/gauges, or a
+// bucket set for histograms.
+type series struct {
+	labelVals []string
+	bits      atomic.Uint64 // counter/gauge value (float64 bits)
+
+	hmu    sync.Mutex // histogram state
+	counts []uint64   // per-bucket (aligned with family.buckets), cumulative at render
+	sum    float64
+	total  uint64
+}
+
+func (s *series) add(d float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *series) set(v float64) { s.bits.Store(math.Float64bits(v)) }
+func (s *series) get() float64  { return math.Float64frombits(s.bits.Load()) }
+
+func (s *series) observe(buckets []float64, v float64) {
+	s.hmu.Lock()
+	for i, ub := range buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.total++
+	s.sum += v
+	s.hmu.Unlock()
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic("obs: conflicting registration for " + name)
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		children: map[string]*series{},
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	sort.Strings(r.names)
+	return f
+}
+
+func (f *family) child(vals ...string) *series {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s := &series{labelVals: append([]string(nil), vals...)}
+	if f.typ == TypeHistogram {
+		s.counts = make([]uint64, len(f.buckets))
+	}
+	f.children[key] = s
+	f.order = append(f.order, key)
+	sort.Strings(f.order)
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.add(1) }
+
+// Add adds d; negative deltas are ignored.
+func (c *Counter) Add(d float64) {
+	if d > 0 {
+		c.s.add(d)
+	}
+}
+
+// Value returns the current value (for tests).
+func (c *Counter) Value() float64 { return c.s.get() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.set(v) }
+
+// Add adjusts the value by d (may be negative).
+func (g *Gauge) Add(d float64) { g.s.add(d) }
+
+// Value returns the current value (for tests).
+func (g *Gauge) Value() float64 { return g.s.get() }
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.s.observe(h.f.buckets, v) }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values (created on first use).
+func (v *CounterVec) With(vals ...string) *Counter { return &Counter{v.f.child(vals...)} }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the child for the given label values (created on first use).
+func (v *GaugeVec) With(vals ...string) *Gauge { return &Gauge{v.f.child(vals...)} }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the child for the given label values (created on first use).
+func (v *HistogramVec) With(vals ...string) *Histogram { return &Histogram{v.f, v.f.child(vals...)} }
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r.register(name, help, TypeCounter, nil, nil).child()}
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r.register(name, help, TypeGauge, nil, nil).child()}
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the given
+// upper bounds (ascending, +Inf implied).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, buckets)
+	return &Histogram{f, f.child()}
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, TypeHistogram, labels, buckets)}
+}
+
+// Label is one name=value pair. Samples keep labels sorted by name.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Sample is one exposition line: a metric name (which for histograms
+// carries the _bucket/_sum/_count suffix), sorted labels, and a value.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Family is the parsed/gathered form of one metric family. Histograms are
+// kept in expanded form (component _bucket/_sum/_count samples) so that
+// relabeling and merging across workers is uniform.
+type Family struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help,omitempty"`
+	Type    string   `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// Gather snapshots every family, running OnScrape hooks first. Families
+// and samples come back in deterministic sorted order.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.Lock()
+	names := append([]string{}, r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.gather())
+	}
+	return out
+}
+
+func (f *family) gather() Family {
+	out := Family{Name: f.name, Help: f.help, Type: f.typ}
+	f.mu.Lock()
+	keys := append([]string{}, f.order...)
+	kids := make([]*series, len(keys))
+	for i, k := range keys {
+		kids[i] = f.children[k]
+	}
+	f.mu.Unlock()
+
+	for _, s := range kids {
+		base := labelPairs(f.labels, s.labelVals)
+		switch f.typ {
+		case TypeHistogram:
+			s.hmu.Lock()
+			counts := append([]uint64{}, s.counts...)
+			sum, total := s.sum, s.total
+			s.hmu.Unlock()
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += counts[i]
+				out.Samples = append(out.Samples, Sample{
+					Name:   f.name + "_bucket",
+					Labels: withLabel(base, "le", formatFloat(ub)),
+					Value:  float64(cum),
+				})
+			}
+			out.Samples = append(out.Samples,
+				Sample{Name: f.name + "_bucket", Labels: withLabel(base, "le", "+Inf"), Value: float64(total)},
+				Sample{Name: f.name + "_sum", Labels: base, Value: sum},
+				Sample{Name: f.name + "_count", Labels: base, Value: float64(total)},
+			)
+		default:
+			out.Samples = append(out.Samples, Sample{Name: f.name, Labels: base, Value: s.get()})
+		}
+	}
+	return out
+}
+
+func labelPairs(names, vals []string) []Label {
+	if len(names) == 0 {
+		return nil
+	}
+	ls := make([]Label, len(names))
+	for i := range names {
+		ls[i] = Label{names[i], vals[i]}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+// withLabel returns base plus one extra label, re-sorted, without
+// mutating base.
+func withLabel(base []Label, name, value string) []Label {
+	ls := make([]Label, 0, len(base)+1)
+	ls = append(ls, base...)
+	ls = append(ls, Label{name, value})
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	return ls
+}
+
+// WriteText renders the registry in the Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	return WriteFamilies(w, r.Gather())
+}
+
+// WriteFamilies renders pre-gathered families (used by the coordinator to
+// re-expose merged worker scrapes).
+func WriteFamilies(w io.Writer, fams []Family) error {
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(f.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type)
+		b.WriteByte('\n')
+		for _, s := range f.Samples {
+			b.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(l.Name)
+					b.WriteString(`="`)
+					b.WriteString(escapeLabel(l.Value))
+					b.WriteByte('"')
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ServeHTTP exposes the registry as a scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteText(w)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

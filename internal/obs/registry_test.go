@@ -1,0 +1,157 @@
+package obs_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/obstest"
+)
+
+// buildRegistry populates one of every metric shape the daemons use.
+func buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("jobs_total", "Total jobs.").Add(7)
+	cv := r.CounterVec("pass_ios", "Per-pass I/Os.", "class", "kernel")
+	cv.With("MLD", "record").Add(96)
+	cv.With("MRC", "run4").Add(48)
+	r.Gauge("queue_depth", "Jobs queued.").Set(3)
+	gv := r.GaugeVec("bound", "Theoretical I/O bounds.", "bound")
+	gv.With("lower").Set(64)
+	gv.With("upper").Set(128)
+	h := r.HistogramVec("op_seconds", "Backend op latency with \"quotes\" and \\slashes.",
+		[]float64{0.001, 0.01, 0.1}, "op", "disk")
+	for i, v := range []float64{0.0004, 0.002, 0.05, 3} {
+		h.With("read", "0").Observe(v)
+		if i%2 == 0 {
+			h.With("write", "1").Observe(v * 2)
+		}
+	}
+	r.Histogram("wait_seconds", "Queue wait.", []float64{1, 10}).Observe(0.5)
+	return r
+}
+
+// TestExpositionRoundTrip renders every registered family, strict-parses
+// it back, and requires the re-rendered text to be byte-identical — the
+// writer and parser agree on the full format, including escapes,
+// histogram expansion, and deterministic ordering.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := buildRegistry()
+	var first strings.Builder
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obstest.Parse(first.String())
+	if err != nil {
+		t.Fatalf("strict parse of own output: %v\n%s", err, first.String())
+	}
+	gathered := r.Gather()
+	if len(fams) != len(gathered) {
+		t.Fatalf("parsed %d families, registry gathered %d", len(fams), len(gathered))
+	}
+	for i := range fams {
+		if !reflect.DeepEqual(fams[i], gathered[i]) {
+			t.Errorf("family %s: parsed %+v\nwant %+v", gathered[i].Name, fams[i], gathered[i])
+		}
+	}
+	var second strings.Builder
+	if err := obs.WriteFamilies(&second, fams); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("round-trip not byte-identical:\n--- wrote\n%s--- reparsed\n%s", first.String(), second.String())
+	}
+}
+
+func TestStrictParserRejects(t *testing.T) {
+	bad := map[string]string{
+		"no type":           "loose_sample 1\n",
+		"sample above type": "x 1\n# TYPE x counter\n",
+		"duplicate series":  "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"negative counter":  "# TYPE x counter\nx -1\n",
+		"timestamped":       "# TYPE x gauge\nx 1 1712345678\n",
+		"unknown type":      "# TYPE x summary\nx 1\n",
+		"broken histogram": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n" +
+			"h_sum 1\nh_count 3\n",
+		"missing inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range bad {
+		if _, err := obstest.Parse(text); err == nil {
+			t.Errorf("%s: strict parser accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestRelabelMerge(t *testing.T) {
+	a := obs.NewRegistry()
+	a.Counter("ios", "x").Add(10)
+	b := obs.NewRegistry()
+	b.Counter("ios", "x").Add(5)
+	merged := obs.Merge(obs.Relabel(a.Gather(), "worker", "w1"), obs.Relabel(b.Gather(), "worker", "w2"))
+	if len(merged) != 1 || len(merged[0].Samples) != 2 {
+		t.Fatalf("merge shape: %+v", merged)
+	}
+	if got := obstest.Sum(merged, "ios", nil); got != 15 {
+		t.Fatalf("merged sum = %g, want 15", got)
+	}
+	v, err := obstest.Value(merged, "ios", map[string]string{"worker": "w2"})
+	if err != nil || v != 5 {
+		t.Fatalf("worker=w2 value = %g, %v", v, err)
+	}
+	var sb strings.Builder
+	if err := obs.WriteFamilies(&sb, merged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obstest.Parse(sb.String()); err != nil {
+		t.Fatalf("merged exposition unparsable: %v\n%s", err, sb.String())
+	}
+}
+
+func TestConcurrentMetricOps(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("n", "x")
+	h := r.HistogramVec("lat", "x", []float64{0.5}, "op")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.With([]string{"read", "write"}[i%2]).Observe(float64(j%2) + 0.25)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %g, want 8000", got)
+	}
+	fams := r.Gather()
+	if got := obstest.Sum(fams, "lat_count", nil); got != 8000 {
+		t.Fatalf("histogram count = %g, want 8000", got)
+	}
+	if math.IsNaN(obstest.Sum(fams, "lat_sum", nil)) {
+		t.Fatal("histogram sum is NaN")
+	}
+}
+
+func TestTraceBufferRing(t *testing.T) {
+	b := obs.NewTraceBuffer("j1", 4)
+	base := time.Unix(0, 0)
+	for i := 0; i < 7; i++ {
+		b.Add(obs.Span{Name: obs.SpanLoad, Load: i + 1, Start: base, End: base.Add(time.Duration(i))})
+	}
+	spans, dropped := b.Snapshot()
+	if dropped != 3 || len(spans) != 4 {
+		t.Fatalf("got %d spans, %d dropped; want 4/3", len(spans), dropped)
+	}
+	for i, s := range spans {
+		if s.Load != i+4 {
+			t.Fatalf("ring order wrong at %d: %+v", i, spans)
+		}
+	}
+}

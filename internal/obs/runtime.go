@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntime wires Go runtime gauges into the registry, refreshed on
+// every scrape: goroutine count, heap usage, and GC activity. The prefix
+// distinguishes daemon roles (e.g. "bmmc" vs "bmmc_coord").
+func RegisterRuntime(r *Registry, prefix string) {
+	goroutines := r.Gauge(prefix+"_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge(prefix+"_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := r.Gauge(prefix+"_heap_objects", "Number of allocated heap objects.")
+	gcCycles := r.Gauge(prefix+"_gc_cycles_total", "Completed GC cycles since process start.")
+	gcPause := r.Gauge(prefix+"_gc_pause_last_seconds", "Duration of the most recent GC stop-the-world pause.")
+	gcPauseTotal := r.Gauge(prefix+"_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcCycles.Set(float64(ms.NumGC))
+		if ms.NumGC > 0 {
+			last := ms.PauseNs[(ms.NumGC+255)%256]
+			gcPause.Set(time.Duration(last).Seconds())
+		}
+		gcPauseTotal.Set(time.Duration(ms.PauseTotalNs).Seconds())
+	})
+}

@@ -29,7 +29,8 @@ type dsEntry struct {
 	backend string
 	cfg     bmmc.Config
 	ds      *bmmc.Dataset
-	dir     string // provisioned storage directory ("" for mem)
+	dir     string  // provisioned storage directory ("" for mem)
+	sink    *ioSink // routes instrumented-backend samples to the running job
 	created time.Time
 
 	mu         sync.Mutex

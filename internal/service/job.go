@@ -8,6 +8,7 @@ import (
 	"time"
 
 	bmmc "repro"
+	"repro/internal/obs"
 )
 
 // Job is one admitted permutation job: an execution target (either a
@@ -41,6 +42,19 @@ type Job struct {
 	inputTimer *time.Timer // expires a pending await-input job; nil otherwise
 
 	statsBefore bmmc.Stats // dataset stats at claim time; the job's cost is the delta
+
+	// Observability. traceBuf is the job's bounded span ring; sink routes
+	// instrumented-backend samples into it while the job executes; mobs is
+	// the manager's registry handle (nil only in bare-constructed tests).
+	// The span bookkeeping below is touched by onProgress and finish only,
+	// both on the job's executing worker goroutine.
+	traceBuf     *obs.TraceBuffer
+	sink         *ioSink
+	mobs         *managerObs
+	passStart    time.Time // wall-clock start of the current pass
+	loadMark     time.Time // end of the previous memoryload event
+	passStartIOs int       // absolute dataset parallel-I/O count at pass start
+	lastKernel   string    // kernel of the most recent pass event
 
 	mu          sync.Mutex
 	cond        *sync.Cond // signaled when an upload finishes
@@ -125,6 +139,9 @@ func (j *Job) setStateLocked(s State) {
 	if s.Terminal() {
 		j.finished = time.Now()
 	}
+	if j.mobs != nil {
+		j.mobs.jobTransition(j, s, j.errMsg)
+	}
 	j.events.publish(Event{Type: EventState, JobID: j.id, State: s, Error: j.errMsg})
 	if s.Terminal() {
 		j.events.close()
@@ -143,9 +160,60 @@ func (j *Job) onProgress(ev bmmc.PassEvent) {
 	j.progress = p
 	j.mu.Unlock()
 	j.events.publish(Event{Type: EventProgress, JobID: j.id, Progress: p})
+	j.observePass(ev)
 	if j.hook != nil {
 		j.hook(j, ev)
 	}
+}
+
+// observePass turns the progress event stream into trace spans and exact
+// per-pass I/O attribution. Events fire on the executing goroutine at
+// pass start (Load == 0) and after every completed memoryload, with the
+// final one (Load == Loads) after the pass's last counted write — so
+// dataset Stats snapshots at the boundaries delta to exactly the pass's
+// parallel I/Os (jobs on one dataset are turnstile-serialized).
+func (j *Job) observePass(ev bmmc.PassEvent) {
+	if j.traceBuf == nil {
+		return
+	}
+	now := time.Now()
+	j.lastKernel = ev.Kernel
+	if ev.Load == 0 {
+		j.passStart, j.loadMark = now, now
+		j.passStartIOs = j.ds.Stats().ParallelIOs()
+		return
+	}
+	j.traceBuf.Add(obs.Span{
+		Name: obs.SpanLoad, Kind: ev.Kind, Kernel: ev.Kernel,
+		Pass: ev.Pass, Load: ev.Load, Start: j.loadMark, End: now,
+	})
+	j.loadMark = now
+	if ev.Load != ev.Loads {
+		return
+	}
+	ios := j.ds.Stats().ParallelIOs() - j.passStartIOs
+	span := obs.Span{
+		Name: obs.SpanPass, Kind: ev.Kind, Kernel: ev.Kernel,
+		Pass: ev.Pass, IOs: ios, Start: j.passStart, End: now,
+	}
+	j.traceBuf.Add(span)
+	j.passStartIOs += ios
+	if j.mobs != nil {
+		j.mobs.passIOs.With(j.summary.Class, ev.Kernel).Add(float64(ios))
+	}
+	j.events.publish(Event{Type: EventSpan, JobID: j.id, Span: &span})
+}
+
+// Trace snapshots the job's span ring as the wire trace. The trace id is
+// the job id; the cluster layer reuses it when stitching worker sub-job
+// spans under a striped job.
+func (j *Job) Trace() *JobTrace {
+	tr := &JobTrace{TraceID: j.id, JobID: j.id, Spans: []obs.Span{}}
+	if j.traceBuf != nil {
+		spans, dropped := j.traceBuf.Snapshot()
+		tr.Spans, tr.Dropped = spans, dropped
+	}
+	return tr
 }
 
 // Upload replaces the job's stored records with N records read from r in

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	bmmc "repro"
+	"repro/internal/obs"
+	"repro/internal/pdm"
 )
 
 // Defaults for ManagerConfig zero values.
@@ -83,6 +85,7 @@ var ErrShuttingDown = &httpError{http.StatusServiceUnavailable, "daemon is shutt
 type Manager struct {
 	cfg     ManagerConfig
 	log     *slog.Logger
+	obs     *managerObs
 	baseDir string
 	ownsDir bool
 
@@ -150,6 +153,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	} else if err := os.MkdirAll(m.baseDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: creating storage dir: %w", err)
 	}
+	m.obs = newManagerObs(m)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -244,6 +248,8 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 		state:      StateQueued,
 		pending:    req.AwaitInput,
 		submitted:  time.Now(),
+		mobs:       m.obs,
+		traceBuf:   obs.NewTraceBuffer(id, 0),
 	}
 	j.cond = sync.NewCond(&j.mu)
 
@@ -259,12 +265,14 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 			return nil, err
 		}
 		j.ds, j.dsEntry, j.ticket = entry.ds, entry, ticket
+		j.sink = entry.sink
 		j.inputLoaded = entry.Status().InputLoaded
 	} else {
-		be, dir, err := m.provision("job-"+id, backend)
+		be, dir, sink, err := m.provision("job-"+id, backend)
 		if err == nil {
 			j.dir = dir
 			j.ownsDS = true
+			j.sink = sink
 			j.ds, err = bmmc.CreateDataset(cfg, bmmc.WithBackend(be))
 		}
 		if err != nil {
@@ -301,6 +309,7 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	m.order = append(m.order, id)
 	m.submitted++
 	m.mu.Unlock()
+	m.obs.jobTransition(j, StateQueued, "") // admission is the first audited transition
 	if !req.AwaitInput {
 		m.queue <- j // cannot block: a slot was reserved above
 	} else if m.cfg.InputWait > 0 {
@@ -334,15 +343,19 @@ func (m *Manager) enqueue(j *Job) {
 }
 
 // provision creates the storage a backend kind needs, under a uniquely
-// named directory for file-backed kinds ("" for mem).
-func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
+// named directory for file-backed kinds ("" for mem). Every backend is
+// wrapped with the timing instrumentation outermost — after any
+// WrapBackend chaos adversary — so the latency histograms measure the
+// full storage path a job actually experiences. The returned sink routes
+// the instrumented samples to whichever job runs on the backend.
+func (m *Manager) provision(name, kind string) (bmmc.Backend, string, *ioSink, error) {
 	var be bmmc.Backend
 	var dir string
 	switch kind {
 	case BackendFile:
 		dir = filepath.Join(m.baseDir, name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		be = bmmc.FileBackend(dir)
 	case BackendSharded:
@@ -351,7 +364,7 @@ func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
 		for i := range shards {
 			shards[i] = filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
 			if err := os.MkdirAll(shards[i], 0o755); err != nil {
-				return nil, "", err
+				return nil, "", nil, err
 			}
 		}
 		be = bmmc.ShardedBackend(shards...)
@@ -361,7 +374,9 @@ func (m *Manager) provision(name, kind string) (bmmc.Backend, string, error) {
 	if m.cfg.WrapBackend != nil {
 		be = m.cfg.WrapBackend(kind, be)
 	}
-	return be, dir, nil
+	sink := &ioSink{}
+	be = pdm.InstrumentBackend(be, m.obs.opObserver(sink))
+	return be, dir, sink, nil
 }
 
 // CreateDataset validates, provisions storage, and registers a new shared
@@ -398,7 +413,7 @@ func (m *Manager) CreateDataset(req CreateDatasetRequest) (*dsEntry, error) {
 	}
 	m.mu.Unlock()
 
-	be, dir, err := m.provision("ds-"+id, backend)
+	be, dir, sink, err := m.provision("ds-"+id, backend)
 	var ds *bmmc.Dataset
 	if err == nil {
 		ds, err = bmmc.CreateDataset(req.Config, bmmc.WithBackend(be))
@@ -410,6 +425,7 @@ func (m *Manager) CreateDataset(req CreateDatasetRequest) (*dsEntry, error) {
 		return nil, &httpError{http.StatusInternalServerError, "provisioning dataset storage: " + err.Error()}
 	}
 	entry := newDSEntry(id, backend, req.Config, ds, dir)
+	entry.sink = sink
 
 	m.mu.Lock()
 	err = nil
@@ -587,6 +603,7 @@ func (m *Manager) run(j *Job) {
 	j.started = time.Now()
 	j.setStateLocked(StatePlanning)
 	j.mu.Unlock()
+	m.obs.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 
 	// Chained jobs wait for their execution-order ticket here — after the
 	// claim, so a cancellation during the wait still resolves through the
@@ -601,6 +618,16 @@ func (m *Manager) run(j *Job) {
 	// and the delta is the total). finish always subtracts this snapshot,
 	// including on the canceled-before-execution path below.
 	j.statsBefore = j.ds.Stats()
+	// Per-pass attribution starts from the same snapshot; finish charges
+	// any residual I/O past the last pass boundary to the job's counters.
+	j.passStartIOs = j.statsBefore.ParallelIOs()
+	if j.sink != nil {
+		// Route the backend's io spans into this job's trace for the
+		// duration of the run. Jobs on one dataset are serialized by the
+		// turnstile above, so the sink has one owner at a time.
+		j.sink.buf.Store(j.traceBuf)
+		defer j.sink.buf.Store(nil)
+	}
 
 	// The plan itself was prepared at submit time through the shared
 	// Engine; the planning state covers claiming the job, sealing its
@@ -630,6 +657,17 @@ func (m *Manager) finish(j *Job, rep *bmmc.Report, err error) {
 	// time: exact because jobs on one dataset are serialized by the ticket
 	// turnstile (and per-job datasets see only their own job).
 	stats := j.ds.Stats()
+	// Charge any I/O past the last pass-boundary event (a pass aborted by
+	// cancellation, or a plan with no progress events) to the pass counter
+	// under the last seen kernel, so the job's bmmc_pass_ios total equals
+	// its measured parallel-I/O delta exactly.
+	if resid := stats.ParallelIOs() - j.passStartIOs; resid > 0 {
+		kernel := j.lastKernel
+		if kernel == "" {
+			kernel = "none"
+		}
+		m.obs.passIOs.With(j.summary.Class, kernel).Add(float64(resid))
+	}
 	stats.ParallelReads -= j.statsBefore.ParallelReads
 	stats.ParallelWrites -= j.statsBefore.ParallelWrites
 	stats.BlocksRead -= j.statsBefore.BlocksRead
@@ -667,6 +705,11 @@ func (m *Manager) finish(j *Job, rep *bmmc.Report, err error) {
 	m.mu.Unlock()
 
 	if state == StateDone {
+		// Export the job's theoretical brackets: cumulative Thm 3 lower and
+		// Thm 21 upper bounds over completed jobs, so measured/theory stays
+		// a one-line PromQL ratio at any aggregation window.
+		m.obs.bounds.With("lower").Add(j.summary.LowerBoundIOs)
+		m.obs.bounds.With("upper").Add(float64(j.summary.UpperBoundIOs))
 		m.log.Info("job done", "job", j.id, "passes", rep.Passes, "parallel_ios", rep.ParallelIOs)
 		if j.dsEntry != nil {
 			// Nothing to download from the job itself; the chained output
@@ -751,6 +794,10 @@ func (m *Manager) release(j *Job) {
 		}
 	}
 }
+
+// Registry exposes the manager's Prometheus registry; the HTTP layer
+// serves it at GET /metrics and the cluster coordinator scrapes it.
+func (m *Manager) Registry() *obs.Registry { return m.obs.reg }
 
 // Metrics snapshots the daemon-wide gauges.
 func (m *Manager) Metrics() *Metrics {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 
@@ -50,7 +51,9 @@ const maxSubmitBody = 1 << 20
 //	PUT    /v1/datasets/{id}/input  upload N records once, for any number of jobs
 //	GET    /v1/datasets/{id}/output download the dataset's current records
 //	POST   /v1/datasets/{id}/handoff replicate the dataset to another daemon (HandoffRequest)
-//	GET    /v1/metrics          daemon-wide gauges
+//	GET    /v1/metrics          daemon-wide gauges (JSON)
+//	GET    /v1/jobs/{id}/trace  the job's span trace (JobTrace JSON)
+//	GET    /metrics             Prometheus text exposition of the daemon registry
 //
 // Errors are JSON objects {"error": "..."} with the appropriate status:
 // 400 for invalid requests, 404 for unknown jobs or datasets, 409 for
@@ -77,7 +80,41 @@ func NewHandler(m *Manager, logger *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{id}/output", s.datasetOutput)
 	mux.HandleFunc("POST /v1/datasets/{id}/handoff", s.datasetHandoff)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
+	mux.Handle("GET /metrics", m.Registry())
 	return mux
+}
+
+// countReader counts bytes streamed in through the data plane.
+type countReader struct {
+	r io.Reader
+	c interface{ Add(float64) }
+}
+
+func (cr countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(float64(n))
+	return n, err
+}
+
+// countWriter counts bytes streamed out through the data plane.
+type countWriter struct {
+	w io.Writer
+	c interface{ Add(float64) }
+}
+
+func (cw countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(float64(n))
+	return n, err
+}
+
+func (s *server) inBytes(r io.Reader) io.Reader {
+	return countReader{r, s.m.obs.dataBytes.With("in")}
+}
+
+func (s *server) outBytes(w io.Writer) io.Writer {
+	return countWriter{w, s.m.obs.dataBytes.With("out")}
 }
 
 type server struct {
@@ -160,7 +197,7 @@ func (s *server) input(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("input must be exactly N*%d = %d bytes, got Content-Length %d", bmmc.RecordBytes, want, r.ContentLength)})
 		return
 	}
-	if err := j.Upload(r.Context(), r.Body); err != nil {
+	if err := j.Upload(r.Context(), s.inBytes(r.Body)); err != nil {
 		s.writeErr(w, err)
 		return
 	}
@@ -180,7 +217,7 @@ func (s *server) output(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(int64(j.cfg.N)*bmmc.RecordBytes))
-	if err := j.Download(r.Context(), w); err != nil {
+	if err := j.Download(r.Context(), s.outBytes(w)); err != nil {
 		// Headers are committed; log and cut the stream short.
 		s.log.Warn("output stream aborted", "job", j.ID(), "err", err)
 	}
@@ -188,6 +225,13 @@ func (s *server) output(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.m.Metrics())
+}
+
+// trace serves a job's span ring as JSON: GET /v1/jobs/{id}/trace.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		s.writeJSON(w, http.StatusOK, j.Trace())
+	}
 }
 
 func (s *server) dataset(w http.ResponseWriter, r *http.Request) (*dsEntry, bool) {
@@ -248,7 +292,7 @@ func (s *server) datasetInput(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("input must be exactly N*%d = %d bytes, got Content-Length %d", bmmc.RecordBytes, want, r.ContentLength)})
 		return
 	}
-	if err := d.Upload(r.Context(), r.Body); err != nil {
+	if err := d.Upload(r.Context(), s.inBytes(r.Body)); err != nil {
 		s.writeErr(w, err)
 		return
 	}
@@ -286,7 +330,7 @@ func (s *server) datasetOutput(w http.ResponseWriter, r *http.Request) {
 	defer d.endStream(false)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", fmt.Sprint(int64(d.cfg.N)*bmmc.RecordBytes))
-	if err := d.ds.Dump(r.Context(), w); err != nil {
+	if err := d.ds.Dump(r.Context(), s.outBytes(w)); err != nil {
 		// Headers are committed; log and cut the stream short.
 		s.log.Warn("dataset output stream aborted", "dataset", d.id, "err", err)
 	}

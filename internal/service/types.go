@@ -27,6 +27,7 @@ import (
 	"time"
 
 	bmmc "repro"
+	"repro/internal/obs"
 )
 
 // State is a job's position in its lifecycle.
@@ -246,6 +247,18 @@ type Metrics struct {
 	PlanCacheRate   float64 `json:"plan_cache_hit_rate"` // hits / (hits + misses), 0 when unused
 }
 
+// JobTrace is the wire rendering of a job's span ring: GET
+// /v1/jobs/{id}/trace. Spans arrive in completion order; Dropped counts
+// spans evicted from the bounded ring. For a striped cluster job the
+// coordinator stitches every worker sub-job's spans under the striped
+// job's trace id, stamping each span's Worker/JobID.
+type JobTrace struct {
+	TraceID string     `json:"trace_id"`
+	JobID   string     `json:"job_id"`
+	Dropped int        `json:"dropped,omitempty"`
+	Spans   []obs.Span `json:"spans"`
+}
+
 // EventType discriminates the stream events of GET /v1/jobs/{id}/events.
 type EventType string
 
@@ -255,15 +268,19 @@ const (
 	EventState EventType = "state"
 	// EventProgress reports a completed memoryload.
 	EventProgress EventType = "progress"
+	// EventSpan summarizes a completed pass as its trace span — the SSE
+	// rendering of the per-pass entries in GET /v1/jobs/{id}/trace.
+	EventSpan EventType = "span"
 )
 
 // Event is one SSE message on a job's event stream. Progress events may be
-// dropped for slow consumers; state events are always delivered, and the
-// stream ends after the terminal state event.
+// dropped for slow consumers; state and span events are always delivered,
+// and the stream ends after the terminal state event.
 type Event struct {
 	Type     EventType `json:"type"`
 	JobID    string    `json:"job_id"`
 	State    State     `json:"state,omitempty"`
 	Error    string    `json:"error,omitempty"`
 	Progress *Progress `json:"progress,omitempty"`
+	Span     *obs.Span `json:"span,omitempty"`
 }
