@@ -6,6 +6,7 @@
 package bmmc_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -37,9 +38,9 @@ func runPermBench(b *testing.B, cfg pdm.Config, p perm.BMMC, force bool) {
 		}
 		var res *engine.Result
 		if force {
-			res, err = engine.RunBMMC(sys, p)
+			res, err = engine.RunBMMC(context.Background(), sys, p)
 		} else {
-			res, err = engine.RunAuto(sys, p)
+			res, err = engine.RunAuto(context.Background(), sys, p)
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -101,7 +102,7 @@ func BenchmarkTheorem15MLD(b *testing.B) {
 		if err := engine.LoadSequential(sys); err != nil {
 			b.Fatal(err)
 		}
-		if err := engine.RunMLDPass(sys, p); err != nil {
+		if err := engine.RunMLDPass(context.Background(), sys, p); err != nil {
 			b.Fatal(err)
 		}
 		ios = sys.Stats().ParallelIOs()
@@ -131,7 +132,7 @@ func BenchmarkCrossover(b *testing.B) {
 				if err := engine.LoadSequential(sys); err != nil {
 					b.Fatal(err)
 				}
-				res, err := engine.GeneralPermute(sys, p.Apply)
+				res, err := engine.GeneralPermute(context.Background(), sys, p.Apply)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -214,7 +215,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 			if err := engine.LoadSequential(sys); err != nil {
 				b.Fatal(err)
 			}
-			res, err := engine.RunBMMCUngrouped(sys, p)
+			res, err := engine.RunBMMCUngrouped(context.Background(), sys, p)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,7 +245,7 @@ func BenchmarkInverseMLD(b *testing.B) {
 		if err := engine.LoadSequential(sys); err != nil {
 			b.Fatal(err)
 		}
-		if err := engine.RunMLDInversePass(sys, p); err != nil {
+		if err := engine.RunMLDInversePass(context.Background(), sys, p); err != nil {
 			b.Fatal(err)
 		}
 		ios = sys.Stats().ParallelIOs()

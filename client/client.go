@@ -40,6 +40,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -188,12 +189,29 @@ func backoffDelay(p RetryPolicy, n int) time.Duration {
 	return d
 }
 
+// jitterRng is the package's own jitter source: per-process seeded so a
+// fleet of clients desynchronizes, mutex-guarded because *rand.Rand is
+// not safe for concurrent use, and private so the library never touches
+// the global math/rand state (the determinism contract leaves that state
+// to the application).
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitterInt63n draws from [0, n) off the package jitter source.
+func jitterInt63n(n int64) int64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Int63n(n)
+}
+
 // sleepBackoff waits the jittered backoff before retry n, or returns
 // early when ctx ends. Jitter draws uniformly from [d/2, d) so a fleet
 // of callers that failed together does not retry in lockstep.
 func sleepBackoff(ctx context.Context, p RetryPolicy, n int) error {
 	d := backoffDelay(p, n)
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	d = d/2 + time.Duration(jitterInt63n(int64(d/2)+1))
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

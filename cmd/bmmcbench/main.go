@@ -31,10 +31,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/engine"
@@ -89,10 +91,13 @@ func main() {
 			cfg, *seed, *pipeline, *workers, *concurrent, *fuse)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var tables []*experiments.Table
-	timed := func(gen func(pdm.Config, int64) (*experiments.Table, error)) (*experiments.Table, error) {
+	timed := func(gen func(context.Context, pdm.Config, int64) (*experiments.Table, error)) (*experiments.Table, error) {
 		start := time.Now()
-		tbl, err := gen(cfg, *seed)
+		tbl, err := gen(ctx, cfg, *seed)
 		if tbl != nil {
 			tbl.Elapsed = time.Since(start)
 		}

@@ -96,7 +96,7 @@ func main() {
 				k = spec[:i]
 				v, err := strconv.ParseInt(spec[i+1:], 0, 64)
 				if err != nil {
-					fatal(fmt.Errorf("chain step %q: %v", spec, err))
+					fatal(fmt.Errorf("chain step %q: %w", spec, err))
 				}
 				a = v
 			}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,6 +29,7 @@ func main() {
 }
 
 func demoFFT() {
+	ctx := context.Background()
 	cfg := bmmc.Config{N: 1 << 16, D: 8, B: 16, M: 1 << 10}
 	fmt.Printf("== out-of-core FFT pipeline on one dataset, %v ==\n", cfg)
 
@@ -49,7 +51,7 @@ func demoFFT() {
 	if err := oocfft.LoadSamples(ds.System(), x); err != nil {
 		log.Fatal(err)
 	}
-	res, err := oocfft.FFT(ds.System(), false)
+	res, err := oocfft.FFT(ctx, ds.System(), false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func demoFFT() {
 
 	// The pipeline continues on the same dataset: the inverse transform
 	// consumes the spectrum exactly where the forward transform left it.
-	if _, err := oocfft.FFT(ds.System(), true); err != nil {
+	if _, err := oocfft.FFT(ctx, ds.System(), true); err != nil {
 		log.Fatal(err)
 	}
 	back, _ := oocfft.DumpSamples(ds.System())
@@ -88,6 +90,7 @@ func demoFFT() {
 }
 
 func demoMatmul() {
+	ctx := context.Background()
 	cfg := pdm.Config{N: 1 << 14, D: 4, B: 16, M: 1 << 10}
 	fmt.Printf("== out-of-core matrix multiply, 128x128 on %v ==\n", cfg)
 	rng := rand.New(rand.NewSource(42))
@@ -116,7 +119,7 @@ func demoMatmul() {
 		log.Fatal(err)
 	}
 
-	c, res, err := oocmatrix.Multiply(a, b)
+	c, res, err := oocmatrix.Multiply(ctx, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -235,6 +235,8 @@ func (c *Coordinator) evict(workerID string) {
 				continue
 			}
 			if wc, err := c.clientFor(s.worker); err == nil {
+				// Best-effort cleanup outlives the failed request that triggered it.
+				//lint:allow ctxio -- cleanup RPC deliberately detached from the dead request; bounded by CallTimeout
 				ctx, cancel := context.WithTimeout(context.Background(), c.o.CallTimeout)
 				wc.DeleteDataset(ctx, s.dsID)
 				cancel()
@@ -308,6 +310,9 @@ func (c *Coordinator) Leave(id string) error {
 // are left alone: the established placement wins and the stale copy is
 // deleted from the joiner.
 func (c *Coordinator) adopt(workerID, addr string) {
+	// Adoption is driven by the worker heartbeat, not an inbound request:
+	// there is no caller context to inherit.
+	//lint:allow ctxio -- heartbeat-driven, no caller ctx exists; bounded by CallTimeout
 	ctx, cancel := context.WithTimeout(context.Background(), c.o.CallTimeout)
 	defer cancel()
 	dss, err := c.workerClient(addr).Datasets(ctx)
@@ -358,6 +363,7 @@ func (c *Coordinator) adopt(workerID, addr string) {
 	c.mu.Unlock()
 	for _, id := range stale {
 		c.log.Warn("joining worker holds a stale dataset copy; deleting", "worker", workerID, "dataset", id)
+		//lint:allow ctxio -- heartbeat-driven stale-copy cleanup, no caller ctx exists; bounded by CallTimeout
 		dctx, dcancel := context.WithTimeout(context.Background(), c.o.CallTimeout)
 		c.workerClient(addr).DeleteDataset(dctx, id)
 		dcancel()
@@ -417,6 +423,7 @@ func (c *Coordinator) rebalance() {
 			continue
 		}
 		dsID := mv.p.stripes[mv.idx].dsID
+		//lint:allow ctxio -- rebalance runs on the coordinator maintenance loop, not a request; bounded by 10x CallTimeout
 		ctx, cancel := context.WithTimeout(context.Background(), 10*c.o.CallTimeout)
 		_, err = src.HandoffDataset(ctx, dsID, client.HandoffRequest{Target: dst, Delete: true})
 		cancel()

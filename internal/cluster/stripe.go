@@ -30,7 +30,7 @@ func stripeConfig(cfg bmmc.Config, k int) (bmmc.Config, error) {
 		sc.M /= 2
 	}
 	if err := sc.Validate(); err != nil {
-		return bmmc.Config{}, fmt.Errorf("geometry %v cannot be cut into %d stripes: %v", cfg, k, err)
+		return bmmc.Config{}, fmt.Errorf("geometry %v cannot be cut into %d stripes: %w", cfg, k, err)
 	}
 	return sc, nil
 }
@@ -74,7 +74,7 @@ func decompose(p bmmc.Permutation, kappa int) (locals []bmmc.Permutation, nodeMa
 	for s := 0; s < k; s++ {
 		lp, err := bmmc.New(all, alh.MulVec(gf2.Vec(s))^cLo)
 		if err != nil {
-			return nil, nil, false, fmt.Errorf("stripe-local block singular: %v", err)
+			return nil, nil, false, fmt.Errorf("stripe-local block singular: %w", err)
 		}
 		locals[s] = lp
 		nodeMap[s] = int(ahh.MulVec(gf2.Vec(s)) ^ cHi)

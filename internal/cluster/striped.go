@@ -38,6 +38,9 @@ type stripedJob struct {
 }
 
 func newStripedJob(id, dataset string, summary *service.PlanSummary) *stripedJob {
+	// The job outlives the submitting request; its root is canceled by
+	// Cancel/Close, not by the submitter hanging up.
+	//lint:allow ctxio -- job-lifetime root; canceled via the job's own cancelFn
 	ctx, cancel := context.WithCancel(context.Background())
 	return &stripedJob{
 		id: id, dataset: dataset, summary: summary, submitted: time.Now(),
@@ -387,6 +390,7 @@ func (c *Coordinator) rollbackCreate(p *placement, created []stripeLoc) {
 	c.mu.Unlock()
 	for _, s := range created {
 		if wc, err := c.clientFor(s.worker); err == nil {
+			//lint:allow ctxio -- delete fan-out must finish even if the deleting caller goes away; bounded by CallTimeout
 			ctx, cancel := context.WithTimeout(context.Background(), c.o.CallTimeout)
 			wc.DeleteDataset(ctx, s.dsID)
 			cancel()

@@ -165,6 +165,7 @@ func (p *Permuter) ResetStats() { p.ds.ResetStats() }
 // the plan cache and pass fusion when enabled). The returned Report
 // carries the measured cost next to the paper's bounds.
 func (p *Permuter) Permute(bp perm.BMMC) (*Report, error) {
+	//lint:allow ctxio -- compatibility facade; cancelable path is PermuteContext
 	return p.eng.Permute(context.Background(), p.ds, bp)
 }
 
@@ -228,6 +229,7 @@ func (p *Permuter) PermuteFactored(ctx context.Context, bp perm.BMMC) (*Report, 
 // PermuteComposed applies a sequence of BMMC permutations (perms[0] first)
 // as a single composed permutation, which by Lemma 1 is again BMMC.
 func (p *Permuter) PermuteComposed(perms ...perm.BMMC) (*Report, error) {
+	//lint:allow ctxio -- compatibility facade; cancelable path is PermuteComposedContext
 	return p.eng.PermuteComposed(context.Background(), p.ds, perms...)
 }
 

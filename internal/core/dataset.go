@@ -120,6 +120,7 @@ func (ds *Dataset) Load(ctx context.Context, r io.Reader) error {
 func (ds *Dataset) ReadFrom(r io.Reader) (int64, error) {
 	ds.sys.AcquireRun()
 	defer ds.sys.ReleaseRun()
+	//lint:allow ctxio -- io.ReaderFrom interface has no ctx; cancel by closing the reader
 	n, err := ds.sys.LoadFrom(context.Background(), ds.sys.Source(), r)
 	if err != nil {
 		return n, fmt.Errorf("core: Load: %w", err)
@@ -152,6 +153,7 @@ func (ds *Dataset) Dump(ctx context.Context, w io.Writer) error {
 func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
 	ds.sys.AcquireRead()
 	defer ds.sys.ReleaseRead()
+	//lint:allow ctxio -- io.WriterTo interface has no ctx; cancel by failing the writer
 	n, err := ds.sys.DumpTo(context.Background(), ds.sys.Source(), w)
 	if err != nil {
 		return n, fmt.Errorf("core: Dump: %w", err)

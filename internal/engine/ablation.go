@@ -15,12 +15,12 @@ import (
 // merging each E^{-1}·S^{-1}(·P^{-1}) group into a single MLD pass. The
 // result is 2g+2 passes instead of g+1, demonstrating what the MLD class
 // buys: each S_i^{-1} and P^{-1} is MRC, each E_i^{-1} is MLD on its own.
-func RunBMMCUngrouped(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCUngroupedOpt(context.Background(), sys, p, DefaultOptions())
+func RunBMMCUngrouped(ctx context.Context, sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCUngroupedOpt(ctx, sys, p, DefaultOptions())
 }
 
-// RunBMMCUngroupedOpt is RunBMMCUngrouped with explicit execution options
-// and a context checked between memoryloads.
+// RunBMMCUngroupedOpt is RunBMMCUngrouped with explicit execution
+// options.
 func RunBMMCUngroupedOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {

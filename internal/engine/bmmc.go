@@ -24,13 +24,12 @@ type Result struct {
 // The measured cost is at most 2N/BD * (ceil(rank gamma / lg(M/B)) + 2)
 // parallel I/Os (Theorem 21); tests and the experiment harness assert this
 // against Result.ParallelIOs.
-func RunBMMC(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCOpt(context.Background(), sys, p, DefaultOptions())
+func RunBMMC(ctx context.Context, sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCOpt(ctx, sys, p, DefaultOptions())
 }
 
 // RunBMMCOpt is RunBMMC with explicit execution options, applied to every
-// pass of the factored sequence, and a context checked between
-// memoryloads.
+// pass of the factored sequence.
 func RunBMMCOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {
@@ -50,8 +49,8 @@ func RunBMMCOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) 
 // run-time dispatch of Section 6: identity costs nothing; MRC and MLD
 // permutations run in one pass; everything else goes through the factoring
 // algorithm.
-func RunAuto(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunAutoOpt(context.Background(), sys, p, DefaultOptions())
+func RunAuto(ctx context.Context, sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunAutoOpt(ctx, sys, p, DefaultOptions())
 }
 
 // RunAutoOpt is RunAuto with explicit execution options and a context

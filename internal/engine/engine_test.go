@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestMRCPassGrayCode(t *testing.T) {
 	for _, cfg := range testConfigs {
 		sys := newLoaded(t, cfg)
 		p := perm.GrayCode(cfg.LgN())
-		if err := RunMRCPass(sys, p); err != nil {
+		if err := RunMRCPass(context.Background(), sys, p); err != nil {
 			t.Fatalf("%v: %v", cfg, err)
 		}
 		if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -57,7 +58,7 @@ func TestMRCPassRandom(t *testing.T) {
 		for trial := 0; trial < 5; trial++ {
 			sys := newLoaded(t, cfg)
 			p := perm.MustNew(gf2.RandomMRC(rng, cfg.LgN(), cfg.LgM()), gf2.RandomVec(rng, cfg.LgN()))
-			if err := RunMRCPass(sys, p); err != nil {
+			if err := RunMRCPass(context.Background(), sys, p); err != nil {
 				t.Fatalf("%v: %v", cfg, err)
 			}
 			if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -70,7 +71,7 @@ func TestMRCPassRandom(t *testing.T) {
 func TestMRCPassRejectsNonMRC(t *testing.T) {
 	cfg := testConfigs[0]
 	sys := newLoaded(t, cfg)
-	if err := RunMRCPass(sys, perm.BitReversal(cfg.LgN())); err == nil {
+	if err := RunMRCPass(context.Background(), sys, perm.BitReversal(cfg.LgN())); err == nil {
 		t.Fatal("bit reversal accepted as MRC pass")
 	}
 }
@@ -85,7 +86,7 @@ func TestMLDPassRandom(t *testing.T) {
 		for trial := 0; trial < 5; trial++ {
 			sys := newLoaded(t, cfg)
 			p := randomMLD(rng, n, b, m)
-			if err := RunMLDPass(sys, p); err != nil {
+			if err := RunMLDPass(context.Background(), sys, p); err != nil {
 				t.Fatalf("%v: %v", cfg, err)
 			}
 			if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -114,7 +115,7 @@ func TestMLDPassRejectsNonMLD(t *testing.T) {
 	if p.IsMLD(cfg.LgB(), cfg.LgM()) {
 		t.Skip("unexpectedly MLD for this geometry")
 	}
-	if err := RunMLDPass(sys, p); err == nil {
+	if err := RunMLDPass(context.Background(), sys, p); err == nil {
 		t.Fatal("non-MLD permutation accepted")
 	}
 }
@@ -129,7 +130,7 @@ func TestRunBMMCRandom(t *testing.T) {
 		for trial := 0; trial < 5; trial++ {
 			sys := newLoaded(t, cfg)
 			p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
-			res, err := RunBMMC(sys, p)
+			res, err := RunBMMC(context.Background(), sys, p)
 			if err != nil {
 				t.Fatalf("%v: %v", cfg, err)
 			}
@@ -165,7 +166,7 @@ func TestRunBMMCCatalog(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			sys := newLoaded(t, cfg)
-			res, err := RunBMMC(sys, c.p)
+			res, err := RunBMMC(context.Background(), sys, c.p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -186,14 +187,14 @@ func TestRunAutoDispatch(t *testing.T) {
 
 	// Identity: free.
 	sys := newLoaded(t, cfg)
-	res, err := RunAuto(sys, perm.Identity(n))
+	res, err := RunAuto(context.Background(), sys, perm.Identity(n))
 	if err != nil || res.ParallelIOs != 0 {
 		t.Fatalf("identity: %v, %d I/Os", err, res.ParallelIOs)
 	}
 
 	// MRC: one pass.
 	sys = newLoaded(t, cfg)
-	res, err = RunAuto(sys, perm.GrayCode(n))
+	res, err = RunAuto(context.Background(), sys, perm.GrayCode(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestRunAutoDispatch(t *testing.T) {
 		t.Skip("sampled MLD degenerated to MRC")
 	}
 	sys = newLoaded(t, cfg)
-	res, err = RunAuto(sys, p)
+	res, err = RunAuto(context.Background(), sys, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestRunAutoDispatch(t *testing.T) {
 
 	// General BMMC.
 	sys = newLoaded(t, cfg)
-	res, err = RunAuto(sys, perm.BitReversal(n))
+	res, err = RunAuto(context.Background(), sys, perm.BitReversal(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestGeneralPermuteRandomBijection(t *testing.T) {
 		target := rng.Perm(cfg.N) // arbitrary, almost surely non-BMMC
 		targetOf := func(x uint64) uint64 { return uint64(target[x]) }
 		sys := newLoaded(t, cfg)
-		res, err := GeneralPermute(sys, targetOf)
+		res, err := GeneralPermute(context.Background(), sys, targetOf)
 		if err != nil {
 			t.Fatalf("%v: %v", cfg, err)
 		}
@@ -267,7 +268,7 @@ func TestGeneralPermuteBMMCTarget(t *testing.T) {
 	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
 	p := perm.BitReversal(cfg.LgN())
 	sys := newLoaded(t, cfg)
-	if _, err := GeneralPermute(sys, p.Apply); err != nil {
+	if _, err := GeneralPermute(context.Background(), sys, p.Apply); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -281,7 +282,7 @@ func TestNaivePermute(t *testing.T) {
 	target := rng.Perm(cfg.N)
 	targetOf := func(x uint64) uint64 { return uint64(target[x]) }
 	sys := newLoaded(t, cfg)
-	res, err := NaivePermute(sys, targetOf)
+	res, err := NaivePermute(context.Background(), sys, targetOf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestNaivePermuteBMMCTarget(t *testing.T) {
 	cfg := pdm.Config{N: 1 << 10, D: 4, B: 8, M: 1 << 7}
 	p := perm.Transpose(5, 5)
 	sys := newLoaded(t, cfg)
-	if _, err := NaivePermute(sys, p.Apply); err != nil {
+	if _, err := NaivePermute(context.Background(), sys, p.Apply); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -320,10 +321,10 @@ func TestChainedPasses(t *testing.T) {
 	n := cfg.LgN()
 	p1 := perm.GrayCode(n)
 	p2 := perm.BitReversal(n)
-	if _, err := RunBMMC(sys, p1); err != nil {
+	if _, err := RunBMMC(context.Background(), sys, p1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunBMMC(sys, p2); err != nil {
+	if _, err := RunBMMC(context.Background(), sys, p2); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyBMMC(sys, sys.Source(), p2.Compose(p1)); err != nil {
@@ -343,7 +344,7 @@ func TestFileBackedBMMC(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := perm.BitReversal(cfg.LgN())
-	if _, err := RunBMMC(sys, p); err != nil {
+	if _, err := RunBMMC(context.Background(), sys, p); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyBMMC(sys, sys.Source(), p); err != nil {

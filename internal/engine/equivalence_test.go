@@ -49,8 +49,8 @@ func TestMRCPassAgreesWithMLDPass(t *testing.T) {
 	rng := rand.New(rand.NewSource(190))
 	for trial := 0; trial < 6; trial++ {
 		p := perm.MustNew(gf2.RandomMRC(rng, cfg.LgN(), cfg.LgM()), gf2.RandomVec(rng, cfg.LgN()))
-		viaMRC := finalLayout(t, cfg, func(s *pdm.System) error { return RunMRCPass(s, p) })
-		viaMLD := finalLayout(t, cfg, func(s *pdm.System) error { return RunMLDPass(s, p) })
+		viaMRC := finalLayout(t, cfg, func(s *pdm.System) error { return RunMRCPass(context.Background(), s, p) })
+		viaMLD := finalLayout(t, cfg, func(s *pdm.System) error { return RunMLDPass(context.Background(), s, p) })
 		sameLayout(t, viaMRC, viaMLD, "MRC vs MLD executor")
 	}
 }
@@ -63,11 +63,11 @@ func TestBMMCAgreesWithGeneralSort(t *testing.T) {
 	for trial := 0; trial < 4; trial++ {
 		p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
 		viaBMMC := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := RunBMMC(s, p)
+			_, err := RunBMMC(context.Background(), s, p)
 			return err
 		})
 		viaSort := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := GeneralPermute(s, p.Apply)
+			_, err := GeneralPermute(context.Background(), s, p.Apply)
 			return err
 		})
 		sameLayout(t, viaBMMC, viaSort, "BMMC vs sort")
@@ -81,11 +81,11 @@ func TestBMMCAgreesWithNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(192))
 	p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
 	viaBMMC := finalLayout(t, cfg, func(s *pdm.System) error {
-		_, err := RunBMMC(s, p)
+		_, err := RunBMMC(context.Background(), s, p)
 		return err
 	})
 	viaNaive := finalLayout(t, cfg, func(s *pdm.System) error {
-		_, err := NaivePermute(s, p.Apply)
+		_, err := NaivePermute(context.Background(), s, p.Apply)
 		return err
 	})
 	sameLayout(t, viaBMMC, viaNaive, "BMMC vs naive")
@@ -99,11 +99,11 @@ func TestGroupedAgreesWithUngrouped(t *testing.T) {
 	for trial := 0; trial < 4; trial++ {
 		p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
 		grouped := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := RunBMMC(s, p)
+			_, err := RunBMMC(context.Background(), s, p)
 			return err
 		})
 		ungrouped := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := RunBMMCUngrouped(s, p)
+			_, err := RunBMMCUngrouped(context.Background(), s, p)
 			return err
 		})
 		sameLayout(t, grouped, ungrouped, "grouped vs ungrouped")
@@ -125,11 +125,11 @@ func TestFusedAgreesWithUnfused(t *testing.T) {
 	}
 	for i, p := range perms {
 		unfused := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := RunBMMC(s, p)
+			_, err := RunBMMC(context.Background(), s, p)
 			return err
 		})
 		fused := finalLayout(t, cfg, func(s *pdm.System) error {
-			_, err := RunBMMCFused(s, p)
+			_, err := RunBMMCFused(context.Background(), s, p)
 			return err
 		})
 		sameLayout(t, unfused, fused, fmt.Sprintf("unfused vs fused (perm %d)", i))
@@ -235,12 +235,12 @@ func TestConcurrentDispatchAgrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(194))
 	p := perm.MustNew(gf2.RandomNonsingular(rng, cfg.LgN()), gf2.RandomVec(rng, cfg.LgN()))
 	seq := finalLayout(t, cfg, func(s *pdm.System) error {
-		_, err := RunBMMC(s, p)
+		_, err := RunBMMC(context.Background(), s, p)
 		return err
 	})
 	con := finalLayout(t, cfg, func(s *pdm.System) error {
 		s.SetConcurrent(true)
-		_, err := RunBMMC(s, p)
+		_, err := RunBMMC(context.Background(), s, p)
 		return err
 	})
 	sameLayout(t, seq, con, "sequential vs concurrent dispatch")

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestMLDInversePass(t *testing.T) {
 			mld := randomMLD(rng, n, b, m)
 			p := mld.Inverse()
 			sys := newLoaded(t, cfg)
-			if err := RunMLDInversePass(sys, p); err != nil {
+			if err := RunMLDInversePass(context.Background(), sys, p); err != nil {
 				t.Fatalf("%v: %v", cfg, err)
 			}
 			if err := VerifyBMMC(sys, sys.Source(), p); err != nil {
@@ -51,10 +52,10 @@ func TestMLDInverseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
 	mld := randomMLD(rng, cfg.LgN(), cfg.LgB(), cfg.LgM())
 	sys := newLoaded(t, cfg)
-	if err := RunMLDPass(sys, mld); err != nil {
+	if err := RunMLDPass(context.Background(), sys, mld); err != nil {
 		t.Fatal(err)
 	}
-	if err := RunMLDInversePass(sys, mld.Inverse()); err != nil {
+	if err := RunMLDInversePass(context.Background(), sys, mld.Inverse()); err != nil {
 		t.Fatal(err)
 	}
 	if err := VerifyBMMC(sys, sys.Source(), perm.Identity(cfg.LgN())); err != nil {
@@ -69,7 +70,7 @@ func TestMLDInverseRejectsWrongClass(t *testing.T) {
 	if p.Inverse().IsMLD(cfg.LgB(), cfg.LgM()) {
 		t.Skip("bit reversal inverse unexpectedly MLD here")
 	}
-	if err := RunMLDInversePass(sys, p); err == nil {
+	if err := RunMLDInversePass(context.Background(), sys, p); err == nil {
 		t.Fatal("non-inverse-MLD permutation accepted")
 	}
 }
@@ -85,7 +86,7 @@ func TestUngroupedAblation(t *testing.T) {
 		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
 
 		sysU := newLoaded(t, cfg)
-		resU, err := RunBMMCUngrouped(sysU, p)
+		resU, err := RunBMMCUngrouped(context.Background(), sysU, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestUngroupedAblation(t *testing.T) {
 		}
 
 		sysG := newLoaded(t, cfg)
-		resG, err := RunBMMC(sysG, p)
+		resG, err := RunBMMC(context.Background(), sysG, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestCompiledEngineEquivalence(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		p := perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))
 		sys := newLoaded(t, cfg)
-		if _, err := RunBMMC(sys, p); err != nil {
+		if _, err := RunBMMC(context.Background(), sys, p); err != nil {
 			t.Fatal(err)
 		}
 		recs, err := sys.DumpRecords(sys.Source())

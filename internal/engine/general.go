@@ -22,8 +22,8 @@ import (
 //
 // Records must carry their source address in Key (see LoadSequential);
 // targetOf maps source to target addresses and must be a bijection.
-func GeneralPermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
-	return GeneralPermuteOpt(context.Background(), sys, targetOf, DefaultOptions())
+func GeneralPermute(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	return GeneralPermuteOpt(ctx, sys, targetOf, DefaultOptions())
 }
 
 // GeneralPermuteOpt is GeneralPermute with explicit execution options. The

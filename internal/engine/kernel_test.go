@@ -64,7 +64,7 @@ func TestCoalescedMRCMatchesRecordKernel(t *testing.T) {
 		if got := p.ContiguousRunBits(); got < k {
 			t.Fatalf("k=%d: constructed permutation has run bits %d", k, got)
 		}
-		runBothKernels(t, cfg, "MRC", func(s *pdm.System) error { return RunMRCPass(s, p) })
+		runBothKernels(t, cfg, "MRC", func(s *pdm.System) error { return RunMRCPass(context.Background(), s, p) })
 	}
 }
 
@@ -82,7 +82,7 @@ func TestCoalescedMLDMatchesRecordKernel(t *testing.T) {
 		if !p.IsMLD(b, m) {
 			t.Fatalf("k=%d: lifted permutation lost MLD membership", k)
 		}
-		runBothKernels(t, cfg, "MLD", func(s *pdm.System) error { return RunMLDPass(s, p) })
+		runBothKernels(t, cfg, "MLD", func(s *pdm.System) error { return RunMLDPass(context.Background(), s, p) })
 	}
 }
 
@@ -98,7 +98,7 @@ func TestCoalescedInvMLDMatchesRecordKernel(t *testing.T) {
 		if !p.Inverse().IsMLD(b, m) {
 			t.Fatalf("k=%d: inverse lost MLD membership", k)
 		}
-		runBothKernels(t, cfg, "MLD^-1", func(s *pdm.System) error { return RunMLDInversePass(s, p) })
+		runBothKernels(t, cfg, "MLD^-1", func(s *pdm.System) error { return RunMLDInversePass(context.Background(), s, p) })
 	}
 }
 

@@ -19,12 +19,11 @@ import (
 // writes emit the memoryload. Exactly 2N/BD parallel I/Os.
 //
 // p itself is the permutation to perform; its inverse must be MLD.
-func RunMLDInversePass(sys *pdm.System, p perm.BMMC) error {
-	return RunMLDInversePassOpt(context.Background(), sys, p, DefaultOptions())
+func RunMLDInversePass(ctx context.Context, sys *pdm.System, p perm.BMMC) error {
+	return RunMLDInversePassOpt(ctx, sys, p, DefaultOptions())
 }
 
-// RunMLDInversePassOpt is RunMLDInversePass with explicit execution
-// options and a context checked between memoryloads.
+// RunMLDInversePassOpt is RunMLDInversePass with explicit execution options.
 func RunMLDInversePassOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) error {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {

@@ -17,12 +17,11 @@ import (
 //
 // Memory use: D output frames plus up to D input frames per read wave,
 // which requires M >= 2BD.
-func NaivePermute(sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
-	return NaivePermuteOpt(context.Background(), sys, targetOf, DefaultOptions())
+func NaivePermute(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64) (*Result, error) {
+	return NaivePermuteOpt(ctx, sys, targetOf, DefaultOptions())
 }
 
-// NaivePermuteOpt is NaivePermute with explicit execution options and a
-// context checked between rounds.
+// NaivePermuteOpt is NaivePermute with explicit execution options.
 func NaivePermuteOpt(ctx context.Context, sys *pdm.System, targetOf func(uint64) uint64, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if cfg.Frames() < 2*cfg.D {

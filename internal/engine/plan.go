@@ -56,12 +56,11 @@ func RunPlanOpt(ctx context.Context, sys *pdm.System, plan *factor.Plan, opt Opt
 // pass list is re-segmented over GF(2) into the fewest adjacent-composable
 // one-pass permutations before execution, so permutations the greedy
 // factoring over-splits cost measurably fewer parallel I/Os.
-func RunBMMCFused(sys *pdm.System, p perm.BMMC) (*Result, error) {
-	return RunBMMCFusedOpt(context.Background(), sys, p, DefaultOptions())
+func RunBMMCFused(ctx context.Context, sys *pdm.System, p perm.BMMC) (*Result, error) {
+	return RunBMMCFusedOpt(ctx, sys, p, DefaultOptions())
 }
 
-// RunBMMCFusedOpt is RunBMMCFused with explicit execution options and a
-// context checked between memoryloads.
+// RunBMMCFusedOpt is RunBMMCFused with explicit execution options.
 func RunBMMCFusedOpt(ctx context.Context, sys *pdm.System, p perm.BMMC, opt Options) (*Result, error) {
 	cfg := sys.Config()
 	if err := checkGeometry(cfg, p); err != nil {

@@ -59,30 +59,30 @@ func newSystem(cfg pdm.Config) (*pdm.System, error) {
 
 // runAuto, runBMMC, and runUngrouped adapt the engine entry points to the
 // experiment-wide execution mode.
-func runAuto(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
-	return engine.RunAutoOpt(context.Background(), sys, p, Exec)
+func runAuto(ctx context.Context, sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
+	return engine.RunAutoOpt(ctx, sys, p, Exec)
 }
 
-func runBMMC(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
+func runBMMC(ctx context.Context, sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
 	if Fuse {
-		return engine.RunBMMCFusedOpt(context.Background(), sys, p, Exec)
+		return engine.RunBMMCFusedOpt(ctx, sys, p, Exec)
 	}
-	return engine.RunBMMCOpt(context.Background(), sys, p, Exec)
+	return engine.RunBMMCOpt(ctx, sys, p, Exec)
 }
 
-func runUngrouped(sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
-	return engine.RunBMMCUngroupedOpt(context.Background(), sys, p, Exec)
+func runUngrouped(ctx context.Context, sys *pdm.System, p perm.BMMC) (*engine.Result, error) {
+	return engine.RunBMMCUngroupedOpt(ctx, sys, p, Exec)
 }
 
 // run executes p on a fresh memory-backed system, verifies every record
 // landed correctly, and returns the engine result.
-func run(cfg pdm.Config, p perm.BMMC, algo func(*pdm.System, perm.BMMC) (*engine.Result, error)) (*engine.Result, error) {
+func run(ctx context.Context, cfg pdm.Config, p perm.BMMC, algo func(context.Context, *pdm.System, perm.BMMC) (*engine.Result, error)) (*engine.Result, error) {
 	sys, err := newSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer sys.Close()
-	res, err := algo(sys, p)
+	res, err := algo(ctx, sys, p)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +95,7 @@ func run(cfg pdm.Config, p perm.BMMC, algo func(*pdm.System, perm.BMMC) (*engine
 // Table1 reproduces the class/pass-count comparison of Table 1: for each
 // permutation class, the measured pass count of this paper's algorithm next
 // to the upper bounds of the earlier algorithms in [4].
-func Table1(cfg pdm.Config, seed int64) (*Table, error) {
+func Table1(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
 	t := &Table{
@@ -123,7 +123,7 @@ func Table1(cfg pdm.Config, seed int64) (*Table, error) {
 		{"BMMC", "random BMMC", perm.MustNew(gf2.RandomNonsingular(rng, n), gf2.RandomVec(rng, n))},
 	}
 	for _, e := range entries {
-		res, err := run(cfg, e.p, runAuto)
+		res, err := run(ctx, cfg, e.p, runAuto)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", e.class, e.name, err)
 		}
@@ -151,7 +151,7 @@ func Table1(cfg pdm.Config, seed int64) (*Table, error) {
 // TightBounds reproduces the headline result (Theorems 3 and 21): sweeping
 // rank gamma, the measured I/O count of the algorithm sits between the
 // refined lower bound of Section 7 and the exact upper bound of Theorem 21.
-func TightBounds(cfg pdm.Config, seed int64) (*Table, error) {
+func TightBounds(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	t := &Table{
@@ -167,9 +167,12 @@ func TightBounds(cfg pdm.Config, seed int64) (*Table, error) {
 		maxG = n - b
 	}
 	for g := 0; g <= maxG; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a := gf2.RandomNonsingularWithGamma(rng, n, b, g)
 		p := perm.MustNew(a, gf2.RandomVec(rng, n))
-		res, err := run(cfg, p, runBMMC)
+		res, err := run(ctx, cfg, p, runBMMC)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +191,7 @@ func TightBounds(cfg pdm.Config, seed int64) (*Table, error) {
 // Crossover reproduces the Section 1 comparison: for low rank gamma the
 // BMMC algorithm beats the general-permutation (sorting) cost; the series
 // shows where the advantage shrinks as rank grows.
-func Crossover(cfg pdm.Config, seed int64) (*Table, error) {
+func Crossover(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	t := &Table{
@@ -207,7 +210,7 @@ func Crossover(cfg pdm.Config, seed int64) (*Table, error) {
 	for g := 0; g <= maxG; g++ {
 		a := gf2.RandomNonsingularWithGamma(rng, n, b, g)
 		p := perm.MustNew(a, gf2.RandomVec(rng, n))
-		res, err := run(cfg, p, runBMMC)
+		res, err := run(ctx, cfg, p, runBMMC)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +218,7 @@ func Crossover(cfg pdm.Config, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sortRes, err := engine.GeneralPermuteOpt(context.Background(), sys, p.Apply, Exec)
+		sortRes, err := engine.GeneralPermuteOpt(ctx, sys, p.Apply, Exec)
 		if err != nil {
 			sys.Close()
 			return nil, err
@@ -235,7 +238,7 @@ func Crossover(cfg pdm.Config, seed int64) (*Table, error) {
 
 // MLDOnePass reproduces Theorem 15: every MLD permutation completes in
 // exactly one pass (2N/BD parallel I/Os) with balanced independent writes.
-func MLDOnePass(cfg pdm.Config, seed int64) (*Table, error) {
+func MLDOnePass(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
 	t := &Table{
@@ -249,7 +252,7 @@ func MLDOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := engine.RunMLDPassOpt(context.Background(), sys, p, Exec); err != nil {
+		if err := engine.RunMLDPassOpt(ctx, sys, p, Exec); err != nil {
 			sys.Close()
 			return nil, err
 		}
@@ -266,7 +269,7 @@ func MLDOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 
 // Detection reproduces the Section 6 cost: detecting a BMMC permutation
 // costs N/BD + ceil((lg(N/B)+1)/D) parallel reads, and rejection is cheap.
-func Detection(cfg pdm.Config, seed int64) (*Table, error) {
+func Detection(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := cfg.LgN()
 	t := &Table{
@@ -292,6 +295,9 @@ func Detection(cfg pdm.Config, seed int64) (*Table, error) {
 	}{"random permutation", func(x uint64) uint64 { return uint64(shuffled[x]) }, false})
 
 	for _, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sys, err := pdm.NewMemSystem(cfg)
 		if err != nil {
 			return nil, err
@@ -315,7 +321,7 @@ func Detection(cfg pdm.Config, seed int64) (*Table, error) {
 // Potential reproduces the Section 2 potential argument: the enumerated
 // initial potential matches equation (9) and yields the Section 7 lower
 // bound.
-func Potential(cfg pdm.Config, seed int64) (*Table, error) {
+func Potential(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	t := &Table{
@@ -328,6 +334,9 @@ func Potential(cfg pdm.Config, seed int64) (*Table, error) {
 		maxG = n - b
 	}
 	for g := 0; g <= maxG; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a := gf2.RandomNonsingularWithGamma(rng, n, b, g)
 		p := perm.MustNew(a, gf2.RandomVec(rng, n))
 		direct := bounds.InitialPotential(cfg, p)
@@ -343,7 +352,7 @@ func Potential(cfg pdm.Config, seed int64) (*Table, error) {
 // TransposeShapes reproduces the Vitter-Shriver transposition comparison:
 // the BMMC algorithm's measured cost tracks the transposition bound across
 // matrix shapes.
-func TransposeShapes(cfg pdm.Config, _ int64) (*Table, error) {
+func TransposeShapes(ctx context.Context, cfg pdm.Config, _ int64) (*Table, error) {
 	n := cfg.LgN()
 	t := &Table{
 		ID:      "E11 (transposition)",
@@ -354,7 +363,7 @@ func TransposeShapes(cfg pdm.Config, _ int64) (*Table, error) {
 	for lgR := 1; lgR < n; lgR++ {
 		lgS := n - lgR
 		p := perm.Transpose(lgR, lgS)
-		res, err := run(cfg, p, runBMMC)
+		res, err := run(ctx, cfg, p, runBMMC)
 		if err != nil {
 			return nil, err
 		}
@@ -370,7 +379,7 @@ func TransposeShapes(cfg pdm.Config, _ int64) (*Table, error) {
 // embedded into successively larger address spaces (identity on the new
 // high bits, preserving rank gamma and the full pass structure) costs
 // exactly proportionally more I/Os.
-func Scaling(base pdm.Config, seed int64) (*Table, error) {
+func Scaling(ctx context.Context, base pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	t := &Table{
 		ID:      "E5b (N/BD scaling)",
@@ -389,7 +398,7 @@ func Scaling(base pdm.Config, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := run(cfg, p, runBMMC)
+		res, err := run(ctx, cfg, p, runBMMC)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +411,7 @@ func Scaling(base pdm.Config, seed int64) (*Table, error) {
 // Ablation measures what Theorem 17's pass grouping buys: the same
 // factorization executed with every factor as its own pass (2g+2 passes)
 // versus the grouped MLD passes (g+1).
-func Ablation(cfg pdm.Config, seed int64) (*Table, error) {
+func Ablation(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	t := &Table{
@@ -421,11 +430,11 @@ func Ablation(cfg pdm.Config, seed int64) (*Table, error) {
 		if p.IsMRC(cfg.LgM()) {
 			continue
 		}
-		grouped, err := run(cfg, p, runBMMC)
+		grouped, err := run(ctx, cfg, p, runBMMC)
 		if err != nil {
 			return nil, err
 		}
-		ungrouped, err := run(cfg, p, runUngrouped)
+		ungrouped, err := run(ctx, cfg, p, runUngrouped)
 		if err != nil {
 			return nil, err
 		}
@@ -441,7 +450,7 @@ func Ablation(cfg pdm.Config, seed int64) (*Table, error) {
 // InverseOnePass demonstrates the Section 7 extension implemented by this
 // library: inverses of MLD permutations also run in a single pass, using
 // independent reads and striped writes.
-func InverseOnePass(cfg pdm.Config, seed int64) (*Table, error) {
+func InverseOnePass(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
 	t := &Table{
@@ -452,7 +461,7 @@ func InverseOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 	for trial := 0; trial < 4; trial++ {
 		mld := perm.MustNew(gf2.RandomMLD(rng, n, b, m), gf2.RandomVec(rng, n))
 		inv := mld.Inverse()
-		res, err := run(cfg, inv, runAuto)
+		res, err := run(ctx, cfg, inv, runAuto)
 		if err != nil {
 			return nil, err
 		}
@@ -465,7 +474,7 @@ func InverseOnePass(cfg pdm.Config, seed int64) (*Table, error) {
 // Lemma9Table reproduces the universality experiment: even a BMMC
 // permutation differing from the identity in a single matrix entry moves at
 // least half of all records.
-func Lemma9Table(cfg pdm.Config, _ int64) (*Table, error) {
+func Lemma9Table(ctx context.Context, cfg pdm.Config, _ int64) (*Table, error) {
 	n := cfg.LgN()
 	t := &Table{
 		ID:      "E12 (Lemma 9)",
@@ -482,6 +491,9 @@ func Lemma9Table(cfg pdm.Config, _ int64) (*Table, error) {
 		name string
 		p    perm.BMMC
 	}{{"one off-diagonal entry", single}, {"single-bit complement", comp}} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fp := e.p.FixedPoints()
 		t.AddRow(e.name, fmt.Sprintf("%d", fp), itoa(cfg.N/2), passFail(fp <= uint64(cfg.N)/2))
 	}
@@ -496,7 +508,7 @@ func Lemma9Table(cfg pdm.Config, _ int64) (*Table, error) {
 // is identical in both modes — the PASS column asserts that the
 // parallel-I/O counts match exactly and that both runs produced the
 // correct layout — so the only thing allowed to differ is elapsed time.
-func PipelineSpeed(cfg pdm.Config, seed int64) (*Table, error) {
+func PipelineSpeed(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	g := b
@@ -545,7 +557,7 @@ func PipelineSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 				return err
 			}
 			start := time.Now()
-			res, err := engine.RunBMMCOpt(context.Background(), sys, p, mode.opt)
+			res, err := engine.RunBMMCOpt(ctx, sys, p, mode.opt)
 			if err != nil {
 				return err
 			}
@@ -601,7 +613,7 @@ func randomNonMRCMLD(rng *rand.Rand, n, b, m int) perm.BMMC {
 // over-splits (MLD and inverse-MLD permutations, which Factorize has no
 // fast path for, plus a fraction of random BMMC matrices) it strictly
 // reduces the measured parallel-I/O count.
-func Fusion(cfg pdm.Config, seed int64) (*Table, error) {
+func Fusion(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
 	t := &Table{
@@ -656,7 +668,7 @@ func Fusion(cfg pdm.Config, seed int64) (*Table, error) {
 				return 0, err
 			}
 			defer sys.Close()
-			res, err := engine.RunPlanOpt(context.Background(), sys, pl, Exec)
+			res, err := engine.RunPlanOpt(ctx, sys, pl, Exec)
 			if err != nil {
 				return 0, err
 			}
@@ -689,7 +701,7 @@ func Fusion(cfg pdm.Config, seed int64) (*Table, error) {
 // must be served from the cache — zero re-factorizations — while producing
 // the identical pass structure. The planning-only cost (factorize + fuse,
 // no I/O) is timed directly for the note.
-func PlanCache(cfg pdm.Config, seed int64) (*Table, error) {
+func PlanCache(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b, m := cfg.LgN(), cfg.LgB(), cfg.LgM()
 	t := &Table{
@@ -726,7 +738,7 @@ func PlanCache(cfg pdm.Config, seed int64) (*Table, error) {
 	}
 	var prev *core.Report
 	for i, job := range jobs {
-		rep, err := pr.Permute(job.p)
+		rep, err := pr.PermuteContext(ctx, job.p)
 		if err != nil {
 			return nil, err
 		}
@@ -757,7 +769,7 @@ func PlanCache(cfg pdm.Config, seed int64) (*Table, error) {
 // two-directory layout. The parallel-I/O counts — the model's only cost —
 // must match across all three (the PASS column asserts it); wall-clock
 // shows what each backend's real I/O path costs.
-func BackendSpeed(cfg pdm.Config, seed int64) (*Table, error) {
+func BackendSpeed(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, b := cfg.LgN(), cfg.LgB()
 	g := b
@@ -804,7 +816,7 @@ func BackendSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 				return err
 			}
 			start := time.Now()
-			res, err := engine.RunBMMCOpt(context.Background(), sys, p, Exec)
+			res, err := engine.RunBMMCOpt(ctx, sys, p, Exec)
 			if err != nil {
 				return err
 			}
@@ -846,7 +858,7 @@ func BackendSpeed(cfg pdm.Config, seed int64) (*Table, error) {
 // only counted I/O); the chained flow moves 2N records over the data plane
 // instead of 4N and skips a storage provisioning, which is the wall-clock
 // gap the table reports.
-func Chain(cfg pdm.Config, seed int64) (*Table, error) {
+func Chain(ctx context.Context, cfg pdm.Config, seed int64) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := cfg.LgN()
 	steps := []perm.BMMC{perm.BitReversal(n), perm.Transpose(n/2, n-n/2)}
@@ -874,7 +886,6 @@ func Chain(cfg pdm.Config, seed int64) (*Table, error) {
 		return buf
 	}
 	wire := encode(input)
-	ctx := context.Background()
 	eng := core.NewEngine()
 
 	newDataset := func() (*core.Dataset, string, error) {
@@ -973,11 +984,13 @@ func Names() []string {
 	}
 }
 
-// All runs every experiment generator on the given configuration.
-func All(cfg pdm.Config, seed int64) ([]*Table, error) {
+// All runs every experiment generator on the given configuration. ctx
+// cancellation aborts between memoryloads of whichever experiment is
+// running.
+func All(ctx context.Context, cfg pdm.Config, seed int64) ([]*Table, error) {
 	var out []*Table
 	for _, name := range Names() {
-		tbl, err := ByName(name)(cfg, seed)
+		tbl, err := ByName(name)(ctx, cfg, seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", name, err)
 		}
@@ -987,7 +1000,7 @@ func All(cfg pdm.Config, seed int64) ([]*Table, error) {
 }
 
 // ByName returns the generator with the given name, or nil.
-func ByName(name string) func(pdm.Config, int64) (*Table, error) {
+func ByName(name string) func(context.Context, pdm.Config, int64) (*Table, error) {
 	switch name {
 	case "table1":
 		return Table1

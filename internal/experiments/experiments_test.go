@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func checkAllPass(t *testing.T, tbl *Table) {
 }
 
 func TestAllExperiments(t *testing.T) {
-	tables, err := All(smallConfig, 1)
+	tables, err := All(context.Background(), smallConfig, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestByName(t *testing.T) {
 // algorithm must beat the sort baseline by a wide margin, and the speedup
 // must shrink (weakly) as rank grows.
 func TestCrossoverShape(t *testing.T) {
-	tbl, err := Crossover(smallConfig, 2)
+	tbl, err := Crossover(context.Background(), smallConfig, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestCrossoverShape(t *testing.T) {
 // families guarantee it at every geometry, since Factorize has no fast
 // path for them and emits two passes where fusion needs one.
 func TestFusionShowsStrictWin(t *testing.T) {
-	tbl, err := Fusion(smallConfig, 3)
+	tbl, err := Fusion(context.Background(), smallConfig, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFusionShowsStrictWin(t *testing.T) {
 // TestPlanCacheTable: the plan-cache experiment's hit/miss pattern holds
 // at the small geometry too.
 func TestPlanCacheTable(t *testing.T) {
-	tbl, err := PlanCache(smallConfig, 4)
+	tbl, err := PlanCache(context.Background(), smallConfig, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,6 +21,7 @@
 package oocfft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -77,8 +78,10 @@ type Result struct {
 // FFT transforms the N complex samples stored on sys in place (the result
 // ends up on the current source portion in natural frequency order).
 // inverse selects the inverse transform, which includes the 1/N scaling.
-// Requires N <= M^2 so both four-step factors fit in memory.
-func FFT(sys *pdm.System, inverse bool) (*Result, error) {
+// Requires N <= M^2 so both four-step factors fit in memory. Cancelling
+// ctx aborts between memoryloads of any transpose, leaving the records in
+// the state after the last completed pass.
+func FFT(ctx context.Context, sys *pdm.System, inverse bool) (*Result, error) {
 	cfg := sys.Config()
 	n, m := cfg.LgN(), cfg.LgM()
 	if n > 2*m {
@@ -95,7 +98,7 @@ func FFT(sys *pdm.System, inverse bool) (*Result, error) {
 	before := sys.Stats().ParallelIOs()
 
 	// Step 1: transpose j1 + N1*j2 -> j2 + N2*j1.
-	if _, err := engine.RunAuto(sys, perm.RotateBits(n, lgN1)); err != nil {
+	if _, err := engine.RunAuto(ctx, sys, perm.RotateBits(n, lgN1)); err != nil {
 		return nil, fmt.Errorf("oocfft: transpose 1: %w", err)
 	}
 	res.TransposeIOs = sys.Stats().ParallelIOs() - before
@@ -119,7 +122,7 @@ func FFT(sys *pdm.System, inverse bool) (*Result, error) {
 
 	// Step 3: transpose back to j1 + N1*k2.
 	mark := sys.Stats().ParallelIOs()
-	if _, err := engine.RunAuto(sys, perm.RotateBits(n, lgN2)); err != nil {
+	if _, err := engine.RunAuto(ctx, sys, perm.RotateBits(n, lgN2)); err != nil {
 		return nil, fmt.Errorf("oocfft: transpose 2: %w", err)
 	}
 	res.TransposeIOs += sys.Stats().ParallelIOs() - mark
@@ -134,7 +137,7 @@ func FFT(sys *pdm.System, inverse bool) (*Result, error) {
 
 	// Step 5: transpose k1 + N1*k2 -> k2 + N2*k1 (natural order).
 	mark = sys.Stats().ParallelIOs()
-	if _, err := engine.RunAuto(sys, perm.RotateBits(n, lgN1)); err != nil {
+	if _, err := engine.RunAuto(ctx, sys, perm.RotateBits(n, lgN1)); err != nil {
 		return nil, fmt.Errorf("oocfft: transpose 3: %w", err)
 	}
 	res.TransposeIOs += sys.Stats().ParallelIOs() - mark

@@ -1,6 +1,7 @@
 package oocfft
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -56,7 +57,7 @@ func TestFFTMatchesDirectDFT(t *testing.T) {
 		if err := LoadSamples(sys, x); err != nil {
 			t.Fatal(err)
 		}
-		res, err := FFT(sys, false)
+		res, err := FFT(context.Background(), sys, false)
 		if err != nil {
 			t.Fatalf("%v: %v", cfg, err)
 		}
@@ -91,10 +92,10 @@ func TestFFTInverseRoundTrip(t *testing.T) {
 	if err := LoadSamples(sys, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FFT(sys, false); err != nil {
+	if _, err := FFT(context.Background(), sys, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FFT(sys, true); err != nil {
+	if _, err := FFT(context.Background(), sys, true); err != nil {
 		t.Fatal(err)
 	}
 	got, err := DumpSamples(sys)
@@ -115,7 +116,7 @@ func TestFFTParseval(t *testing.T) {
 	if err := LoadSamples(sys, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FFT(sys, false); err != nil {
+	if _, err := FFT(context.Background(), sys, false); err != nil {
 		t.Fatal(err)
 	}
 	spec, _ := DumpSamples(sys)
@@ -139,7 +140,7 @@ func TestFFTImpulseAndTone(t *testing.T) {
 	if err := LoadSamples(sys, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FFT(sys, false); err != nil {
+	if _, err := FFT(context.Background(), sys, false); err != nil {
 		t.Fatal(err)
 	}
 	spec, _ := DumpSamples(sys)
@@ -156,7 +157,7 @@ func TestFFTImpulseAndTone(t *testing.T) {
 	if err := LoadSamples(sys, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FFT(sys, false); err != nil {
+	if _, err := FFT(context.Background(), sys, false); err != nil {
 		t.Fatal(err)
 	}
 	spec, _ = DumpSamples(sys)
@@ -176,7 +177,7 @@ func TestFFTErrors(t *testing.T) {
 	cfg := pdm.Config{N: 1 << 9, D: 2, B: 2, M: 1 << 4}
 	sys, _ := pdm.NewMemSystem(cfg)
 	defer sys.Close()
-	if _, err := FFT(sys, false); err == nil {
+	if _, err := FFT(context.Background(), sys, false); err == nil {
 		t.Fatal("N > M^2 accepted")
 	}
 	// Sample count mismatch.
@@ -205,7 +206,7 @@ func BenchmarkOutOfCoreFFT(b *testing.B) {
 		if err := LoadSamples(sys, x); err != nil {
 			b.Fatal(err)
 		}
-		res, err := FFT(sys, false)
+		res, err := FFT(context.Background(), sys, false)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,7 @@
 package oocmatrix
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -110,12 +111,13 @@ func (m *Matrix) At(i, j int) (float64, error) {
 }
 
 // Transpose transposes the matrix in place on disk using the BMMC
-// rotation permutation, swapping the row and column counts.
-func (m *Matrix) Transpose() error {
+// rotation permutation, swapping the row and column counts. Cancelling
+// ctx aborts between memoryloads with the layout metadata unchanged.
+func (m *Matrix) Transpose(ctx context.Context) error {
 	if m.tileMajor {
 		return fmt.Errorf("oocmatrix: transpose requires row-major layout")
 	}
-	if _, err := engine.RunAuto(m.sys, perm.Transpose(m.lgR, m.lgS)); err != nil {
+	if _, err := engine.RunAuto(ctx, m.sys, perm.Transpose(m.lgR, m.lgS)); err != nil {
 		return err
 	}
 	m.lgR, m.lgS = m.lgS, m.lgR
@@ -149,12 +151,12 @@ func tileMajorPerm(lgR, lgS, lt int) (perm.BMMC, error) {
 }
 
 // toTileMajor converts the layout; lt is the lg of the tile side.
-func (m *Matrix) toTileMajor(lt int) error {
+func (m *Matrix) toTileMajor(ctx context.Context, lt int) error {
 	p, err := tileMajorPerm(m.lgR, m.lgS, lt)
 	if err != nil {
 		return err
 	}
-	if _, err := engine.RunAuto(m.sys, p); err != nil {
+	if _, err := engine.RunAuto(ctx, m.sys, p); err != nil {
 		return err
 	}
 	m.tileMajor, m.lgTileSide = true, lt
@@ -162,12 +164,12 @@ func (m *Matrix) toTileMajor(lt int) error {
 }
 
 // toRowMajor converts back.
-func (m *Matrix) toRowMajor() error {
+func (m *Matrix) toRowMajor(ctx context.Context) error {
 	p, err := tileMajorPerm(m.lgR, m.lgS, m.lgTileSide)
 	if err != nil {
 		return err
 	}
-	if _, err := engine.RunAuto(m.sys, p.Inverse()); err != nil {
+	if _, err := engine.RunAuto(ctx, m.sys, p.Inverse()); err != nil {
 		return err
 	}
 	m.tileMajor = false
@@ -187,8 +189,10 @@ func (r MultiplyResult) ParallelIOs() int { return r.LayoutIOs + r.StreamIOs }
 // Multiply computes C = A * B out of core and returns C with the same
 // model parameters as A. Shapes must agree (A: R x S, B: S x T) and every
 // dimension must be at least the tile side, which is chosen so that three
-// tiles fit in memory: t = 2^floor((lg M - 2)/2).
-func Multiply(a, b *Matrix) (*Matrix, MultiplyResult, error) {
+// tiles fit in memory: t = 2^floor((lg M - 2)/2). Cancelling ctx aborts
+// between memoryloads of the layout conversions; operands may be left
+// tile-major, so treat the matrices as spent on error.
+func Multiply(ctx context.Context, a, b *Matrix) (*Matrix, MultiplyResult, error) {
 	var res MultiplyResult
 	if a.lgS != b.lgR {
 		return nil, res, fmt.Errorf("oocmatrix: shape mismatch %dx%d * %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
@@ -218,11 +222,11 @@ func Multiply(a, b *Matrix) (*Matrix, MultiplyResult, error) {
 
 	// Convert operands to tile-major layout (BPC permutations).
 	mark := ioTotal(a, b, c)
-	if err := a.toTileMajor(lt); err != nil {
+	if err := a.toTileMajor(ctx, lt); err != nil {
 		c.Close()
 		return nil, res, err
 	}
-	if err := b.toTileMajor(lt); err != nil {
+	if err := b.toTileMajor(ctx, lt); err != nil {
 		c.Close()
 		return nil, res, err
 	}
@@ -238,16 +242,16 @@ func Multiply(a, b *Matrix) (*Matrix, MultiplyResult, error) {
 
 	// Restore layouts.
 	mark = ioTotal(a, b, c)
-	if err := a.toRowMajor(); err != nil {
+	if err := a.toRowMajor(ctx); err != nil {
 		c.Close()
 		return nil, res, err
 	}
-	if err := b.toRowMajor(); err != nil {
+	if err := b.toRowMajor(ctx); err != nil {
 		c.Close()
 		return nil, res, err
 	}
 	c.tileMajor, c.lgTileSide = true, lt
-	if err := c.toRowMajor(); err != nil {
+	if err := c.toRowMajor(ctx); err != nil {
 		c.Close()
 		return nil, res, err
 	}

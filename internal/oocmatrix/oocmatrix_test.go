@@ -1,6 +1,7 @@
 package oocmatrix
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -59,7 +60,7 @@ func TestTranspose(t *testing.T) {
 	if err := m.Load(vals); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Transpose(); err != nil {
+	if err := m.Transpose(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.Rows() != 16 || m.Cols() != 64 {
@@ -122,7 +123,7 @@ func TestMultiplySquare(t *testing.T) {
 	if err := b.Load(bv); err != nil {
 		t.Fatal(err)
 	}
-	c, res, err := Multiply(a, b)
+	c, res, err := Multiply(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestMultiplyRectangular(t *testing.T) {
 	bv := randomValues(rng, cfgB.N)
 	_ = a.Load(av)
 	_ = b.Load(bv)
-	c, _, err := Multiply(a, b)
+	c, _, err := Multiply(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestMultiplyIdentity(t *testing.T) {
 		iv[i*16+i] = 1
 	}
 	_ = id.Load(iv)
-	c, _, err := Multiply(a, id)
+	c, _, err := Multiply(context.Background(), a, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestMultiplyErrors(t *testing.T) {
 	defer a.Close()
 	b, _ := New(cfg, 3, 5)
 	defer b.Close()
-	if _, _, err := Multiply(a, b); err == nil {
+	if _, _, err := Multiply(context.Background(), a, b); err == nil {
 		t.Error("shape mismatch accepted")
 	}
 	if _, err := New(cfg, 3, 3); err == nil {
@@ -251,7 +252,7 @@ func TestTransposeViaCatalogAgrees(t *testing.T) {
 		vals[i] = float64(i)
 	}
 	_ = m.Load(vals)
-	if err := m.Transpose(); err != nil {
+	if err := m.Transpose(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := m.Dump()
@@ -283,7 +284,7 @@ func BenchmarkOutOfCoreMultiply(b *testing.B) {
 		if err := bm.Load(bv); err != nil {
 			b.Fatal(err)
 		}
-		c, res, err := Multiply(a, bm)
+		c, res, err := Multiply(context.Background(), a, bm)
 		if err != nil {
 			b.Fatal(err)
 		}

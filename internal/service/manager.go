@@ -230,6 +230,9 @@ func (m *Manager) Submit(req SubmitRequest) (*Job, error) {
 	id := fmt.Sprintf("j%04d-%06x", m.seq, m.rng.Uint32()&0xffffff)
 	m.mu.Unlock()
 
+	// The job outlives the submitting RPC; its root is canceled by
+	// CancelJob or manager shutdown, not by the submitter hanging up.
+	//lint:allow ctxio -- job-lifetime root; canceled via CancelJob/Close
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		id:         id,

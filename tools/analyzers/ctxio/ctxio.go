@@ -1,0 +1,135 @@
+// Package ctxio pins the "no uncancelable public path" rule from the v2
+// API work: every storage or network operation the library performs must
+// be abortable by the caller, which means exported functions thread a
+// context.Context down to the I/O and never mint their own root.
+//
+// Two checks:
+//
+//  1. context.Background() / context.TODO() in non-main packages. A
+//     library function that conjures its own root context detaches the
+//     operation from the caller's cancellation; daemons own exactly the
+//     few legitimate roots (process lifetime, detached best-effort
+//     cleanup), and those sites carry a //lint:allow ctxio annotation
+//     saying so.
+//  2. Dropped contexts: an exported function that accepts a
+//     context.Context and then never uses it. The signature promises
+//     cancelability the body doesn't deliver — either thread the ctx or
+//     drop the parameter.
+//
+// Commands (package main) are exempt from check 1: main is the root of
+// the context tree and Background() is exactly right there.
+package ctxio
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/analyzers/lintutil"
+)
+
+const doc = `require cancellation to thread through library I/O paths
+
+Exported I/O paths accept and thread a context.Context; library code
+never creates its own root context (context.Background/TODO), and a
+declared ctx parameter must actually be used.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxio",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	isMain := lintutil.IsMainPackage(pass)
+	for _, f := range pass.Files {
+		if !isMain {
+			checkBackground(pass, f)
+		}
+		checkDropped(pass, f)
+	}
+	return nil, nil
+}
+
+// checkBackground flags context.Background() and context.TODO() calls.
+func checkBackground(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "context" {
+			return true
+		}
+		lintutil.Report(pass, "ctxio", call,
+			"context.%s in library code detaches the operation from the caller's cancellation: thread the caller's ctx", sel.Sel.Name)
+		return true
+	})
+}
+
+// checkDropped flags exported functions whose context.Context parameter
+// is never referenced in the body.
+func checkDropped(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		for _, field := range fd.Type.Params.List {
+			if !isContextType(pass, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					lintutil.Report(pass, "ctxio", name,
+						"%s discards its context.Context parameter: thread it to the I/O or drop it from the signature", fd.Name.Name)
+					continue
+				}
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if !usedIn(pass, fd.Body, obj) {
+					lintutil.Report(pass, "ctxio", name,
+						"%s accepts ctx but never uses it: the signature promises cancelability the body doesn't deliver", fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isContextType reports whether the parameter type is context.Context.
+func isContextType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usedIn reports whether obj is referenced anywhere in body.
+func usedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxio_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/ctxio"
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+func Test(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), ctxio.Analyzer, "c", "cmain")
+}

@@ -1,0 +1,34 @@
+// Package c is library code: it may not mint its own root contexts, and
+// an exported function that accepts a ctx must actually thread it.
+package c
+
+import "context"
+
+func Root() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func Todo() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+func JobRoot() context.Context {
+	//lint:allow ctxio -- job-lifetime root for the golden test
+	return context.Background()
+}
+
+func Dropped(ctx context.Context) error { // want "Dropped accepts ctx but never uses it"
+	return nil
+}
+
+func Discarded(_ context.Context) error { // want "Discarded discards its context.Context parameter"
+	return nil
+}
+
+func Threaded(ctx context.Context) error {
+	return ctx.Err() // ok: the ctx reaches the work
+}
+
+func helper(ctx context.Context) error { // ok: unexported helpers are the caller's business
+	return nil
+}

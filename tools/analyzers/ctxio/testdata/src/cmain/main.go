@@ -1,0 +1,19 @@
+// Command cmain stands in for a CLI: main is the root of the context
+// tree, so Background() is exactly right here — but a declared ctx
+// parameter still has to be used.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: commands own the root context
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func Run(ctx context.Context) error { // want "Run accepts ctx but never uses it"
+	return nil
+}

@@ -1,0 +1,30 @@
+// Package a is an ordinary library package: neither a command nor on the
+// deterministic-package list. Global math/rand state is still forbidden,
+// but clock reads and clock-seeded local sources are its own business.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() int64 {
+	return rand.Int63n(10) // want "global math/rand state"
+}
+
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand state"
+}
+
+func Local(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed)) // ok: caller-seeded local source
+	return rng.Int63n(10)
+}
+
+func ClockSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // ok: not a command, not a deterministic package
+}
+
+func Stamp() time.Time {
+	return time.Now() // ok: not a deterministic package
+}

@@ -1,0 +1,31 @@
+// Package engine stands in for a deterministic package (-detpkgs): every
+// random choice must come from a caller-seeded source and the wall clock
+// is off limits outside the measurement allowlist.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Plan(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed)) // ok: caller-seeded
+	return rng.Int63()
+}
+
+func Stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+func ClockSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "rand source seeded from the clock" "time.Now in deterministic package"
+}
+
+func Suppressed() time.Time {
+	//lint:allow detrand -- golden test for the suppression mechanism
+	return time.Now()
+}

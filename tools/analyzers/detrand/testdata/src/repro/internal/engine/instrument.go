@@ -1,0 +1,10 @@
+package engine
+
+import "time"
+
+// Observe reads the clock legally: instrument.go is on the -allowfiles
+// measurement allowlist, where latency observation does not influence any
+// planning or fault decision.
+func Observe(t0 time.Time) time.Duration {
+	return time.Since(t0) // ok: measurement site
+}

@@ -1,0 +1,15 @@
+// Command seedmain stands in for a CLI: clock reads are fine (commands
+// are not deterministic packages) but seeding a rand source from the
+// clock is not — seeds must route through a -seed flag so runs replay.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	_ = rand.NewSource(time.Now().UnixNano()) // want "rand source seeded from the clock"
+	_ = time.Now()                            // ok: commands may read the clock
+	_ = rand.NewSource(42)                    // ok: fixed seed
+}

@@ -1,0 +1,206 @@
+// Package errwrap pins the error-identity discipline: sentinel errors
+// (ErrInjectedFault, ErrQueueFull, ...) travel through wrapped chains —
+// the chaos wrappers wrap with %w, the service layer wraps with job
+// context — so identity tests must use errors.Is. A literal == against a
+// sentinel works today on the paths that happen not to wrap and silently
+// stops matching the day someone adds context to the error, which is the
+// worst kind of regression: the fault-handling branch just stops running.
+//
+// Three checks:
+//
+//  1. err == ErrX / err != ErrX where ErrX is a package-level error
+//     variable named Err*: use errors.Is(err, ErrX).
+//  2. switch err { case ErrX: } with the same operands: same fix.
+//  3. fmt.Errorf("...: %v", err) where the error is the final argument
+//     and the final verb is %v or %s: wrap with %w so the chain keeps
+//     errors.Is working downstream.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/analyzers/lintutil"
+)
+
+const doc = `require errors.Is for sentinel tests and %w for wrapping
+
+Sentinels cross wrapped chains; == comparisons and %v wrapping both break
+errors.Is the moment a layer adds context.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkComparison flags ==/!= where one side is an error value and the
+// other names a package-level Err* sentinel variable.
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	var sentinel string
+	switch {
+	case isSentinel(pass, be.X) != "" && isErrorExpr(pass, be.Y):
+		sentinel = isSentinel(pass, be.X)
+	case isSentinel(pass, be.Y) != "" && isErrorExpr(pass, be.X):
+		sentinel = isSentinel(pass, be.Y)
+	default:
+		return
+	}
+	lintutil.Report(pass, "errwrap", be,
+		"comparing against sentinel %s with %s breaks once the error is wrapped: use errors.Is", sentinel, be.Op)
+}
+
+// checkSwitch flags switch err { case ErrX: } over an error tag.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := isSentinel(pass, e); s != "" {
+				lintutil.Report(pass, "errwrap", e,
+					"switch case on sentinel %s breaks once the error is wrapped: use errors.Is", s)
+			}
+		}
+	}
+}
+
+// isSentinel returns the name of the package-level Err* error variable e
+// refers to, or "".
+func isSentinel(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return ""
+	}
+	// Package-level: the var's parent scope is its package scope.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !implementsError(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// isErrorExpr reports whether e's static type is (or implements) error
+// and e is not the nil literal.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && implementsError(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// checkErrorf flags fmt.Errorf calls whose final argument is an error
+// formatted with %v or %s — an unwrapped chain.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	last := call.Args[len(call.Args)-1]
+	if !isErrorExpr(pass, last) {
+		return
+	}
+	verbs := formatVerbs(format)
+	// Only reason about the simple positional case: one verb per arg.
+	if len(verbs) != len(call.Args)-1 {
+		return
+	}
+	if v := verbs[len(verbs)-1]; v == 'v' || v == 's' {
+		lintutil.Report(pass, "errwrap", call,
+			"fmt.Errorf formats the error with %%%c, losing the chain: wrap with %%w so errors.Is keeps working", v)
+	}
+}
+
+// formatVerbs returns the verb letters of format in order, or nil when
+// the format uses indexed arguments (which this check doesn't model).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0.123456789", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[':
+			return nil // indexed argument; bail out
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/errwrap"
+	"repro/tools/analyzers/internal/analyzertest"
+)
+
+func Test(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), errwrap.Analyzer, "f")
+}

@@ -1,0 +1,55 @@
+// Package f exercises the sentinel-identity discipline: errors.Is for
+// tests, %w for wrapping.
+package f
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrFault = errors.New("injected fault")
+
+func Compare(err error) bool {
+	return err == ErrFault // want "use errors.Is"
+}
+
+func CompareNeq(err error) bool {
+	return ErrFault != err // want "use errors.Is"
+}
+
+func CompareOK(err error) bool {
+	return errors.Is(err, ErrFault) // ok
+}
+
+func NilOK(err error) bool {
+	return err == nil // ok: nil test, not a sentinel test
+}
+
+func Switch(err error) string {
+	switch err {
+	case ErrFault: // want "switch case on sentinel ErrFault"
+		return "fault"
+	}
+	return ""
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("load: %v", err) // want "losing the chain"
+}
+
+func WrapS(err error) error {
+	return fmt.Errorf("load %d: %s", 3, err) // want "losing the chain"
+}
+
+func WrapOK(err error) error {
+	return fmt.Errorf("load: %w", err) // ok
+}
+
+func NotLast(err error) error {
+	return fmt.Errorf("load: %v (disk %d)", err, 3) // ok: the final verb is not the error
+}
+
+func Suppressed(err error) bool {
+	//lint:allow errwrap -- golden test for the suppression mechanism
+	return err == ErrFault
+}

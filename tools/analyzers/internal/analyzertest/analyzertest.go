@@ -1,0 +1,300 @@
+// Package analyzertest is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest, built only on the standard
+// library's go/parser + go/types + go/importer.
+//
+// The real analysistest depends on go/packages (and through it on
+// external processes and module resolution); this repo vendors the
+// analysis framework from the Go distribution's cmd/vendor tree, which
+// deliberately excludes go/packages. The subset implemented here is what
+// the bmmcvet suites need: GOPATH-style testdata layout, recursive
+// loading of testdata-local imports, analyzer Requires, and analysistest's
+// "// want" comment contract — a diagnostic must match a want regexp on
+// its line, every want must be matched, and anything else fails the test.
+//
+// Layout, identical to analysistest:
+//
+//	testdata/src/<import/path>/*.go
+//
+// Run(t, testdata, analyzer, "a", "repro/internal/pdm") analyzes the
+// packages at testdata/src/a and testdata/src/repro/internal/pdm; imports
+// of other testdata packages and of the standard library both resolve.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the abs path of the testdata directory next to the
+// caller's test file, mirroring analysistest.TestData.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// loader typechecks testdata packages on demand, resolving imports first
+// against testdata/src and then against the installed standard library.
+type loader struct {
+	fset    *token.FileSet
+	srcdir  string
+	std     types.Importer
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(fset *token.FileSet, testdata string) *loader {
+	return &loader{
+		fset:    fset,
+		srcdir:  filepath.Join(testdata, "src"),
+		std:     importer.ForCompiler(fset, "gc", nil),
+		pkgs:    make(map[string]*loadedPkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over testdata packages, falling back
+// to the standard library for everything not present under testdata/src.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcdir, path); isDir(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Run loads each named testdata package, applies a (running its Requires
+// first), and checks the emitted diagnostics against the package's
+// // want comments. It is the analysistest.Run of this harness.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := newLoader(fset, testdata)
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, path, err)
+			continue
+		}
+		diags, err := run(a, fset, p, make(map[*analysis.Analyzer]any))
+		if err != nil {
+			t.Errorf("%s: running on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, a.Name, fset, p.files, diags)
+	}
+}
+
+// run executes a and (recursively, first) its Requires on one package,
+// returning the diagnostics a reported.
+func run(a *analysis.Analyzer, fset *token.FileSet, p *loadedPkg, results map[*analysis.Analyzer]any) ([]analysis.Diagnostic, error) {
+	resultOf := make(map[*analysis.Analyzer]any, len(a.Requires))
+	for _, dep := range a.Requires {
+		if _, ok := results[dep]; !ok {
+			if _, err := run(dep, fset, p, results); err != nil {
+				return nil, fmt.Errorf("dependency %s: %w", dep.Name, err)
+			}
+		}
+		resultOf[dep] = results[dep]
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   resultOf,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = res
+	return diags, nil
+}
+
+// wantRe is one expectation: a compiled regexp from a // want comment,
+// plus whether a diagnostic already matched it.
+type wantRe struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	file    string
+	matched bool
+}
+
+var wantComment = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// checkWants enforces the analysistest contract between diags and the
+// // want comments of files.
+func checkWants(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	// Collect expectations keyed by (file, line).
+	wants := make(map[string][]*wantRe)
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Errorf("%s: %s: bad want pattern %s: %v", name, pos, raw, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: %s: bad want regexp %q: %v", name, pos, pat, err)
+						continue
+					}
+					k := key(pos.Filename, pos.Line)
+					wants[k] = append(wants[k], &wantRe{re: re, raw: raw, line: pos.Line, file: pos.Filename})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key(pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", name, pos, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matched want %s", name, w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted splits the payload of a want comment into its quoted
+// patterns, honoring both "double" and `backquote` quoting.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && (s[j] != '"' || s[j-1] == '\\') {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+			}
+			i = j + 1
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+			}
+			i = j + 1
+		default:
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package lintutil holds the plumbing shared by every bmmcvet analyzer:
+// the //lint:allow suppression mechanism, test-file detection, and the
+// package-path scoping helpers the analyzers use to decide which parts of
+// the tree an invariant applies to.
+//
+// Suppression syntax (documented in DESIGN.md "Static analysis"):
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// placed either on the same line as the offending expression or on the
+// line directly above it. The analyzer name must match exactly; the
+// reason after "--" is mandatory by convention (the comment is for the
+// next reader, not the tool) but not enforced mechanically.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Suppressed reports whether a diagnostic of analyzer name at pos is
+// silenced by a //lint:allow comment on the same line or the line above.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	file := fileFor(pass, pos)
+	if file == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			allowed, ok := allowNames(c.Text)
+			if !ok {
+				continue
+			}
+			cline := pass.Fset.Position(c.Pos()).Line
+			if cline != line && cline != line-1 {
+				continue
+			}
+			for _, a := range allowed {
+				if a == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// allowNames parses a "//lint:allow a b -- reason" comment, returning the
+// analyzer names it suppresses.
+func allowNames(text string) ([]string, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := text[len(prefix):]
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	names := strings.Fields(rest)
+	if len(names) == 0 {
+		return nil, false
+	}
+	return names, true
+}
+
+// fileFor returns the *ast.File of pass containing pos.
+func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos sits in a _test.go file. The bmmcvet
+// analyzers enforce production invariants; tests deliberately poke
+// internals (fixed fault schedules, raw backend access) and are exempt.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// InFiles reports whether pos sits in a file whose basename is listed in
+// the comma-separated allowlist.
+func InFiles(pass *analysis.Pass, pos token.Pos, list string) bool {
+	base := filepath.Base(pass.Fset.Position(pos).Filename)
+	for _, want := range strings.Split(list, ",") {
+		if want = strings.TrimSpace(want); want != "" && want == base {
+			return true
+		}
+	}
+	return false
+}
+
+// PathMatches reports whether pkgPath matches any pattern in the
+// comma-separated list. Each pattern is an anchored regular expression
+// (implicit ^...$), so "repro/internal/perm" matches exactly that package
+// and "repro/internal/pdm(/.*)?" matches the package and its subtree.
+func PathMatches(pkgPath, patterns string) bool {
+	for _, p := range strings.Split(patterns, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		re, err := regexp.Compile("^(?:" + p + ")$")
+		if err != nil {
+			continue
+		}
+		if re.MatchString(pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report files a diagnostic at node unless it is suppressed or in a test
+// file. It is the single reporting path of every bmmcvet analyzer, so the
+// suppression and test-exemption rules stay uniform across the suite.
+func Report(pass *analysis.Pass, name string, node ast.Node, format string, args ...any) {
+	if InTestFile(pass, node.Pos()) || Suppressed(pass, node.Pos(), name) {
+		return
+	}
+	pass.Reportf(node.Pos(), format, args...)
+}
+
+// IsMainPackage reports whether the package under analysis is a command
+// (package main). Several invariants scope differently there: a main
+// package is the root of the context tree, but examples and CLIs must
+// still seed randomness through the -seed / bmmc.NewRand path.
+func IsMainPackage(pass *analysis.Pass) bool {
+	return pass.Pkg.Name() == "main"
+}

@@ -1,0 +1,12 @@
+package lockpair_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/internal/analyzertest"
+	"repro/tools/analyzers/lockpair"
+)
+
+func Test(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), lockpair.Analyzer, "e")
+}

@@ -1,0 +1,67 @@
+// Package e exercises the Acquire/Release pairing discipline on a
+// stand-in for pdm.System's run/read locks.
+package e
+
+import "errors"
+
+type System struct{}
+
+func (s *System) AcquireRun()  {}
+func (s *System) ReleaseRun()  {}
+func (s *System) AcquireRead() {}
+func (s *System) ReleaseRead() {}
+
+var errWork = errors.New("work failed")
+
+func work() {}
+
+func DeferOK(s *System) {
+	s.AcquireRun()
+	defer s.ReleaseRun()
+	work()
+}
+
+func DeferClosureOK(s *System) {
+	s.AcquireRead()
+	defer func() {
+		work()
+		s.ReleaseRead()
+	}()
+	work()
+}
+
+func AllPathsOK(s *System, cond bool) {
+	s.AcquireRead()
+	if cond {
+		work()
+		s.ReleaseRead()
+		return
+	}
+	s.ReleaseRead()
+}
+
+func Leak(s *System, cond bool) error {
+	s.AcquireRun() // want "AcquireRun on s has no ReleaseRun"
+	if cond {
+		return errWork // leaks the run lock on this path
+	}
+	s.ReleaseRun()
+	return nil
+}
+
+func Mismatch(s *System) {
+	s.AcquireRun() // want "AcquireRun on s has no ReleaseRun"
+	defer s.ReleaseRead()
+	work()
+}
+
+func WrongReceiver(a, b *System) {
+	a.AcquireRun() // want "AcquireRun on a has no ReleaseRun"
+	defer b.ReleaseRun()
+	work()
+}
+
+func Suppressed(s *System) {
+	//lint:allow lockpair -- golden test for the suppression mechanism
+	s.AcquireRun()
+}

@@ -1,0 +1,13 @@
+package rawbackend_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/internal/analyzertest"
+	"repro/tools/analyzers/rawbackend"
+)
+
+func Test(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), rawbackend.Analyzer,
+		"b", "repro/internal/pdm", "repro/backendtest")
+}

@@ -1,0 +1,21 @@
+// Package pdm mirrors the real accounting layer's transfer surface: the
+// Backend interface whose raw methods move records, and the System that
+// is allowed to call them because it counts the parallel I/Os.
+package pdm
+
+type Backend interface {
+	ReadBlocks(disk int, blocks []int) error
+	WriteBlocks(disk int, blocks []int) error
+}
+
+type System struct {
+	B Backend
+}
+
+func (s *System) Load(disk int, blocks []int) error {
+	return s.B.ReadBlocks(disk, blocks) // ok: pdm is the accounting layer
+}
+
+func (s *System) Store(disk int, blocks []int) error {
+	return s.B.WriteBlocks(disk, blocks) // ok: pdm is the accounting layer
+}

@@ -1,0 +1,52 @@
+// Package slabsafe confines unsafe to the two places the zero-copy record
+// path earned it: the slab-view reinterpretation in
+// internal/pdm/records_slab.go and the build-tagged mmap file backend.
+// Everywhere else, []Record moves through the typed copy paths — a new
+// unsafe.Pointer cast outside the allowlist reopens exactly the class of
+// aliasing bugs the slab tests were written to pin down.
+package slabsafe
+
+import (
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/analyzers/lintutil"
+)
+
+const doc = `confine unsafe to the audited slab-view and mmap files
+
+The zero-copy record path concentrates its unsafe.Pointer casts in
+records_slab.go and the build-tagged mmap backend; importing unsafe
+anywhere else needs a new audit, not a new call site.`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "slabsafe",
+	Doc:  doc,
+	Run:  run,
+}
+
+var allowfiles string
+
+func init() {
+	Analyzer.Flags.StringVar(&allowfiles, "allowfiles",
+		"records_slab.go,filedisk_mmap.go",
+		"comma-separated file basenames allowed to import unsafe")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "unsafe" {
+				continue
+			}
+			if lintutil.InFiles(pass, imp.Pos(), allowfiles) {
+				continue
+			}
+			lintutil.Report(pass, "slabsafe", imp,
+				"unsafe outside the audited slab/mmap files: keep unsafe.Pointer casts in %s", allowfiles)
+		}
+	}
+	return nil, nil
+}

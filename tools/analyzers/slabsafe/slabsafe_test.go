@@ -1,0 +1,12 @@
+package slabsafe_test
+
+import (
+	"testing"
+
+	"repro/tools/analyzers/internal/analyzertest"
+	"repro/tools/analyzers/slabsafe"
+)
+
+func Test(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), slabsafe.Analyzer, "d")
+}

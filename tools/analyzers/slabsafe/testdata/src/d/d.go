@@ -1,0 +1,10 @@
+// Package d imports unsafe from an ordinary file, which reopens the
+// aliasing-bug class the slab tests pinned down.
+package d
+
+import "unsafe" // want "unsafe outside the audited slab/mmap files"
+
+func Size() uintptr {
+	var x int
+	return unsafe.Sizeof(x)
+}

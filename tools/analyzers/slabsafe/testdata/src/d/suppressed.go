@@ -1,0 +1,9 @@
+package d
+
+//lint:allow slabsafe -- golden test for the suppression mechanism
+import "unsafe"
+
+func Align() uintptr {
+	var x int64
+	return unsafe.Alignof(x)
+}

@@ -1,0 +1,39 @@
+// Command bmmcvet is the repo's custom static-analysis suite: six
+// go/analysis analyzers that mechanically enforce the correctness
+// invariants the type system can't see — the determinism contract, the
+// parallel-I/O accounting integrity, context threading, unsafe
+// confinement, lock pairing, and sentinel-error discipline. DESIGN.md
+// "Static analysis" maps each analyzer to the invariant it pins.
+//
+// Run it the way CI does, as a vet tool over the whole tree:
+//
+//	cd tools && go build -mod=vendor -o ../bin/bmmcvet ./cmd/bmmcvet
+//	go vet -vettool=$PWD/bin/bmmcvet ./...
+//
+// Suppress a diagnostic with an annotation on the same line or the line
+// above, always with a reason:
+//
+//	//lint:allow <analyzer> -- <why this site is exempt>
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/tools/analyzers/ctxio"
+	"repro/tools/analyzers/detrand"
+	"repro/tools/analyzers/errwrap"
+	"repro/tools/analyzers/lockpair"
+	"repro/tools/analyzers/rawbackend"
+	"repro/tools/analyzers/slabsafe"
+)
+
+func main() {
+	unitchecker.Main(
+		detrand.Analyzer,
+		rawbackend.Analyzer,
+		ctxio.Analyzer,
+		slabsafe.Analyzer,
+		lockpair.Analyzer,
+		errwrap.Analyzer,
+	)
+}
